@@ -1,0 +1,87 @@
+// Reproduces Figure 2: ablation on the random-Fourier-feature
+// dimensionality. Sweeps the RFF budget {0.2x, 0.5x, 1x, 2x} (fractions
+// subsample representation dimensions, multiples increase Q), the
+// "no RFF" variant (linear decorrelation only), and the plain GIN
+// baseline, on TRIANGLES, D&D_300 and OGBG-MOLBACE.
+//
+// Flags: --full, --seeds N, --epochs N, --scale F.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/data/registry.h"
+#include "src/train/experiment.h"
+#include "src/util/flags.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+
+namespace oodgnn {
+namespace {
+
+struct Variant {
+  std::string label;
+  bool is_gin = false;       // Plain GIN baseline row.
+  bool linear_only = false;  // "no RFF" row.
+  float dim_fraction = 1.f;
+  int num_functions = 1;
+};
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  BenchOptions options = BenchOptions::FromFlags(flags);
+  ApplyFastDefaults(flags, /*seeds=*/2, /*epochs=*/15,
+                    /*scale=*/0.4, &options);
+  const uint64_t data_seed = static_cast<uint64_t>(flags.GetInt("seed", 17));
+
+  const std::vector<std::string> names = {"TRIANGLES", "DD_300", "BACE"};
+  std::vector<GraphDataset> datasets;
+  for (const std::string& name : names) {
+    datasets.push_back(MakeDatasetByName(name, options.data_scale, data_seed));
+  }
+
+  const std::vector<Variant> variants = {
+      {"GIN", /*is_gin=*/true, false, 1.f, 1},
+      {"no RFF", false, /*linear_only=*/true, 1.f, 1},
+      {"0.2x", false, false, 0.2f, 1},
+      {"0.5x", false, false, 0.5f, 1},
+      {"1x", false, false, 1.f, 1},
+      {"2x", false, false, 1.f, 2},
+  };
+
+  std::printf(
+      "=== Figure 2: RFF-dimensionality ablation (OOD test metric; "
+      "accuracy %% for TRIANGLES/DD_300, ROC-AUC %% for BACE; "
+      "seeds=%d, epochs=%d) ===\n",
+      options.seeds, options.train.epochs);
+
+  Timer timer;
+  ResultTable table({"Variant", "TRIANGLES", "DD_300", "BACE"});
+  for (const Variant& variant : variants) {
+    std::vector<std::string> row = {variant.label};
+    for (const GraphDataset& dataset : datasets) {
+      TrainConfig config = options.train;
+      config.ood.rff.linear_only = variant.linear_only;
+      config.ood.rff.dim_fraction = variant.dim_fraction;
+      config.ood.rff.num_functions = variant.num_functions;
+      const Method method =
+          variant.is_gin ? Method::kGin : Method::kOodGnn;
+      MethodScores scores = RunSeeds(method, dataset, config, options.seeds);
+      row.push_back(FormatCell(scores.test, true));
+    }
+    table.AddRow(row);
+    std::printf("  [%s done, %.0fs elapsed]\n", variant.label.c_str(),
+                timer.ElapsedSeconds());
+  }
+  table.Print();
+  std::printf(
+      "Expected shape: metric grows with RFF budget (0.2x -> 2x); "
+      "'no RFF' drops clearly below 1x; GIN is the no-reweighting "
+      "reference.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace oodgnn
+
+int main(int argc, char** argv) { return oodgnn::Main(argc, argv); }

@@ -1,0 +1,75 @@
+// Reproduces Figure 3: the weighted prediction loss over training
+// epochs of OOD-GNN on TRIANGLES, D&D_300 and OGBG-MOLBACE, showing
+// empirical convergence of the iterative optimization (Eqs. 6–7).
+//
+// Flags: --full, --epochs N, --scale F.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/data/registry.h"
+#include "src/train/experiment.h"
+#include "src/util/flags.h"
+#include "src/util/timer.h"
+
+namespace oodgnn {
+namespace {
+
+void PrintSeries(const std::string& name,
+                 const std::vector<double>& losses,
+                 const std::vector<double>& decor_losses) {
+  std::printf("--- %s: weighted prediction loss per epoch ---\n",
+              name.c_str());
+  std::printf("epoch,pred_loss,decorrelation_loss\n");
+  for (size_t e = 0; e < losses.size(); ++e) {
+    std::printf("%zu,%.4f,%.6f\n", e + 1, losses[e],
+                e < decor_losses.size() ? decor_losses[e] : 0.0);
+  }
+  // Compact ASCII sparkline of the prediction loss.
+  double lo = 1e30, hi = -1e30;
+  for (double v : losses) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::printf("trend: ");
+  for (double v : losses) {
+    const char* levels[] = {"_", ".", "-", "=", "#"};
+    int level = hi > lo ? static_cast<int>((v - lo) / (hi - lo) * 4.999)
+                        : 0;
+    std::printf("%s", levels[level]);
+  }
+  std::printf("  (start=%.3f, end=%.3f)\n\n", losses.front(), losses.back());
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  BenchOptions options = BenchOptions::FromFlags(flags);
+  ApplyFastDefaults(flags, /*seeds=*/1, /*epochs=*/30,
+                    /*scale=*/0.4, &options);
+  const uint64_t data_seed = static_cast<uint64_t>(flags.GetInt("seed", 17));
+
+  std::printf(
+      "=== Figure 3: OOD-GNN training dynamics (epochs=%d) ===\n",
+      options.train.epochs);
+  Timer timer;
+  for (const std::string& name :
+       std::vector<std::string>{"TRIANGLES", "DD_300", "BACE"}) {
+    GraphDataset dataset =
+        MakeDatasetByName(name, options.data_scale, data_seed);
+    MethodScores scores =
+        RunSeeds(Method::kOodGnn, dataset, options.train, 1);
+    PrintSeries(name, scores.last_run.epoch_losses,
+                scores.last_run.epoch_decorrelation_losses);
+  }
+  std::printf("[done in %.0fs] Expected shape: losses decrease and "
+              "flatten within the epoch budget (paper: converges in "
+              "<100 epochs).\n",
+              timer.ElapsedSeconds());
+  return 0;
+}
+
+}  // namespace
+}  // namespace oodgnn
+
+int main(int argc, char** argv) { return oodgnn::Main(argc, argv); }

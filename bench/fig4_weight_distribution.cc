@@ -1,0 +1,58 @@
+// Reproduces Figure 4: the distribution of the learned graph weights
+// after training OOD-GNN on TRIANGLES, D&D_300 and OGBG-MOLBACE. The
+// paper's observation: the learned weights are non-trivial (not all 1)
+// and their distribution differs slightly across datasets.
+//
+// Flags: --full, --epochs N, --scale F.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/data/registry.h"
+#include "src/train/experiment.h"
+#include "src/util/flags.h"
+#include "src/util/stats.h"
+#include "src/util/timer.h"
+
+namespace oodgnn {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  BenchOptions options = BenchOptions::FromFlags(flags);
+  ApplyFastDefaults(flags, /*seeds=*/1, /*epochs=*/15,
+                    /*scale=*/0.4, &options);
+  const uint64_t data_seed = static_cast<uint64_t>(flags.GetInt("seed", 17));
+
+  std::printf(
+      "=== Figure 4: learned graph-weight distributions (epochs=%d) "
+      "===\n",
+      options.train.epochs);
+  Timer timer;
+  for (const std::string& name :
+       std::vector<std::string>{"TRIANGLES", "DD_300", "BACE"}) {
+    GraphDataset dataset =
+        MakeDatasetByName(name, options.data_scale, data_seed);
+    MethodScores scores =
+        RunSeeds(Method::kOodGnn, dataset, options.train, 1);
+    const std::vector<float>& weights = scores.last_run.final_weights;
+    std::vector<double> values(weights.begin(), weights.end());
+    std::printf("--- %s (%zu weights) ---\n", name.c_str(), values.size());
+    std::printf("mean=%s  min=%.3f  max=%.3f\n",
+                MeanStdString(values, 3).c_str(),
+                *std::min_element(values.begin(), values.end()),
+                *std::max_element(values.begin(), values.end()));
+    std::printf("%s\n",
+                RenderHistogram(MakeHistogram(values, 12)).c_str());
+  }
+  std::printf("[done in %.0fs] Expected shape: weights spread around 1 "
+              "with dataset-dependent tails (non-trivial reweighting).\n",
+              timer.ElapsedSeconds());
+  return 0;
+}
+
+}  // namespace
+}  // namespace oodgnn
+
+int main(int argc, char** argv) { return oodgnn::Main(argc, argv); }

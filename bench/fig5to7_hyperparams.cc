@@ -1,0 +1,105 @@
+// Reproduces Figures 5–7: hyper-parameter sensitivity of OOD-GNN on
+// TRIANGLES (Fig. 5), D&D_300 (Fig. 6) and OGBG-MOLBACE (Fig. 7).
+// Four sweeps per dataset, matching the paper's panels:
+//   (a) number of message-passing layers,
+//   (b) representation dimensionality d,
+//   (c) size of the global weights (number of memory groups K),
+//   (d) momentum coefficient γ.
+//
+// Flags: --full, --seeds N, --epochs N, --scale F.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/data/registry.h"
+#include "src/train/experiment.h"
+#include "src/util/flags.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+
+namespace oodgnn {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  BenchOptions options = BenchOptions::FromFlags(flags);
+  ApplyFastDefaults(flags, /*seeds=*/1, /*epochs=*/8,
+                    /*scale=*/0.3, &options);
+  const uint64_t data_seed = static_cast<uint64_t>(flags.GetInt("seed", 17));
+
+  const std::vector<std::string> names = {"TRIANGLES", "DD_300", "BACE"};
+  const std::vector<int> layer_sweep = {2, 3, 4, 5};
+  const std::vector<int> dim_sweep = {16, 32, 64};
+  const std::vector<int> group_sweep = {1, 2, 4};
+  const std::vector<float> momentum_sweep = {0.5f, 0.7f, 0.9f, 0.99f};
+
+  Timer timer;
+  std::printf(
+      "=== Figures 5-7: hyper-parameter sensitivity of OOD-GNN "
+      "(OOD test metric; seeds=%d, epochs=%d) ===\n",
+      options.seeds, options.train.epochs);
+
+  for (size_t d = 0; d < names.size(); ++d) {
+    GraphDataset dataset =
+        MakeDatasetByName(names[d], options.data_scale, data_seed);
+    std::printf("--- Figure %zu: %s ---\n", 5 + d, names[d].c_str());
+
+    auto run = [&](const TrainConfig& config) {
+      MethodScores scores =
+          RunSeeds(Method::kOodGnn, dataset, config, options.seeds);
+      return FormatCell(scores.test, true);
+    };
+
+    {
+      ResultTable table({"#Layers", "Test metric"});
+      for (int layers : layer_sweep) {
+        TrainConfig config = options.train;
+        config.encoder.num_layers = layers;
+        table.AddRow({std::to_string(layers), run(config)});
+      }
+      table.Print();
+    }
+    {
+      ResultTable table({"Dim d", "Test metric"});
+      for (int dim : dim_sweep) {
+        TrainConfig config = options.train;
+        config.encoder.hidden_dim = dim;
+        table.AddRow({std::to_string(dim), run(config)});
+      }
+      table.Print();
+    }
+    {
+      ResultTable table({"GlobalGroups K", "Test metric"});
+      for (int groups : group_sweep) {
+        TrainConfig config = options.train;
+        config.ood.num_global_groups = groups;
+        table.AddRow({std::to_string(groups), run(config)});
+      }
+      table.Print();
+    }
+    {
+      ResultTable table({"Momentum γ", "Test metric"});
+      for (float momentum : momentum_sweep) {
+        TrainConfig config = options.train;
+        config.ood.momentum = momentum;
+        char label[16];
+        std::snprintf(label, sizeof(label), "%.2f", momentum);
+        table.AddRow({label, run(config)});
+      }
+      table.Print();
+    }
+    std::printf("  [%s done, %.0fs elapsed]\n", names[d].c_str(),
+                timer.ElapsedSeconds());
+  }
+  std::printf(
+      "Expected shape: layer count has a dataset-dependent sweet spot "
+      "(shallow suffices for TRIANGLES), larger K helps slightly, γ has "
+      "mild influence.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace oodgnn
+
+int main(int argc, char** argv) { return oodgnn::Main(argc, argv); }

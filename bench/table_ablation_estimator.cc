@@ -1,0 +1,89 @@
+// Ablation of the global-local weight estimator (§3.3): compares
+// learning the sample weights from the local mini-batch alone (the
+// "straightforward alternative" the paper argues against — weight
+// consistency across batches is lost) with the memory-bank estimator
+// at K = 1, 2, 4 groups, plus the GIN reference.
+//
+// Flags: --full, --seeds N, --epochs N, --scale F.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/data/registry.h"
+#include "src/train/experiment.h"
+#include "src/util/file.h"
+#include "src/util/flags.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+
+namespace oodgnn {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  BenchOptions options = BenchOptions::FromFlags(flags);
+  ApplyFastDefaults(flags, /*seeds=*/2, /*epochs=*/15, /*scale=*/0.4,
+                    &options);
+  const uint64_t data_seed = static_cast<uint64_t>(flags.GetInt("seed", 17));
+
+  const std::vector<std::string> names = {"PROTEINS_25", "BACE"};
+  std::vector<GraphDataset> datasets;
+  for (const std::string& name : names) {
+    datasets.push_back(MakeDatasetByName(name, options.data_scale, data_seed));
+  }
+
+  struct Variant {
+    std::string label;
+    bool is_gin = false;
+    bool use_bank = true;
+    int num_groups = 1;
+  };
+  const std::vector<Variant> variants = {
+      {"GIN (no reweighting)", /*is_gin=*/true, false, 0},
+      {"local-only weights", false, /*use_bank=*/false, 0},
+      {"global-local K=1", false, true, 1},
+      {"global-local K=2", false, true, 2},
+      {"global-local K=4", false, true, 4},
+  };
+
+  std::printf(
+      "=== §3.3 ablation: global-local weight estimator "
+      "(OOD test metric; seeds=%d, epochs=%d) ===\n",
+      options.seeds, options.train.epochs);
+  Timer timer;
+  ResultTable table({"Variant", "PROTEINS_25 (acc%)", "BACE (ROC-AUC%)"});
+  for (const Variant& variant : variants) {
+    std::vector<std::string> row = {variant.label};
+    for (const GraphDataset& dataset : datasets) {
+      TrainConfig config = options.train;
+      config.ood.use_global_bank = variant.use_bank;
+      if (variant.use_bank) {
+        config.ood.num_global_groups = variant.num_groups;
+      }
+      const Method method = variant.is_gin ? Method::kGin : Method::kOodGnn;
+      MethodScores scores = RunSeeds(method, dataset, config, options.seeds);
+      row.push_back(FormatCell(scores.test, true));
+    }
+    table.AddRow(row);
+    std::printf("  [%s done, %.0fs elapsed]\n", variant.label.c_str(),
+                timer.ElapsedSeconds());
+  }
+  table.Print();
+  if (flags.Has("csv")) {
+    const std::string csv_path = flags.GetString("csv", "");
+    if (WriteStringToFile(csv_path, table.ToCsv())) {
+      std::printf("[csv written to %s]\n", csv_path.c_str());
+    }
+  }
+  std::printf(
+      "Expected shape: the memory-bank variants match or beat "
+      "local-only weights (weight consistency across batches), and all "
+      "reweighting variants beat plain GIN on the OOD split.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace oodgnn
+
+int main(int argc, char** argv) { return oodgnn::Main(argc, argv); }

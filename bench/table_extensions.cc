@@ -1,0 +1,73 @@
+// Extension study (beyond the paper's tables): how the attention-based
+// GAT and sampling-free GraphSAGE — both cited in the paper's related
+// work but absent from its comparison — behave under the same
+// distribution shifts, next to the GIN backbone and OOD-GNN.
+//
+// Flags: --full, --seeds N, --epochs N, --scale F.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/data/registry.h"
+#include "src/train/experiment.h"
+#include "src/util/file.h"
+#include "src/util/flags.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+
+namespace oodgnn {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  BenchOptions options = BenchOptions::FromFlags(flags);
+  ApplyFastDefaults(flags, /*seeds=*/2, /*epochs=*/15, /*scale=*/0.4,
+                    &options);
+  const uint64_t data_seed = static_cast<uint64_t>(flags.GetInt("seed", 17));
+
+  const std::vector<std::string> names = {"PROTEINS_25", "BACE"};
+  std::vector<GraphDataset> datasets;
+  for (const std::string& name : names) {
+    datasets.push_back(MakeDatasetByName(name, options.data_scale, data_seed));
+  }
+
+  std::vector<Method> methods = {Method::kGin};
+  for (Method m : ExtensionMethods()) methods.push_back(m);
+  methods.push_back(Method::kOodGnn);
+
+  std::printf(
+      "=== Extension study: GAT / GraphSAGE under distribution shift "
+      "(OOD test metric; seeds=%d, epochs=%d) ===\n",
+      options.seeds, options.train.epochs);
+  Timer timer;
+  ResultTable table({"Method", "PROTEINS_25 (acc%)", "BACE (ROC-AUC%)"});
+  for (Method method : methods) {
+    std::vector<std::string> row = {MethodName(method)};
+    for (const GraphDataset& dataset : datasets) {
+      MethodScores scores =
+          RunSeeds(method, dataset, options.train, options.seeds);
+      row.push_back(FormatCell(scores.test, true));
+    }
+    table.AddRow(row);
+    std::printf("  [%s done, %.0fs elapsed]\n", MethodName(method),
+                timer.ElapsedSeconds());
+  }
+  table.Print();
+  if (flags.Has("csv")) {
+    const std::string csv_path = flags.GetString("csv", "");
+    if (WriteStringToFile(csv_path, table.ToCsv())) {
+      std::printf("[csv written to %s]\n", csv_path.c_str());
+    }
+  }
+  std::printf(
+      "Expected shape: the extension architectures inherit the same OOD "
+      "brittleness as the paper's baselines; OOD-GNN's reweighting is "
+      "architecture-orthogonal.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace oodgnn
+
+int main(int argc, char** argv) { return oodgnn::Main(argc, argv); }

@@ -1,0 +1,113 @@
+// Plugging a user-defined dataset into the library: build Graph
+// objects by hand, describe the task in a GraphDataset, and train any
+// method — or drive the lower-level pieces (encoder, reweighter,
+// optimizer) yourself for full control of the training loop.
+//
+//   ./custom_dataset
+
+#include <cstdio>
+
+#include "src/core/ood_gnn.h"
+#include "src/gnn/model_zoo.h"
+#include "src/graph/batch.h"
+#include "src/nn/loss.h"
+#include "src/nn/optimizer.h"
+#include "src/train/trainer.h"
+#include "src/util/rng.h"
+
+namespace {
+
+/// A toy binary task: cycles (label 1) vs paths (label 0), with a
+/// one-hot degree feature. Even this 30-line generator exercises the
+/// whole pipeline.
+oodgnn::GraphDataset MakeCyclesVsPaths(int per_class, uint64_t seed) {
+  oodgnn::Rng rng(seed);
+  oodgnn::GraphDataset dataset;
+  dataset.name = "cycles-vs-paths";
+  dataset.task_type = oodgnn::TaskType::kMulticlass;
+  dataset.num_tasks = 2;
+  dataset.feature_dim = 4;
+
+  for (int i = 0; i < 2 * per_class; ++i) {
+    const int label = i % 2;
+    const int n = static_cast<int>(rng.UniformInt(5, 16));
+    oodgnn::Graph graph(n, dataset.feature_dim);
+    for (int v = 0; v + 1 < n; ++v) graph.AddUndirectedEdge(v, v + 1);
+    if (label == 1) graph.AddUndirectedEdge(n - 1, 0);  // Close the cycle.
+    std::vector<int> degrees = graph.InDegrees();
+    for (int v = 0; v < n; ++v) {
+      graph.x.at(v, std::min(degrees[static_cast<size_t>(v)], 3)) = 1.f;
+    }
+    graph.label = label;
+    const size_t idx = dataset.graphs.size();
+    if (i < per_class) {
+      dataset.train_idx.push_back(idx);
+    } else if (i < per_class + per_class / 2) {
+      dataset.valid_idx.push_back(idx);
+    } else {
+      dataset.test_idx.push_back(idx);
+    }
+    dataset.graphs.push_back(std::move(graph));
+  }
+  dataset.Validate();
+  return dataset;
+}
+
+}  // namespace
+
+int main() {
+  oodgnn::GraphDataset dataset = MakeCyclesVsPaths(120, /*seed=*/3);
+
+  // --- High-level API: one call. ---
+  oodgnn::TrainConfig config;
+  config.epochs = 15;
+  config.batch_size = 32;
+  config.encoder.hidden_dim = 16;
+  config.encoder.num_layers = 2;
+  oodgnn::TrainResult result = oodgnn::TrainAndEvaluate(
+      oodgnn::Method::kOodGnn, dataset, config);
+  std::printf("high-level API: test accuracy %.3f\n", result.test_metric);
+
+  // --- Low-level API: hand-rolled Algorithm 1 loop. ---
+  oodgnn::Rng rng(1);
+  oodgnn::EncoderConfig encoder;
+  encoder.feature_dim = dataset.feature_dim;
+  encoder.hidden_dim = 16;
+  encoder.num_layers = 2;
+  oodgnn::GraphPredictionModel model(oodgnn::Method::kOodGnn, encoder,
+                                     dataset.num_tasks, &rng);
+  oodgnn::Adam optimizer(model.Parameters(), 1e-3f);
+  oodgnn::OodGnnConfig ood_config;
+  oodgnn::OodGnnReweighter reweighter(model.representation_dim(),
+                                      /*batch_size=*/32, ood_config, &rng);
+
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    std::vector<size_t> order = dataset.train_idx;
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (size_t begin = 0; begin + 2 <= order.size(); begin += 32) {
+      const size_t end = std::min(order.size(), begin + 32);
+      oodgnn::GraphBatch batch =
+          oodgnn::MakeBatch(dataset.graphs, order, begin, end);
+      // Algorithm 1: encode, learn weights on detached Z, weighted loss.
+      oodgnn::Variable z = model.Encode(batch, /*training=*/true, &rng);
+      std::vector<float> weights = reweighter.ComputeWeights(z.value());
+      oodgnn::Variable logits = model.Classify(z, /*training=*/true);
+      oodgnn::Variable loss =
+          oodgnn::SoftmaxCrossEntropy(logits, batch.class_labels, weights);
+      optimizer.ZeroGrad();
+      loss.Backward();
+      optimizer.Step();
+      epoch_loss += loss.value()[0];
+      ++batches;
+    }
+    std::printf("  epoch %2d  weighted loss %.4f  decorrelation %.5f\n",
+                epoch + 1, epoch_loss / batches,
+                reweighter.last_decorrelation_loss());
+  }
+  const double accuracy = oodgnn::EvaluateSplit(
+      &model, dataset, dataset.test_idx, /*batch_size=*/64, &rng);
+  std::printf("low-level API:  test accuracy %.3f\n", accuracy);
+  return 0;
+}

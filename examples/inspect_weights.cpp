@@ -1,0 +1,94 @@
+// Inspecting what the reweighting actually does: train OOD-GNN on a
+// scaffold-shifted molecule benchmark, then correlate each training
+// molecule's learned sample weight with its decoy-motif load (halogen
+// atoms — part of the generator's non-causal, scaffold-correlated
+// decoration) and with its causal-motif load (O/N functional atoms).
+//
+//   ./inspect_weights [--dataset BACE] [--epochs N]
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/data/molecule.h"
+#include "src/train/trainer.h"
+#include "src/util/flags.h"
+#include "src/util/stats.h"
+
+namespace {
+
+/// Pearson correlation of two equally sized samples.
+double Pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  const size_t n = x.size();
+  const double mx = oodgnn::Mean(x);
+  const double my = oodgnn::Mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  const double denom = std::sqrt(sxx * syy);
+  return denom > 1e-12 ? sxy / denom : 0.0;
+}
+
+/// Counts atoms of the given one-hot type columns in a molecule graph.
+double CountAtomTypes(const oodgnn::Graph& graph,
+                      std::initializer_list<int> type_columns) {
+  double count = 0.0;
+  for (int v = 0; v < graph.num_nodes(); ++v) {
+    for (int c : type_columns) {
+      count += graph.x.at(v, c);
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  oodgnn::Flags flags(argc, argv);
+  const std::string name = flags.GetString("dataset", "BACE");
+  oodgnn::GraphDataset dataset = oodgnn::MakeMoleculeDataset(
+      oodgnn::GetOgbMoleculeSpec(name, 1.0), /*seed=*/17);
+
+  oodgnn::TrainConfig config;
+  config.epochs = flags.GetInt("epochs", 20);
+  config.batch_size = 64;
+  config.encoder.hidden_dim = 32;
+  config.encoder.num_layers = 3;
+  oodgnn::TrainResult result = oodgnn::TrainAndEvaluate(
+      oodgnn::Method::kOodGnn, dataset, config);
+  std::printf("%s: OOD test metric %.3f after %d epochs\n", name.c_str(),
+              result.test_metric, config.epochs);
+
+  // Align the final-epoch weights with per-molecule statistics.
+  // Atom-type one-hot columns: F=3, Cl=5, Br=7 (decoy halogens);
+  // N=1, O=2 (the causal hydroxyl/amine/carboxyl groups are N/O-rich).
+  std::vector<double> weights;
+  std::vector<double> halogens;
+  std::vector<double> causal_atoms;
+  std::vector<double> sizes;
+  for (size_t i = 0; i < result.final_weights.size(); ++i) {
+    const oodgnn::Graph& graph =
+        dataset.graphs[result.final_weight_graphs[i]];
+    weights.push_back(result.final_weights[i]);
+    halogens.push_back(CountAtomTypes(graph, {3, 5, 7}));
+    causal_atoms.push_back(CountAtomTypes(graph, {1, 2}));
+    sizes.push_back(graph.num_nodes());
+  }
+  std::printf("collected %zu (weight, molecule) pairs\n", weights.size());
+  std::printf("weight distribution: mean=%s\n",
+              oodgnn::MeanStdString(weights, 3).c_str());
+  std::printf("corr(weight, #halogen decoy atoms) = %+.3f\n",
+              Pearson(weights, halogens));
+  std::printf("corr(weight, #N/O causal atoms)    = %+.3f\n",
+              Pearson(weights, causal_atoms));
+  std::printf("corr(weight, molecule size)        = %+.3f\n",
+              Pearson(weights, sizes));
+  std::printf(
+      "\nReading: the reweighting shifts mass between molecules so that\n"
+      "representation dimensions decorrelate; a non-zero correlation\n"
+      "with the decoy load shows the weights react to the planted\n"
+      "spurious channel rather than being uniform noise.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Scaffold-shift drug-property prediction (the paper's Fig. 1c
+// motivation): molecules are split so the test set contains only
+// scaffolds never seen in training. A plain GIN latches onto
+// scaffold-correlated decoy motifs; OOD-GNN's representation
+// decorrelation weakens that shortcut.
+//
+//   ./molecule_property [--dataset BACE] [--epochs N]
+
+#include <cstdio>
+#include <map>
+
+#include "src/data/molecule.h"
+#include "src/train/trainer.h"
+#include "src/util/flags.h"
+
+namespace {
+
+void PrintScaffoldBreakdown(const oodgnn::GraphDataset& dataset) {
+  std::map<int64_t, int> train_scaffolds;
+  std::map<int64_t, int> test_scaffolds;
+  for (size_t idx : dataset.train_idx) {
+    ++train_scaffolds[dataset.graphs[idx].scaffold_id];
+  }
+  for (size_t idx : dataset.test_idx) {
+    ++test_scaffolds[dataset.graphs[idx].scaffold_id];
+  }
+  int overlap = 0;
+  for (const auto& [scaffold, count] : test_scaffolds) {
+    if (train_scaffolds.count(scaffold)) ++overlap;
+  }
+  std::printf(
+      "scaffold split: %zu train scaffolds, %zu test scaffolds, "
+      "%d shared (OGB-style split keeps rare scaffolds for testing)\n",
+      train_scaffolds.size(), test_scaffolds.size(), overlap);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  oodgnn::Flags flags(argc, argv);
+  const std::string name = flags.GetString("dataset", "BACE");
+
+  oodgnn::MoleculeDatasetSpec spec =
+      oodgnn::GetOgbMoleculeSpec(name, /*scale=*/1.0);
+  oodgnn::GraphDataset dataset = oodgnn::MakeMoleculeDataset(spec, 17);
+  std::printf("dataset %s: %zu molecules, avg %.1f atoms, %d task(s)\n",
+              dataset.name.c_str(), dataset.graphs.size(),
+              dataset.AverageNodes(), dataset.num_tasks);
+  PrintScaffoldBreakdown(dataset);
+
+  oodgnn::TrainConfig config;
+  config.epochs = flags.GetInt("epochs", 20);
+  config.batch_size = 64;
+  config.lr = 1e-3f;
+  config.encoder.hidden_dim = 32;
+  config.encoder.num_layers = 3;
+
+  const bool regression =
+      dataset.task_type == oodgnn::TaskType::kRegression;
+  const char* metric = regression ? "RMSE (lower=better)"
+                                  : "ROC-AUC (higher=better)";
+  std::printf("\n%-12s train %s   OOD-test %s\n", "method", metric, metric);
+  for (oodgnn::Method method :
+       {oodgnn::Method::kGin, oodgnn::Method::kOodGnn}) {
+    oodgnn::TrainResult result =
+        oodgnn::TrainAndEvaluate(method, dataset, config);
+    std::printf("%-12s %.3f                       %.3f\n",
+                oodgnn::MethodName(method), result.train_metric,
+                result.test_metric);
+  }
+  return 0;
+}

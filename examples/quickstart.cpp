@@ -1,0 +1,55 @@
+// Quickstart: train OOD-GNN on a size-shifted synthetic benchmark and
+// compare its out-of-distribution accuracy against a plain GIN.
+//
+//   ./quickstart [--epochs N]
+
+#include <cstdio>
+
+#include "src/data/triangles.h"
+#include "src/train/trainer.h"
+#include "src/util/flags.h"
+
+int main(int argc, char** argv) {
+  oodgnn::Flags flags(argc, argv);
+
+  // 1. Build a dataset. TRIANGLES trains on graphs with 4-25 nodes and
+  //    tests on graphs with up to 100 nodes (a size distribution shift).
+  oodgnn::TrianglesConfig data_config;
+  data_config.num_train = 300;
+  data_config.num_valid = 60;
+  data_config.num_test = 120;
+  oodgnn::GraphDataset dataset =
+      oodgnn::MakeTrianglesDataset(data_config, /*seed=*/7);
+  std::printf("dataset: %zu graphs, %d-dim features, %d classes\n",
+              dataset.graphs.size(), dataset.feature_dim,
+              dataset.num_tasks);
+
+  // 2. Configure training. OOD-GNN adds the reweighting config on top
+  //    of the shared encoder settings.
+  oodgnn::TrainConfig config;
+  config.epochs = flags.GetInt("epochs", 20);
+  config.batch_size = 32;
+  config.lr = 1e-3f;
+  config.encoder.hidden_dim = 32;
+  config.encoder.num_layers = 3;
+  config.encoder.readout = oodgnn::ReadoutKind::kSum;  // GIN convention for TU-style data.
+  config.ood.num_global_groups = 1;   // K of the global-local estimator.
+  config.ood.momentum = 0.9f;         // γ of the momentum update.
+  config.ood.rff.num_functions = 1;   // Q random Fourier features/dim.
+
+  // 3. Train both models and compare OOD test accuracy.
+  oodgnn::TrainResult gin =
+      oodgnn::TrainAndEvaluate(oodgnn::Method::kGin, dataset, config);
+  oodgnn::TrainResult ood =
+      oodgnn::TrainAndEvaluate(oodgnn::Method::kOodGnn, dataset, config);
+
+  std::printf("\n%-8s  train acc  OOD test acc\n", "");
+  std::printf("GIN       %.3f      %.3f\n", gin.train_metric,
+              gin.test_metric);
+  std::printf("OOD-GNN   %.3f      %.3f\n", ood.train_metric,
+              ood.test_metric);
+  std::printf("\nOOD-GNN learned %zu non-trivial sample weights in its "
+              "final epoch.\n",
+              ood.final_weights.size());
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Train-small / test-large size extrapolation (the paper's Fig. 1a
+// motivation) on the protein benchmark, with a look at the sample
+// weights OOD-GNN learns: graphs whose representations carry the
+// spurious size↔label correlation are down-weighted.
+//
+//   ./size_extrapolation [--epochs N]
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/data/protein.h"
+#include "src/train/trainer.h"
+#include "src/util/flags.h"
+#include "src/util/stats.h"
+
+int main(int argc, char** argv) {
+  oodgnn::Flags flags(argc, argv);
+
+  oodgnn::ProteinConfig data_config = oodgnn::Proteins25Config();
+  oodgnn::GraphDataset dataset =
+      oodgnn::MakeProteinDataset(data_config, /*seed=*/11);
+
+  int train_max = 0;
+  int test_max = 0;
+  for (size_t idx : dataset.train_idx) {
+    train_max = std::max(train_max, dataset.graphs[idx].num_nodes());
+  }
+  for (size_t idx : dataset.test_idx) {
+    test_max = std::max(test_max, dataset.graphs[idx].num_nodes());
+  }
+  std::printf(
+      "protein benchmark: train on graphs up to %d nodes, test on "
+      "graphs up to %d nodes\n",
+      train_max, test_max);
+
+  oodgnn::TrainConfig config;
+  config.epochs = flags.GetInt("epochs", 25);
+  config.batch_size = 64;
+  config.lr = 1e-3f;
+  config.encoder.hidden_dim = 32;
+  config.encoder.num_layers = 3;
+  config.encoder.readout = oodgnn::ReadoutKind::kSum;
+
+  std::printf("\n%-12s train acc   OOD-test acc\n", "method");
+  oodgnn::TrainResult ood_result;
+  for (oodgnn::Method method :
+       {oodgnn::Method::kGin, oodgnn::Method::kSagPool,
+        oodgnn::Method::kOodGnn}) {
+    oodgnn::TrainResult result =
+        oodgnn::TrainAndEvaluate(method, dataset, config);
+    std::printf("%-12s %.3f       %.3f\n", oodgnn::MethodName(method),
+                result.train_metric, result.test_metric);
+    if (method == oodgnn::Method::kOodGnn) ood_result = result;
+  }
+
+  // Inspect the learned reweighting (Fig. 4 style).
+  std::vector<double> weights(ood_result.final_weights.begin(),
+                              ood_result.final_weights.end());
+  if (!weights.empty()) {
+    std::printf("\nlearned sample weights (final epoch): mean=%s\n",
+                oodgnn::MeanStdString(weights, 3).c_str());
+    std::printf("%s", oodgnn::RenderHistogram(
+                          oodgnn::MakeHistogram(weights, 10))
+                          .c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "src/core/dependence.h"
+
+#include "src/util/check.h"
+
+namespace oodgnn {
+
+Tensor PairwiseDependenceMatrix(const Tensor& z, const RffFeatureMap& rff) {
+  OODGNN_CHECK_EQ(z.cols(), rff.input_dim());
+  const int n = z.rows();
+  OODGNN_CHECK_GT(n, 1);
+  const Tensor features = rff.Transform(z);
+  const int m = features.cols();
+  const std::vector<int>& source = rff.feature_source_dim();
+
+  // Column means of the (uniformly weighted) features.
+  std::vector<double> mean(static_cast<size_t>(m), 0.0);
+  for (int r = 0; r < n; ++r) {
+    const float* row = features.row(r);
+    for (int c = 0; c < m; ++c) mean[static_cast<size_t>(c)] += row[c];
+  }
+  for (double& v : mean) v /= n;
+
+  // Full covariance of the centered features.
+  Tensor cov(m, m);
+  for (int r = 0; r < n; ++r) {
+    const float* row = features.row(r);
+    for (int a = 0; a < m; ++a) {
+      const double da = row[a] - mean[static_cast<size_t>(a)];
+      for (int b = a; b < m; ++b) {
+        const double db = row[b] - mean[static_cast<size_t>(b)];
+        cov.at(a, b) += static_cast<float>(da * db);
+      }
+    }
+  }
+  const float denom = static_cast<float>(n - 1);
+  for (int a = 0; a < m; ++a) {
+    for (int b = a; b < m; ++b) {
+      cov.at(a, b) /= denom;
+      cov.at(b, a) = cov.at(a, b);
+    }
+  }
+
+  // Accumulate squared covariance entries into per-dimension-pair cells.
+  Tensor dependence(rff.input_dim(), rff.input_dim());
+  for (int a = 0; a < m; ++a) {
+    for (int b = 0; b < m; ++b) {
+      const int i = source[static_cast<size_t>(a)];
+      const int j = source[static_cast<size_t>(b)];
+      if (i == j) continue;
+      dependence.at(i, j) += cov.at(a, b) * cov.at(a, b);
+    }
+  }
+  return dependence;
+}
+
+DependenceSummary SummarizeDependence(const Tensor& z,
+                                      const RffFeatureMap& rff) {
+  Tensor matrix = PairwiseDependenceMatrix(z, rff);
+  DependenceSummary summary;
+  for (int i = 0; i < matrix.rows(); ++i) {
+    for (int j = i + 1; j < matrix.cols(); ++j) {
+      const double v = matrix.at(i, j);
+      summary.total += v;
+      if (v > summary.max_pair) {
+        summary.max_pair = v;
+        summary.max_i = i;
+        summary.max_j = j;
+      }
+    }
+  }
+  return summary;
+}
+
+}  // namespace oodgnn

@@ -1,0 +1,68 @@
+#ifndef OODGNN_CORE_OOD_GNN_H_
+#define OODGNN_CORE_OOD_GNN_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/rff.h"
+#include "src/core/weight_bank.h"
+#include "src/core/weight_optimizer.h"
+
+namespace oodgnn {
+
+class Rng;
+
+/// Hyper-parameters of the OOD-GNN reweighting machinery (everything in
+/// §3.2–3.3 beyond the encoder itself).
+struct OodGnnConfig {
+  RffConfig rff;
+  WeightOptimizerConfig weights;
+  /// Number K of global memory groups (paper default 1).
+  int num_global_groups = 1;
+  /// Ablation switch: with false, weights are learned from the local
+  /// mini-batch alone (no memory bank, no momentum update) — the
+  /// "straightforward alternative" §3.3 argues against.
+  bool use_global_bank = true;
+  /// Momentum coefficient γ of the global updates (paper default 0.9).
+  float momentum = 0.9f;
+  /// Optional epochs trained with uniform weights before reweighting
+  /// kicks in. Default 0: reweighting from the first epoch performed
+  /// best in our sweeps (see EXPERIMENTS.md).
+  int warmup_epochs = 0;
+};
+
+/// The sample-reweighting half of OOD-GNN (Algorithm 1 lines 3–8 & 10):
+/// given the (detached) representations of a mini-batch it learns local
+/// weights against the global memory bank and applies the momentum
+/// update. The caller (the trainer) plugs the returned weights into the
+/// weighted prediction loss of Eq. (6).
+class OodGnnReweighter {
+ public:
+  /// `representation_dim` is d (the encoder output width), `batch_size`
+  /// the training mini-batch size |B|.
+  OodGnnReweighter(int representation_dim, int batch_size,
+                   const OodGnnConfig& config, Rng* rng);
+
+  /// Runs the inner optimization of Eq. (10) on `local_z` [B, d]
+  /// (constants — detach encoder outputs first) and momentum-updates
+  /// the bank. Returns one weight per row, mean 1.
+  std::vector<float> ComputeWeights(const Tensor& local_z);
+
+  /// Decorrelation loss after the most recent inner optimization.
+  double last_decorrelation_loss() const { return last_loss_; }
+
+  const GlobalWeightBank& bank() const { return bank_; }
+  const RffFeatureMap& rff() const { return rff_; }
+  const OodGnnConfig& config() const { return config_; }
+
+ private:
+  OodGnnConfig config_;
+  RffFeatureMap rff_;
+  GlobalWeightBank bank_;
+  GraphWeightOptimizer optimizer_;
+  double last_loss_ = 0.0;
+};
+
+}  // namespace oodgnn
+
+#endif  // OODGNN_CORE_OOD_GNN_H_

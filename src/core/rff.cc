@@ -1,0 +1,62 @@
+#include "src/core/rff.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace oodgnn {
+
+RffFeatureMap::RffFeatureMap(int input_dim, const RffConfig& config, Rng* rng)
+    : input_dim_(input_dim), config_(config) {
+  OODGNN_CHECK_GT(input_dim, 0);
+  OODGNN_CHECK_GT(config.num_functions, 0);
+  OODGNN_CHECK(config.dim_fraction > 0.f && config.dim_fraction <= 1.f);
+
+  // Randomly select the subset of representation dimensions to measure.
+  if (config.dim_fraction >= 1.f) {
+    selected_dims_.resize(static_cast<size_t>(input_dim));
+    for (int i = 0; i < input_dim; ++i) {
+      selected_dims_[static_cast<size_t>(i)] = i;
+    }
+  } else {
+    const int keep = std::max(
+        2, static_cast<int>(std::lround(config.dim_fraction * input_dim)));
+    std::vector<size_t> perm = rng->Permutation(static_cast<size_t>(input_dim));
+    for (int i = 0; i < keep; ++i) {
+      selected_dims_.push_back(static_cast<int>(perm[static_cast<size_t>(i)]));
+    }
+  }
+
+  const int per_dim = config.linear_only ? 1 : config.num_functions;
+  for (int dim : selected_dims_) {
+    for (int q = 0; q < per_dim; ++q) {
+      feature_source_dim_.push_back(dim);
+      omega_.push_back(static_cast<float>(rng->Normal(0.0, 1.0)));
+      phase_.push_back(
+          static_cast<float>(rng->Uniform(0.0, 2.0 * M_PI)));
+    }
+  }
+}
+
+Tensor RffFeatureMap::Transform(const Tensor& z) const {
+  OODGNN_CHECK_EQ(z.cols(), input_dim_);
+  const int n = z.rows();
+  const int m = num_features();
+  Tensor out(n, m);
+  const float kSqrt2 = static_cast<float>(std::sqrt(2.0));
+  for (int r = 0; r < n; ++r) {
+    const float* zrow = z.row(r);
+    float* orow = out.row(r);
+    for (int j = 0; j < m; ++j) {
+      const float x = zrow[feature_source_dim_[static_cast<size_t>(j)]];
+      orow[j] = config_.linear_only
+                    ? x
+                    : kSqrt2 * std::cos(omega_[static_cast<size_t>(j)] * x +
+                                        phase_[static_cast<size_t>(j)]);
+    }
+  }
+  return out;
+}
+
+}  // namespace oodgnn

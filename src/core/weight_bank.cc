@@ -1,0 +1,101 @@
+#include "src/core/weight_bank.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace oodgnn {
+
+GlobalWeightBank::GlobalWeightBank(int batch_size, int dim,
+                                   std::vector<float> gammas)
+    : batch_size_(batch_size), dim_(dim), gammas_(std::move(gammas)) {
+  OODGNN_CHECK_GT(batch_size, 0);
+  OODGNN_CHECK_GT(dim, 0);
+  OODGNN_CHECK(!gammas_.empty());
+  for (float g : gammas_) {
+    OODGNN_CHECK(g >= 0.f && g < 1.f) << "momentum must be in [0,1)";
+  }
+  z_groups_.assign(gammas_.size(), Tensor());
+  w_groups_.assign(gammas_.size(), Tensor());
+}
+
+GlobalWeightBank GlobalWeightBank::WithUniformGamma(int num_groups,
+                                                    int batch_size, int dim,
+                                                    float base_gamma) {
+  OODGNN_CHECK_GT(num_groups, 0);
+  std::vector<float> gammas;
+  gammas.reserve(static_cast<size_t>(num_groups));
+  // Spread momenta geometrically below base_gamma so additional groups
+  // act as progressively shorter-term memories (K=1 -> {base_gamma}).
+  for (int k = 0; k < num_groups; ++k) {
+    gammas.push_back(base_gamma *
+                     std::pow(0.7f, static_cast<float>(k)));
+  }
+  return GlobalWeightBank(batch_size, dim, std::move(gammas));
+}
+
+const Tensor& GlobalWeightBank::z(int group) const {
+  OODGNN_CHECK(initialized_);
+  OODGNN_CHECK(group >= 0 && group < num_groups());
+  return z_groups_[static_cast<size_t>(group)];
+}
+
+const Tensor& GlobalWeightBank::w(int group) const {
+  OODGNN_CHECK(initialized_);
+  OODGNN_CHECK(group >= 0 && group < num_groups());
+  return w_groups_[static_cast<size_t>(group)];
+}
+
+Tensor GlobalWeightBank::StackedZ() const {
+  if (!initialized_) return Tensor();
+  Tensor out(num_groups() * batch_size_, dim_);
+  for (int k = 0; k < num_groups(); ++k) {
+    const Tensor& group = z_groups_[static_cast<size_t>(k)];
+    for (int r = 0; r < batch_size_; ++r) {
+      const float* src = group.row(r);
+      std::copy(src, src + dim_, out.row(k * batch_size_ + r));
+    }
+  }
+  return out;
+}
+
+Tensor GlobalWeightBank::StackedW() const {
+  if (!initialized_) return Tensor();
+  Tensor out(num_groups() * batch_size_, 1);
+  for (int k = 0; k < num_groups(); ++k) {
+    const Tensor& group = w_groups_[static_cast<size_t>(k)];
+    for (int r = 0; r < batch_size_; ++r) {
+      out.at(k * batch_size_ + r, 0) = group.at(r, 0);
+    }
+  }
+  return out;
+}
+
+void GlobalWeightBank::Update(const Tensor& local_z, const Tensor& local_w) {
+  OODGNN_CHECK_EQ(local_z.cols(), dim_);
+  OODGNN_CHECK_EQ(local_w.cols(), 1);
+  OODGNN_CHECK_EQ(local_w.rows(), local_z.rows());
+  if (local_z.rows() != batch_size_) return;  // Partial batch: skip.
+
+  if (!initialized_) {
+    for (size_t k = 0; k < gammas_.size(); ++k) {
+      z_groups_[k] = local_z;
+      w_groups_[k] = local_w;
+    }
+    initialized_ = true;
+    return;
+  }
+  for (size_t k = 0; k < gammas_.size(); ++k) {
+    const float gamma = gammas_[k];
+    Tensor& zg = z_groups_[k];
+    Tensor& wg = w_groups_[k];
+    for (int i = 0; i < zg.size(); ++i) {
+      zg[i] = gamma * zg[i] + (1.f - gamma) * local_z[i];
+    }
+    for (int i = 0; i < wg.size(); ++i) {
+      wg[i] = gamma * wg[i] + (1.f - gamma) * local_w[i];
+    }
+  }
+}
+
+}  // namespace oodgnn

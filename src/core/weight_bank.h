@@ -1,0 +1,60 @@
+#ifndef OODGNN_CORE_WEIGHT_BANK_H_
+#define OODGNN_CORE_WEIGHT_BANK_H_
+
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace oodgnn {
+
+/// The global-local weight estimator's memory (Eqs. 8–9): K groups of
+/// global representations Z^(g_k) ∈ R^{B×d} and weights W^(g_k) ∈ R^B,
+/// refreshed by per-group momentum updates from the optimized local
+/// batch. Groups with a large γ act as long-term memory, small γ as
+/// short-term memory.
+class GlobalWeightBank {
+ public:
+  /// Creates K empty groups for batches of `batch_size` representations
+  /// of width `dim`, with per-group momentum coefficients `gammas`
+  /// (size K, each in [0,1)).
+  GlobalWeightBank(int batch_size, int dim, std::vector<float> gammas);
+
+  /// Convenience: K groups with momenta spread geometrically from
+  /// `base_gamma` (K=1 reproduces the paper's single-γ setup).
+  static GlobalWeightBank WithUniformGamma(int num_groups, int batch_size,
+                                           int dim, float base_gamma);
+
+  int num_groups() const { return static_cast<int>(gammas_.size()); }
+  int batch_size() const { return batch_size_; }
+  int dim() const { return dim_; }
+
+  /// True once the groups hold data (first Update seeds them).
+  bool initialized() const { return initialized_; }
+
+  /// Group accessors (valid only when initialized).
+  const Tensor& z(int group) const;
+  const Tensor& w(int group) const;
+
+  /// Stacks all K groups: Z [K·B, d] and W [K·B, 1]. Empty tensors when
+  /// uninitialized.
+  Tensor StackedZ() const;
+  Tensor StackedW() const;
+
+  /// Momentum update (Eq. 9) from the optimized local representations
+  /// [B, d] and weights [B, 1]. The first call seeds every group with
+  /// the local values. Calls with a mismatched row count (e.g. a final
+  /// partial batch) are ignored.
+  void Update(const Tensor& local_z, const Tensor& local_w);
+
+ private:
+  int batch_size_;
+  int dim_;
+  std::vector<float> gammas_;
+  std::vector<Tensor> z_groups_;
+  std::vector<Tensor> w_groups_;
+  bool initialized_ = false;
+};
+
+}  // namespace oodgnn
+
+#endif  // OODGNN_CORE_WEIGHT_BANK_H_

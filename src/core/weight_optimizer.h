@@ -1,0 +1,68 @@
+#ifndef OODGNN_CORE_WEIGHT_OPTIMIZER_H_
+#define OODGNN_CORE_WEIGHT_OPTIMIZER_H_
+
+#include <vector>
+
+#include "src/core/rff.h"
+#include "src/core/weight_bank.h"
+#include "src/tensor/tensor.h"
+
+namespace oodgnn {
+
+/// Hyper-parameters of the inner weight-learning loop (Eq. 10 /
+/// Algorithm 1 line 7).
+struct WeightOptimizerConfig {
+  /// Inner iterations (Epoch_Reweight; the paper uses 20).
+  int epochs_reweight = 20;
+
+  /// Learning rate of the inner (Adam) optimizer over the weights.
+  /// Needs to be large enough for the weights to move substantially
+  /// within epochs_reweight iterations.
+  float lr = 0.1f;
+
+  /// ℓ2 penalty on the weights "to prevent degenerated solutions"
+  /// (paper §4.1.3), applied as l2_penalty · mean(w²) so its strength
+  /// is independent of the batch size.
+  float l2_penalty = 0.05f;
+
+  /// Weights are projected into [0, clamp_max] after every step and
+  /// rescaled so their mean stays 1 (Σ_n w_n = N constraint).
+  float clamp_max = 10.f;
+};
+
+/// Result of one inner optimization.
+struct WeightOptimizerResult {
+  /// Optimized local weights, one per local sample (mean 1, ≥ 0).
+  std::vector<float> weights;
+  /// Pure decorrelation loss (Eq. 7's objective, excluding the ℓ2
+  /// regularizer) before the first and after the last step.
+  double initial_loss = 0.0;
+  double final_loss = 0.0;
+};
+
+/// Learns the local sample weights W^(l) that minimize the weighted
+/// decorrelation objective over the concatenation of the global memory
+/// bank and the local batch (Eqs. 8 and 10). The representations are
+/// treated as constants (the encoder is frozen during this step).
+class GraphWeightOptimizer {
+ public:
+  explicit GraphWeightOptimizer(const WeightOptimizerConfig& config)
+      : config_(config) {}
+
+  /// Optimizes weights for `local_z` [B, d]. If `bank` is non-null and
+  /// initialized, its groups participate (with constant weights) in the
+  /// objective; the bank itself is NOT updated here (the caller decides
+  /// when to call GlobalWeightBank::Update).
+  WeightOptimizerResult Optimize(const Tensor& local_z,
+                                 const RffFeatureMap& rff,
+                                 const GlobalWeightBank* bank) const;
+
+  const WeightOptimizerConfig& config() const { return config_; }
+
+ private:
+  WeightOptimizerConfig config_;
+};
+
+}  // namespace oodgnn
+
+#endif  // OODGNN_CORE_WEIGHT_OPTIMIZER_H_

@@ -1,0 +1,407 @@
+#include "src/data/molecule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/data/splits.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace oodgnn {
+namespace {
+
+// Atom type ids used in the one-hot feature block.
+enum AtomType { kC = 0, kN, kO, kF, kS, kCl, kP, kBr, kNumAtomTypes };
+
+static_assert(kNumAtomTypes == 8, "feature layout assumes 8 atom types");
+
+/// A molecule under construction: atoms, bonds, ring membership and the
+/// motif counts that drive the label functions.
+struct MoleculeBuilder {
+  std::vector<int> atom_types;
+  std::vector<std::pair<int, int>> bonds;
+  std::vector<bool> in_ring;
+  std::vector<int> motif_counts = std::vector<int>(kNumFunctionalGroups, 0);
+  int num_hetero = 0;
+
+  int AddAtom(int type, bool ring) {
+    atom_types.push_back(type);
+    in_ring.push_back(ring);
+    if (type != kC) ++num_hetero;
+    return static_cast<int>(atom_types.size()) - 1;
+  }
+  void AddBond(int u, int v) { bonds.push_back({u, v}); }
+  int size() const { return static_cast<int>(atom_types.size()); }
+};
+
+/// A reusable scaffold template: ring-system structure plus
+/// functional-group attachment propensities (the source of the
+/// scaffold↔motif spurious correlation).
+struct ScaffoldTemplate {
+  std::vector<int> atom_types;
+  std::vector<std::pair<int, int>> bonds;
+  std::vector<int> attach_points;
+  std::vector<double> group_propensity;  // kNumFunctionalGroups entries
+};
+
+// Functional groups 0–2 (hydroxyl, amine, carboxyl) are *causal*: the
+// label functions read only their counts. Groups 3–5 (halogen, alkyl,
+// nitro) are *decoys*: they never enter the label, but on common
+// (train-dominated) scaffolds their attachment propensity is aligned
+// with the causal polarity, so in distribution they predict the label
+// almost as well as the causal groups. On rare (test-heavy) scaffolds
+// the alignment is broken — the classic spurious-correlation trap of
+// Fig. 1c that OOD-GNN's decorrelation is designed to escape.
+constexpr int kNumCausalGroups = 3;
+
+ScaffoldTemplate GenerateScaffold(int min_rings, int max_rings,
+                                  bool common_scaffold, Rng* rng) {
+  ScaffoldTemplate scaffold;
+  const int num_rings =
+      static_cast<int>(rng->UniformInt(min_rings, max_rings));
+  int previous_ring_atom = -1;
+  for (int r = 0; r < num_rings; ++r) {
+    const int ring_size = rng->Bernoulli(0.7) ? 6 : 5;
+    const int base = static_cast<int>(scaffold.atom_types.size());
+    for (int i = 0; i < ring_size; ++i) {
+      // Ring atoms: mostly carbon with occasional N/O/S substitution.
+      int type = kC;
+      if (rng->Bernoulli(0.2)) {
+        const int hetero[] = {kN, kO, kS};
+        type = hetero[rng->UniformInt(0, 2)];
+      }
+      scaffold.atom_types.push_back(type);
+      scaffold.attach_points.push_back(base + i);
+    }
+    for (int i = 0; i < ring_size; ++i) {
+      scaffold.bonds.push_back({base + i, base + (i + 1) % ring_size});
+    }
+    if (previous_ring_atom >= 0) {
+      // Link to the previous ring through 0–2 linker carbons.
+      const int linker = static_cast<int>(rng->UniformInt(0, 2));
+      int from = previous_ring_atom;
+      for (int l = 0; l < linker; ++l) {
+        scaffold.atom_types.push_back(kC);
+        const int atom = static_cast<int>(scaffold.atom_types.size()) - 1;
+        scaffold.bonds.push_back({from, atom});
+        from = atom;
+      }
+      scaffold.bonds.push_back({from, base});
+    }
+    previous_ring_atom =
+        base + static_cast<int>(rng->UniformInt(0, ring_size - 1));
+  }
+  // Polarized propensities: a scaffold is either rich or poor in the
+  // causal groups (its "polarity"), creating strong scaffold↔motif
+  // correlation. Decoy-group propensities follow the polarity on
+  // common scaffolds and are independent on rare ones.
+  scaffold.group_propensity.resize(kNumFunctionalGroups);
+  const bool causal_rich = rng->Bernoulli(0.5);
+  auto rich = [rng] { return rng->Uniform(0.4, 0.75); };
+  auto poor = [rng] { return rng->Uniform(0.0, 0.06); };
+  for (int g = 0; g < kNumCausalGroups; ++g) {
+    scaffold.group_propensity[static_cast<size_t>(g)] =
+        causal_rich ? rich() : poor();
+  }
+  for (int g = kNumCausalGroups; g < kNumFunctionalGroups; ++g) {
+    const bool decoy_rich =
+        common_scaffold ? causal_rich : rng->Bernoulli(0.5);
+    scaffold.group_propensity[static_cast<size_t>(g)] =
+        decoy_rich ? rich() : poor();
+  }
+  return scaffold;
+}
+
+/// Attaches functional group `group` at scaffold atom `anchor`.
+void AttachGroup(int group, int anchor, MoleculeBuilder* mol, Rng* rng) {
+  switch (group) {
+    case 0: {  // Hydroxyl: -O
+      const int o = mol->AddAtom(kO, false);
+      mol->AddBond(anchor, o);
+      break;
+    }
+    case 1: {  // Amine: -N
+      const int n = mol->AddAtom(kN, false);
+      mol->AddBond(anchor, n);
+      break;
+    }
+    case 2: {  // Carboxyl: -C(=O)O
+      const int c = mol->AddAtom(kC, false);
+      const int o1 = mol->AddAtom(kO, false);
+      const int o2 = mol->AddAtom(kO, false);
+      mol->AddBond(anchor, c);
+      mol->AddBond(c, o1);
+      mol->AddBond(c, o2);
+      break;
+    }
+    case 3: {  // Halogen: -F or -Cl or -Br
+      const int types[] = {kF, kCl, kBr};
+      const int x = mol->AddAtom(types[rng->UniformInt(0, 2)], false);
+      mol->AddBond(anchor, x);
+      break;
+    }
+    case 4: {  // Alkyl chain: 1–3 carbons
+      int from = anchor;
+      const int len = static_cast<int>(rng->UniformInt(1, 3));
+      for (int i = 0; i < len; ++i) {
+        const int c = mol->AddAtom(kC, false);
+        mol->AddBond(from, c);
+        from = c;
+      }
+      break;
+    }
+    case 5: {  // Nitro: -N(O)O
+      const int n = mol->AddAtom(kN, false);
+      const int o1 = mol->AddAtom(kO, false);
+      const int o2 = mol->AddAtom(kO, false);
+      mol->AddBond(anchor, n);
+      mol->AddBond(n, o1);
+      mol->AddBond(n, o2);
+      break;
+    }
+    default:
+      OODGNN_CHECK(false) << "unknown functional group " << group;
+  }
+  ++mol->motif_counts[static_cast<size_t>(group)];
+}
+
+MoleculeBuilder BuildMolecule(const ScaffoldTemplate& scaffold,
+                              double extra_chain_prob, Rng* rng) {
+  MoleculeBuilder mol;
+  for (int type : scaffold.atom_types) mol.AddAtom(type, true);
+  for (const auto& [u, v] : scaffold.bonds) mol.AddBond(u, v);
+
+  for (int anchor : scaffold.attach_points) {
+    for (int g = 0; g < kNumFunctionalGroups; ++g) {
+      if (rng->Bernoulli(scaffold.group_propensity[static_cast<size_t>(g)] /
+                         2.0)) {
+        AttachGroup(g, anchor, &mol, rng);
+      }
+    }
+    if (rng->Bernoulli(extra_chain_prob)) {
+      // Plain chain with no motif bookkeeping: size filler only.
+      int from = anchor;
+      const int len = static_cast<int>(rng->UniformInt(1, 2));
+      for (int i = 0; i < len; ++i) {
+        const int c = mol.AddAtom(kC, false);
+        mol.AddBond(from, c);
+        from = c;
+      }
+    }
+  }
+  return mol;
+}
+
+Graph ToGraph(const MoleculeBuilder& mol) {
+  Graph graph(mol.size(), kMoleculeFeatureDim);
+  for (const auto& [u, v] : mol.bonds) graph.AddUndirectedEdge(u, v);
+  std::vector<int> degrees = graph.InDegrees();
+  for (int v = 0; v < mol.size(); ++v) {
+    graph.x.at(v, mol.atom_types[static_cast<size_t>(v)]) = 1.f;
+    const int bucket =
+        std::clamp(degrees[static_cast<size_t>(v)], 1, 4) - 1;
+    graph.x.at(v, kNumAtomTypes + bucket) = 1.f;
+    graph.x.at(v, kNumAtomTypes + 4) =
+        mol.in_ring[static_cast<size_t>(v)] ? 1.f : 0.f;
+  }
+  return graph;
+}
+
+}  // namespace
+
+MoleculeDatasetSpec GetOgbMoleculeSpec(const std::string& name,
+                                       double scale) {
+  MoleculeDatasetSpec spec;
+  spec.name = name;
+  auto sized = [scale](int n) {
+    return std::max(120, static_cast<int>(n * scale));
+  };
+  if (name == "TOX21") {
+    spec.num_graphs = sized(1000);
+    spec.num_tasks = 12;
+    spec.missing_label_fraction = 0.2;
+    spec.min_rings = 1;
+    spec.max_rings = 2;
+    spec.label_seed = 101;
+  } else if (name == "BACE") {
+    spec.num_graphs = sized(500);
+    spec.num_tasks = 1;
+    spec.min_rings = 2;
+    spec.max_rings = 3;
+    spec.extra_chain_prob = 0.5;
+    spec.label_seed = 102;
+  } else if (name == "BBBP") {
+    spec.num_graphs = sized(700);
+    spec.num_tasks = 1;
+    spec.min_rings = 1;
+    spec.max_rings = 2;
+    spec.label_seed = 103;
+  } else if (name == "CLINTOX") {
+    spec.num_graphs = sized(500);
+    spec.num_tasks = 2;
+    spec.min_rings = 1;
+    spec.max_rings = 2;
+    spec.label_seed = 104;
+  } else if (name == "SIDER") {
+    spec.num_graphs = sized(500);
+    spec.num_tasks = 27;
+    spec.missing_label_fraction = 0.1;
+    spec.min_rings = 1;
+    spec.max_rings = 3;
+    spec.label_seed = 105;
+  } else if (name == "TOXCAST") {
+    spec.num_graphs = sized(1000);
+    spec.num_tasks = 12;
+    spec.missing_label_fraction = 0.3;
+    spec.min_rings = 1;
+    spec.max_rings = 2;
+    spec.label_seed = 106;
+  } else if (name == "HIV") {
+    spec.num_graphs = sized(1600);
+    spec.num_tasks = 1;
+    spec.min_rings = 1;
+    spec.max_rings = 3;
+    spec.extra_chain_prob = 0.3;
+    spec.num_scaffolds = 60;
+    spec.label_seed = 107;
+  } else if (name == "ESOL") {
+    spec.num_graphs = sized(500);
+    spec.num_tasks = 1;
+    spec.task_type = TaskType::kRegression;
+    spec.min_rings = 1;
+    spec.max_rings = 2;
+    spec.label_seed = 108;
+  } else if (name == "FREESOLV") {
+    spec.num_graphs = sized(350);
+    spec.num_tasks = 1;
+    spec.task_type = TaskType::kRegression;
+    spec.min_rings = 1;
+    spec.max_rings = 1;
+    spec.extra_chain_prob = 0.1;
+    spec.label_seed = 109;
+  } else {
+    OODGNN_CHECK(false) << "unknown OGB dataset " << name;
+  }
+  return spec;
+}
+
+std::vector<std::string> OgbMoleculeNames() {
+  return {"TOX21",   "BACE", "BBBP", "CLINTOX", "SIDER",
+          "TOXCAST", "HIV",  "ESOL", "FREESOLV"};
+}
+
+GraphDataset MakeMoleculeDataset(const MoleculeDatasetSpec& spec,
+                                 uint64_t seed) {
+  OODGNN_CHECK_GT(spec.num_graphs, 0);
+  OODGNN_CHECK_GT(spec.num_scaffolds, 1);
+  Rng rng(seed);
+
+  // Scaffold pool (deterministic given the seed).
+  std::vector<ScaffoldTemplate> pool;
+  pool.reserve(static_cast<size_t>(spec.num_scaffolds));
+  for (int s = 0; s < spec.num_scaffolds; ++s) {
+    // Low indices get high Zipf popularity and therefore dominate the
+    // train split; treat the top 60% as "common" (aligned decoys).
+    const bool common_scaffold = s < spec.num_scaffolds * 3 / 5;
+    pool.push_back(GenerateScaffold(spec.min_rings, spec.max_rings,
+                                    common_scaffold, &rng));
+  }
+  // Zipf popularity: common scaffolds dominate the (train-side of the)
+  // dataset; rare ones end up in the test split.
+  std::vector<double> popularity(static_cast<size_t>(spec.num_scaffolds));
+  for (int s = 0; s < spec.num_scaffolds; ++s) {
+    popularity[static_cast<size_t>(s)] = 1.0 / (1.0 + s);
+  }
+
+  GraphDataset dataset;
+  dataset.name = spec.name;
+  dataset.task_type = spec.task_type;
+  dataset.num_tasks = spec.num_tasks;
+  dataset.feature_dim = kMoleculeFeatureDim;
+
+  // Task-specific label functions: weights over motif counts plus a
+  // small heteroatom term. Seeded independently of molecule sampling so
+  // every dataset has stable semantics.
+  Rng label_rng(spec.label_seed * 7919 + 13);
+  std::vector<std::vector<double>> alpha(
+      static_cast<size_t>(spec.num_tasks),
+      std::vector<double>(kNumFunctionalGroups));
+  std::vector<double> beta(static_cast<size_t>(spec.num_tasks));
+  for (int t = 0; t < spec.num_tasks; ++t) {
+    // Labels read causal groups only; decoy groups get zero weight.
+    for (int g = 0; g < kNumCausalGroups; ++g) {
+      alpha[static_cast<size_t>(t)][static_cast<size_t>(g)] =
+          label_rng.Normal(0.0, 1.0);
+    }
+    beta[static_cast<size_t>(t)] = label_rng.Normal(0.0, 0.2);
+  }
+
+  // Generate molecules and raw task scores.
+  std::vector<std::vector<double>> scores(
+      static_cast<size_t>(spec.num_graphs),
+      std::vector<double>(static_cast<size_t>(spec.num_tasks)));
+  for (int i = 0; i < spec.num_graphs; ++i) {
+    const int scaffold_id = static_cast<int>(rng.Categorical(popularity));
+    MoleculeBuilder mol = BuildMolecule(
+        pool[static_cast<size_t>(scaffold_id)], spec.extra_chain_prob, &rng);
+    Graph graph = ToGraph(mol);
+    graph.scaffold_id = scaffold_id;
+    for (int t = 0; t < spec.num_tasks; ++t) {
+      double score = beta[static_cast<size_t>(t)] * mol.num_hetero;
+      for (int g = 0; g < kNumFunctionalGroups; ++g) {
+        score += alpha[static_cast<size_t>(t)][static_cast<size_t>(g)] *
+                 mol.motif_counts[static_cast<size_t>(g)];
+      }
+      score += rng.Normal(0.0, 0.3);
+      scores[static_cast<size_t>(i)][static_cast<size_t>(t)] = score;
+    }
+    dataset.graphs.push_back(std::move(graph));
+  }
+
+  // Convert scores to labels: median-thresholded binary tasks or
+  // z-scored regression targets.
+  for (int t = 0; t < spec.num_tasks; ++t) {
+    std::vector<double> column(static_cast<size_t>(spec.num_graphs));
+    for (int i = 0; i < spec.num_graphs; ++i) {
+      column[static_cast<size_t>(i)] =
+          scores[static_cast<size_t>(i)][static_cast<size_t>(t)];
+    }
+    std::vector<double> sorted = column;
+    std::nth_element(sorted.begin(),
+                     sorted.begin() + sorted.size() / 2, sorted.end());
+    const double median = sorted[sorted.size() / 2];
+    double mean = 0.0;
+    for (double v : column) mean += v;
+    mean /= static_cast<double>(column.size());
+    double var = 0.0;
+    for (double v : column) var += (v - mean) * (v - mean);
+    const double stddev =
+        std::sqrt(var / static_cast<double>(column.size())) + 1e-9;
+
+    for (int i = 0; i < spec.num_graphs; ++i) {
+      Graph& graph = dataset.graphs[static_cast<size_t>(i)];
+      if (t == 0) {
+        graph.targets.assign(static_cast<size_t>(spec.num_tasks), 0.f);
+        graph.target_mask.assign(static_cast<size_t>(spec.num_tasks), 1.f);
+      }
+      const double raw = column[static_cast<size_t>(i)];
+      if (spec.task_type == TaskType::kBinary) {
+        graph.targets[static_cast<size_t>(t)] = raw > median ? 1.f : 0.f;
+        if (spec.missing_label_fraction > 0.0 &&
+            rng.Bernoulli(spec.missing_label_fraction)) {
+          graph.target_mask[static_cast<size_t>(t)] = 0.f;
+        }
+      } else {
+        graph.targets[static_cast<size_t>(t)] =
+            static_cast<float>((raw - mean) / stddev);
+      }
+    }
+  }
+
+  ScaffoldSplit(&dataset, 0.8, 0.1);
+  dataset.Validate();
+  return dataset;
+}
+
+}  // namespace oodgnn

@@ -1,0 +1,69 @@
+#include "src/data/registry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/data/molecule.h"
+#include "src/data/protein.h"
+#include "src/data/social.h"
+#include "src/data/superpixel.h"
+#include "src/data/triangles.h"
+#include "src/util/check.h"
+
+namespace oodgnn {
+namespace {
+
+int Scaled(int n, double scale) {
+  return std::max(40, static_cast<int>(std::lround(n * scale)));
+}
+
+}  // namespace
+
+GraphDataset MakeDatasetByName(const std::string& name, double scale,
+                               uint64_t seed) {
+  if (name == "TRIANGLES") {
+    TrianglesConfig config;
+    config.num_train = Scaled(config.num_train, scale);
+    config.num_valid = Scaled(config.num_valid, scale);
+    config.num_test = Scaled(config.num_test, scale);
+    return MakeTrianglesDataset(config, seed);
+  }
+  if (name == "MNIST-75SP") {
+    SuperpixelConfig config;
+    config.num_train = Scaled(config.num_train, scale);
+    config.num_valid = Scaled(config.num_valid, scale);
+    config.num_test = Scaled(config.num_test, scale);
+    return MakeSuperpixelMnistDataset(config, seed);
+  }
+  if (name == "COLLAB") {
+    CollabConfig config;
+    config.num_train = Scaled(config.num_train, scale);
+    config.num_valid = Scaled(config.num_valid, scale);
+    config.num_test = Scaled(config.num_test, scale);
+    return MakeCollabDataset(config, seed);
+  }
+  if (name == "PROTEINS_25" || name == "DD_200" || name == "DD_300") {
+    ProteinConfig config = name == "PROTEINS_25" ? Proteins25Config()
+                           : name == "DD_200"    ? Dd200Config()
+                                                 : Dd300Config();
+    config.num_train = Scaled(config.num_train, scale);
+    config.num_valid = Scaled(config.num_valid, scale);
+    config.num_test = Scaled(config.num_test, scale);
+    return MakeProteinDataset(config, seed);
+  }
+  const std::vector<std::string> ogb = OgbMoleculeNames();
+  if (std::find(ogb.begin(), ogb.end(), name) != ogb.end()) {
+    return MakeMoleculeDataset(GetOgbMoleculeSpec(name, scale), seed);
+  }
+  OODGNN_CHECK(false) << "unknown dataset: " << name;
+  return GraphDataset();
+}
+
+std::vector<std::string> AllDatasetNames() {
+  std::vector<std::string> names = {"TRIANGLES",   "MNIST-75SP", "COLLAB",
+                                    "PROTEINS_25", "DD_200",     "DD_300"};
+  for (const std::string& ogb : OgbMoleculeNames()) names.push_back(ogb);
+  return names;
+}
+
+}  // namespace oodgnn

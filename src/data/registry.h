@@ -1,0 +1,26 @@
+#ifndef OODGNN_DATA_REGISTRY_H_
+#define OODGNN_DATA_REGISTRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/dataset.h"
+
+namespace oodgnn {
+
+/// Builds the named benchmark dataset:
+///   "TRIANGLES", "MNIST-75SP", "COLLAB", "PROTEINS_25", "DD_200",
+///   "DD_300", or one of the nine OGB names ("TOX21" … "FREESOLV").
+/// `scale` multiplies the default graph counts (1.0 = fast default,
+/// larger approaches paper-sized splits). Deterministic in `seed`.
+GraphDataset MakeDatasetByName(const std::string& name, double scale,
+                               uint64_t seed);
+
+/// Every dataset name in Table-1 order (2 synthetic, 4 size-split,
+/// 9 OGB).
+std::vector<std::string> AllDatasetNames();
+
+}  // namespace oodgnn
+
+#endif  // OODGNN_DATA_REGISTRY_H_

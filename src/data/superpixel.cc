@@ -1,0 +1,323 @@
+#include "src/data/superpixel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace oodgnn {
+namespace superpixel_internal {
+namespace {
+
+struct Point {
+  float x;
+  float y;
+};
+
+/// Stroke templates per digit, as polylines in the unit square
+/// (x right, y down). Deliberately simple seven-segment-like shapes:
+/// the class signal lives in the stroke topology, which is what the
+/// superpixel graph captures.
+std::vector<std::vector<Point>> DigitStrokes(int digit) {
+  switch (digit) {
+    case 0:
+      return {{{0.5f, 0.1f}, {0.8f, 0.3f}, {0.8f, 0.7f}, {0.5f, 0.9f},
+               {0.2f, 0.7f}, {0.2f, 0.3f}, {0.5f, 0.1f}}};
+    case 1:
+      return {{{0.35f, 0.25f}, {0.55f, 0.1f}, {0.55f, 0.9f}}};
+    case 2:
+      return {{{0.2f, 0.3f}, {0.4f, 0.1f}, {0.7f, 0.15f}, {0.8f, 0.35f},
+               {0.2f, 0.9f}, {0.8f, 0.9f}}};
+    case 3:
+      return {{{0.2f, 0.15f}, {0.7f, 0.1f}, {0.8f, 0.3f}, {0.5f, 0.5f},
+               {0.8f, 0.7f}, {0.7f, 0.9f}, {0.2f, 0.85f}}};
+    case 4:
+      return {{{0.65f, 0.9f}, {0.65f, 0.1f}, {0.2f, 0.6f}, {0.85f, 0.6f}}};
+    case 5:
+      return {{{0.8f, 0.1f}, {0.25f, 0.1f}, {0.2f, 0.5f}, {0.7f, 0.5f},
+               {0.8f, 0.7f}, {0.65f, 0.9f}, {0.2f, 0.85f}}};
+    case 6:
+      return {{{0.7f, 0.1f}, {0.35f, 0.4f}, {0.2f, 0.7f}, {0.5f, 0.9f},
+               {0.8f, 0.7f}, {0.5f, 0.5f}, {0.25f, 0.65f}}};
+    case 7:
+      return {{{0.2f, 0.1f}, {0.8f, 0.1f}, {0.45f, 0.9f}}};
+    case 8:
+      return {{{0.5f, 0.1f}, {0.75f, 0.25f}, {0.5f, 0.5f}, {0.25f, 0.25f},
+               {0.5f, 0.1f}},
+              {{0.5f, 0.5f}, {0.8f, 0.7f}, {0.5f, 0.9f}, {0.2f, 0.7f},
+               {0.5f, 0.5f}}};
+    case 9:
+      return {{{0.75f, 0.45f}, {0.45f, 0.55f}, {0.25f, 0.3f}, {0.5f, 0.1f},
+               {0.75f, 0.3f}, {0.75f, 0.45f}, {0.6f, 0.9f}}};
+    default:
+      OODGNN_CHECK(false) << "digit out of range: " << digit;
+      return {};
+  }
+}
+
+float DistanceToSegment(float px, float py, const Point& a, const Point& b) {
+  const float dx = b.x - a.x;
+  const float dy = b.y - a.y;
+  const float len2 = dx * dx + dy * dy;
+  float t = len2 > 0.f ? ((px - a.x) * dx + (py - a.y) * dy) / len2 : 0.f;
+  t = std::clamp(t, 0.f, 1.f);
+  const float cx = a.x + t * dx;
+  const float cy = a.y + t * dy;
+  return std::sqrt((px - cx) * (px - cx) + (py - cy) * (py - cy));
+}
+
+}  // namespace
+
+std::vector<float> RenderDigit(int digit, int size, Rng* rng) {
+  std::vector<std::vector<Point>> strokes = DigitStrokes(digit);
+  // Random affine jitter: translation, scale, and per-point wobble.
+  const float scale = static_cast<float>(rng->Uniform(0.85, 1.1));
+  const float tx = static_cast<float>(rng->Uniform(-0.06, 0.06));
+  const float ty = static_cast<float>(rng->Uniform(-0.06, 0.06));
+  for (auto& stroke : strokes) {
+    for (Point& p : stroke) {
+      p.x = 0.5f + (p.x - 0.5f) * scale + tx +
+            static_cast<float>(rng->Normal(0.0, 0.02));
+      p.y = 0.5f + (p.y - 0.5f) * scale + ty +
+            static_cast<float>(rng->Normal(0.0, 0.02));
+    }
+  }
+  const float thickness = static_cast<float>(rng->Uniform(0.045, 0.075));
+  std::vector<float> image(static_cast<size_t>(size) * size, 0.f);
+  for (int row = 0; row < size; ++row) {
+    for (int col = 0; col < size; ++col) {
+      const float px = (static_cast<float>(col) + 0.5f) / size;
+      const float py = (static_cast<float>(row) + 0.5f) / size;
+      float best = 1e9f;
+      for (const auto& stroke : strokes) {
+        for (size_t s = 0; s + 1 < stroke.size(); ++s) {
+          best = std::min(best,
+                          DistanceToSegment(px, py, stroke[s], stroke[s + 1]));
+        }
+      }
+      // Soft falloff from the stroke centerline.
+      const float v =
+          std::clamp(1.f - (best - thickness) / thickness, 0.f, 1.f);
+      image[static_cast<size_t>(row) * size + col] =
+          v * static_cast<float>(rng->Uniform(0.8, 1.0));
+    }
+  }
+  return image;
+}
+
+std::vector<int> SlicSegment(const std::vector<float>& image, int size,
+                             int max_clusters, int* num_clusters) {
+  OODGNN_CHECK_EQ(image.size(), static_cast<size_t>(size) * size);
+  // Grid-initialize cluster centers.
+  const int grid =
+      std::max(1, static_cast<int>(std::floor(std::sqrt(
+                      static_cast<double>(max_clusters)))));
+  struct Center {
+    float x, y, v;
+    float sx, sy, sv;
+    int count;
+  };
+  std::vector<Center> centers;
+  for (int gy = 0; gy < grid; ++gy) {
+    for (int gx = 0; gx < grid; ++gx) {
+      if (static_cast<int>(centers.size()) >= max_clusters) break;
+      Center c{};
+      c.x = (gx + 0.5f) * size / grid;
+      c.y = (gy + 0.5f) * size / grid;
+      c.v = image[static_cast<size_t>(
+                std::min(size - 1, static_cast<int>(c.y))) *
+                size +
+            std::min(size - 1, static_cast<int>(c.x))];
+      centers.push_back(c);
+    }
+  }
+  const float step = static_cast<float>(size) / grid;
+  const float spatial_weight = 0.25f;  // Relative weight of xy vs value.
+  std::vector<int> assignment(image.size(), 0);
+  for (int iter = 0; iter < 5; ++iter) {
+    for (int row = 0; row < size; ++row) {
+      for (int col = 0; col < size; ++col) {
+        const float v = image[static_cast<size_t>(row) * size + col];
+        float best = 1e18f;
+        int best_c = 0;
+        for (size_t k = 0; k < centers.size(); ++k) {
+          const float dx = (col + 0.5f - centers[k].x) / step;
+          const float dy = (row + 0.5f - centers[k].y) / step;
+          const float dv = v - centers[k].v;
+          const float dist =
+              spatial_weight * (dx * dx + dy * dy) + dv * dv;
+          if (dist < best) {
+            best = dist;
+            best_c = static_cast<int>(k);
+          }
+        }
+        assignment[static_cast<size_t>(row) * size + col] = best_c;
+      }
+    }
+    for (Center& c : centers) {
+      c.sx = c.sy = c.sv = 0.f;
+      c.count = 0;
+    }
+    for (int row = 0; row < size; ++row) {
+      for (int col = 0; col < size; ++col) {
+        Center& c = centers[static_cast<size_t>(
+            assignment[static_cast<size_t>(row) * size + col])];
+        c.sx += col + 0.5f;
+        c.sy += row + 0.5f;
+        c.sv += image[static_cast<size_t>(row) * size + col];
+        ++c.count;
+      }
+    }
+    for (Center& c : centers) {
+      if (c.count > 0) {
+        c.x = c.sx / c.count;
+        c.y = c.sy / c.count;
+        c.v = c.sv / c.count;
+      }
+    }
+  }
+  // Compact away empty clusters.
+  std::vector<int> remap(centers.size(), -1);
+  int next = 0;
+  for (size_t k = 0; k < centers.size(); ++k) {
+    if (centers[k].count > 0) remap[k] = next++;
+  }
+  for (int& a : assignment) a = remap[static_cast<size_t>(a)];
+  *num_clusters = next;
+  return assignment;
+}
+
+}  // namespace superpixel_internal
+
+namespace {
+
+using superpixel_internal::RenderDigit;
+using superpixel_internal::SlicSegment;
+
+Graph BuildSuperpixelGraph(const std::vector<float>& image,
+                           const SuperpixelConfig& config) {
+  int num_clusters = 0;
+  std::vector<int> assignment =
+      SlicSegment(image, config.image_size, config.max_superpixels,
+                  &num_clusters);
+  OODGNN_CHECK_GT(num_clusters, 0);
+
+  // Centroids and mean intensities.
+  std::vector<float> cx(static_cast<size_t>(num_clusters), 0.f);
+  std::vector<float> cy(static_cast<size_t>(num_clusters), 0.f);
+  std::vector<float> cv(static_cast<size_t>(num_clusters), 0.f);
+  std::vector<int> count(static_cast<size_t>(num_clusters), 0);
+  for (int row = 0; row < config.image_size; ++row) {
+    for (int col = 0; col < config.image_size; ++col) {
+      const int k =
+          assignment[static_cast<size_t>(row) * config.image_size + col];
+      cx[static_cast<size_t>(k)] += col + 0.5f;
+      cy[static_cast<size_t>(k)] += row + 0.5f;
+      cv[static_cast<size_t>(k)] +=
+          image[static_cast<size_t>(row) * config.image_size + col];
+      ++count[static_cast<size_t>(k)];
+    }
+  }
+  Graph graph(num_clusters, kSuperpixelFeatureDim);
+  for (int k = 0; k < num_clusters; ++k) {
+    const float n = static_cast<float>(count[static_cast<size_t>(k)]);
+    const float intensity = cv[static_cast<size_t>(k)] / n;
+    const float x = cx[static_cast<size_t>(k)] / n / config.image_size;
+    const float y = cy[static_cast<size_t>(k)] / n / config.image_size;
+    graph.x.at(k, 0) = intensity;  // r
+    graph.x.at(k, 1) = intensity;  // g
+    graph.x.at(k, 2) = intensity;  // b
+    graph.x.at(k, 3) = x;
+    graph.x.at(k, 4) = y;
+    cx[static_cast<size_t>(k)] = x;
+    cy[static_cast<size_t>(k)] = y;
+  }
+
+  // k-NN edges on centroids (undirected, deduplicated).
+  const int k_neighbors = std::min(config.knn, num_clusters - 1);
+  for (int a = 0; a < num_clusters; ++a) {
+    std::vector<std::pair<float, int>> dists;
+    for (int b = 0; b < num_clusters; ++b) {
+      if (a == b) continue;
+      const float dx = cx[static_cast<size_t>(a)] - cx[static_cast<size_t>(b)];
+      const float dy = cy[static_cast<size_t>(a)] - cy[static_cast<size_t>(b)];
+      dists.push_back({dx * dx + dy * dy, b});
+    }
+    std::partial_sort(dists.begin(),
+                      dists.begin() + k_neighbors, dists.end());
+    for (int i = 0; i < k_neighbors; ++i) {
+      const int b = dists[static_cast<size_t>(i)].second;
+      if (!graph.HasEdge(a, b)) graph.AddUndirectedEdge(a, b);
+    }
+  }
+  return graph;
+}
+
+/// Grayscale noise: one draw per node added to all three channels.
+void AddGrayscaleNoise(Graph* graph, float stddev, Rng* rng) {
+  for (int v = 0; v < graph->num_nodes(); ++v) {
+    const float noise = static_cast<float>(rng->Normal(0.0, stddev));
+    for (int c = 0; c < 3; ++c) graph->x.at(v, c) += noise;
+  }
+}
+
+/// "Colorize": independent noise per channel (the paper's Test(color)).
+void AddColorNoise(Graph* graph, float stddev, Rng* rng) {
+  for (int v = 0; v < graph->num_nodes(); ++v) {
+    for (int c = 0; c < 3; ++c) {
+      graph->x.at(v, c) += static_cast<float>(rng->Normal(0.0, stddev));
+    }
+  }
+}
+
+}  // namespace
+
+GraphDataset MakeSuperpixelMnistDataset(const SuperpixelConfig& config,
+                                        uint64_t seed) {
+  Rng rng(seed);
+  GraphDataset dataset;
+  dataset.name = "MNIST-75SP";
+  dataset.task_type = TaskType::kMulticlass;
+  dataset.num_tasks = 10;
+  dataset.feature_dim = kSuperpixelFeatureDim;
+  dataset.test2_name = "Test(color)";
+
+  auto make_graph = [&](int digit) {
+    std::vector<float> image =
+        RenderDigit(digit, config.image_size, &rng);
+    Graph graph = BuildSuperpixelGraph(image, config);
+    graph.label = digit;
+    return graph;
+  };
+
+  for (int i = 0; i < config.num_train; ++i) {
+    dataset.train_idx.push_back(dataset.graphs.size());
+    dataset.graphs.push_back(make_graph(i % 10));
+  }
+  for (int i = 0; i < config.num_valid; ++i) {
+    dataset.valid_idx.push_back(dataset.graphs.size());
+    dataset.graphs.push_back(make_graph(i % 10));
+  }
+  for (int i = 0; i < config.num_test; ++i) {
+    const int digit = i % 10;
+    // Test(noise) and Test(color) perturb copies of the same clean
+    // graph, matching the paper's construction.
+    Graph clean = make_graph(digit);
+    Graph noisy = clean;
+    AddGrayscaleNoise(&noisy, config.noise_stddev, &rng);
+    dataset.test_idx.push_back(dataset.graphs.size());
+    dataset.graphs.push_back(std::move(noisy));
+
+    Graph colored = clean;
+    AddColorNoise(&colored, config.noise_stddev, &rng);
+    dataset.test2_idx.push_back(dataset.graphs.size());
+    dataset.graphs.push_back(std::move(colored));
+  }
+
+  dataset.Validate();
+  return dataset;
+}
+
+}  // namespace oodgnn

@@ -1,0 +1,141 @@
+#include "src/data/triangles.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace oodgnn {
+namespace {
+
+/// One-hot degree features, clamped into the last bucket.
+void SetDegreeFeatures(Graph* graph, int max_degree_feature) {
+  std::vector<int> degrees = graph->InDegrees();
+  graph->x = Tensor(graph->num_nodes(), max_degree_feature + 1);
+  for (int v = 0; v < graph->num_nodes(); ++v) {
+    const int bucket =
+        std::min(degrees[static_cast<size_t>(v)], max_degree_feature);
+    graph->x.at(v, bucket) = 1.f;
+  }
+}
+
+Graph FromEdgeSet(int n, const std::set<std::pair<int, int>>& edges) {
+  Graph graph(n, 1);
+  for (const auto& [u, v] : edges) graph.AddUndirectedEdge(u, v);
+  return graph;
+}
+
+/// Erdős–Rényi attempt with edge probability tuned so the expected
+/// triangle count matches `target`.
+Graph ErdosRenyiAttempt(int n, int target, Rng* rng) {
+  const double triples =
+      static_cast<double>(n) * (n - 1) * (n - 2) / 6.0;
+  double p = std::cbrt(static_cast<double>(target) / triples);
+  p *= rng->Uniform(0.8, 1.2);
+  p = std::clamp(p, 0.0, 0.9);
+  std::set<std::pair<int, int>> edges;
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng->Bernoulli(p)) edges.insert({u, v});
+    }
+  }
+  return FromEdgeSet(n, edges);
+}
+
+/// Constructive fallback with an exact triangle count: a "fan" (center
+/// connected to a path of target+1 nodes) contributes exactly `target`
+/// triangles; remaining nodes hang off as tree leaves (leaves never
+/// close new triangles). Random count-preserving extra edges add
+/// variety.
+Graph ConstructiveFan(int n, int target, Rng* rng) {
+  OODGNN_CHECK_GE(n, target + 2);
+  std::set<std::pair<int, int>> edges;
+  auto add = [&edges](int u, int v) {
+    edges.insert({std::min(u, v), std::max(u, v)});
+  };
+  // Fan: node 0 is the center, nodes 1..target+1 form the path.
+  for (int i = 1; i <= target + 1; ++i) add(0, i);
+  for (int i = 1; i <= target; ++i) add(i, i + 1);
+  // Attach the remaining nodes as leaves of random earlier nodes.
+  for (int v = target + 2; v < n; ++v) {
+    add(static_cast<int>(rng->UniformInt(0, v - 1)), v);
+  }
+  Graph graph = FromEdgeSet(n, edges);
+  OODGNN_CHECK_EQ(CountTriangles(graph), target);
+
+  // Try a few random extra edges, keeping only count-preserving ones.
+  const int extra_attempts = n / 2;
+  for (int a = 0; a < extra_attempts; ++a) {
+    const int u = static_cast<int>(rng->UniformInt(0, n - 1));
+    const int v = static_cast<int>(rng->UniformInt(0, n - 1));
+    if (u == v) continue;
+    auto key = std::make_pair(std::min(u, v), std::max(u, v));
+    if (edges.count(key)) continue;
+    edges.insert(key);
+    Graph candidate = FromEdgeSet(n, edges);
+    if (CountTriangles(candidate) == target) {
+      graph = std::move(candidate);
+    } else {
+      edges.erase(key);
+    }
+  }
+  return graph;
+}
+
+Graph GenerateTriangleGraph(int n, int target, Rng* rng) {
+  constexpr int kMaxAttempts = 40;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    Graph candidate = ErdosRenyiAttempt(n, target, rng);
+    if (CountTriangles(candidate) == target) return candidate;
+  }
+  return ConstructiveFan(n, target, rng);
+}
+
+}  // namespace
+
+GraphDataset MakeTrianglesDataset(const TrianglesConfig& config,
+                                  uint64_t seed) {
+  OODGNN_CHECK_GE(config.train_min_nodes, 4);
+  OODGNN_CHECK_GE(config.train_max_nodes,
+                  config.num_classes + 2);  // Fallback feasibility.
+  OODGNN_CHECK_GE(config.test_max_nodes, config.train_max_nodes);
+  Rng rng(seed);
+
+  GraphDataset dataset;
+  dataset.name = "TRIANGLES";
+  dataset.task_type = TaskType::kMulticlass;
+  dataset.num_tasks = config.num_classes;
+  dataset.feature_dim = config.max_degree_feature + 1;
+
+  auto generate_split = [&](int count, int min_nodes, int max_nodes,
+                            std::vector<size_t>* split) {
+    for (int i = 0; i < count; ++i) {
+      const int target =
+          static_cast<int>(rng.UniformInt(1, config.num_classes));
+      const int lo = std::max(min_nodes, target + 2);
+      const int n = static_cast<int>(
+          rng.UniformInt(lo, std::max(lo, max_nodes)));
+      Graph graph = GenerateTriangleGraph(n, target, &rng);
+      SetDegreeFeatures(&graph, config.max_degree_feature);
+      graph.label = target - 1;
+      split->push_back(dataset.graphs.size());
+      dataset.graphs.push_back(std::move(graph));
+    }
+  };
+
+  generate_split(config.num_train, config.train_min_nodes,
+                 config.train_max_nodes, &dataset.train_idx);
+  generate_split(config.num_valid, config.train_min_nodes,
+                 config.train_max_nodes, &dataset.valid_idx);
+  // OOD test: sizes up to test_max_nodes (paper: 4–100 vs 4–25).
+  generate_split(config.num_test, config.train_min_nodes,
+                 config.test_max_nodes, &dataset.test_idx);
+
+  dataset.Validate();
+  return dataset;
+}
+
+}  // namespace oodgnn

@@ -1,0 +1,44 @@
+#ifndef OODGNN_GNN_FACTOR_GCN_H_
+#define OODGNN_GNN_FACTOR_GCN_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/graph/batch.h"
+#include "src/nn/linear.h"
+#include "src/nn/module.h"
+
+namespace oodgnn {
+
+class Rng;
+
+/// Factorizable Graph Convolution (Yang et al., NeurIPS 2020),
+/// single-layer form: the input graph is softly decomposed into
+/// `num_factors` latent factor graphs by per-edge sigmoid attention
+/// computed from the incident node embeddings; each factor propagates
+/// its own value transform and the per-factor outputs are concatenated.
+class FactorGcnConv : public Module {
+ public:
+  /// out_dim must be divisible by num_factors.
+  FactorGcnConv(int in_dim, int out_dim, int num_factors, Rng* rng);
+
+  /// h: [num_nodes, in_dim] -> [num_nodes, out_dim].
+  Variable Forward(const Variable& h, const GraphBatch& batch) const;
+
+  int num_factors() const { return static_cast<int>(values_.size()); }
+
+  /// Per-edge factor attention from the most recent Forward call
+  /// (values only; exposed for the disentanglement diagnostics).
+  const std::vector<Tensor>& last_attention() const {
+    return last_attention_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Linear>> attention_;  // [2·in] -> 1 each
+  std::vector<std::unique_ptr<Linear>> values_;     // in -> out/F each
+  mutable std::vector<Tensor> last_attention_;
+};
+
+}  // namespace oodgnn
+
+#endif  // OODGNN_GNN_FACTOR_GCN_H_

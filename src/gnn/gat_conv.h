@@ -1,0 +1,40 @@
+#ifndef OODGNN_GNN_GAT_CONV_H_
+#define OODGNN_GNN_GAT_CONV_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/graph/batch.h"
+#include "src/nn/linear.h"
+#include "src/nn/module.h"
+
+namespace oodgnn {
+
+class Rng;
+
+/// Graph Attention layer (Veličković et al., ICLR 2018), multi-head:
+/// per head h, edge u→v gets attention
+///   α_uv = softmax_v( LeakyReLU(aₗ·(W h_u) + aᵣ·(W h_v)) )
+/// normalized over v's incoming edges (plus a self loop), and
+///   h'_v = Σ_u α_uv (W h_u),
+/// with the heads' outputs concatenated. Extension beyond the paper's
+/// baseline table (the paper cites GAT in related work).
+class GatConv : public Module {
+ public:
+  /// out_dim must be divisible by num_heads.
+  GatConv(int in_dim, int out_dim, int num_heads, Rng* rng);
+
+  /// h: [num_nodes, in_dim] -> [num_nodes, out_dim].
+  Variable Forward(const Variable& h, const GraphBatch& batch) const;
+
+  int num_heads() const { return static_cast<int>(value_.size()); }
+
+ private:
+  std::vector<std::unique_ptr<Linear>> value_;  // in -> out/heads
+  std::vector<Variable> attn_src_;              // [out/heads, 1]
+  std::vector<Variable> attn_dst_;              // [out/heads, 1]
+};
+
+}  // namespace oodgnn
+
+#endif  // OODGNN_GNN_GAT_CONV_H_

@@ -1,0 +1,32 @@
+#ifndef OODGNN_GNN_GCN_CONV_H_
+#define OODGNN_GNN_GCN_CONV_H_
+
+#include <memory>
+
+#include "src/graph/batch.h"
+#include "src/nn/linear.h"
+#include "src/nn/module.h"
+
+namespace oodgnn {
+
+class Rng;
+
+/// Graph Convolutional Network layer (Kipf & Welling, ICLR 2017) with
+/// implicit self loops and symmetric normalization:
+///   h'_v = Σ_{u∈N(v)∪{v}} (h_u·W) / sqrt((d_u+1)(d_v+1)) + b.
+class GcnConv : public Module {
+ public:
+  GcnConv(int in_dim, int out_dim, Rng* rng);
+
+  /// h: [num_nodes, in_dim] -> [num_nodes, out_dim].
+  Variable Forward(const Variable& h, const GraphBatch& batch) const;
+
+  int out_dim() const { return linear_->out_features(); }
+
+ private:
+  std::unique_ptr<Linear> linear_;
+};
+
+}  // namespace oodgnn
+
+#endif  // OODGNN_GNN_GCN_CONV_H_

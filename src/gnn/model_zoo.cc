@@ -1,0 +1,129 @@
+#include "src/gnn/model_zoo.h"
+
+#include "src/util/check.h"
+
+namespace oodgnn {
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kGcn:
+      return "GCN";
+    case Method::kGcnVirtual:
+      return "GCN-virtual";
+    case Method::kGin:
+      return "GIN";
+    case Method::kGinVirtual:
+      return "GIN-virtual";
+    case Method::kFactorGcn:
+      return "FactorGCN";
+    case Method::kPna:
+      return "PNA";
+    case Method::kTopKPool:
+      return "TopKPool";
+    case Method::kSagPool:
+      return "SAGPool";
+    case Method::kOodGnn:
+      return "OOD-GNN";
+    case Method::kGat:
+      return "GAT";
+    case Method::kGraphSage:
+      return "GraphSAGE";
+  }
+  return "?";
+}
+
+std::vector<Method> BaselineMethods() {
+  return {Method::kGcn,     Method::kGcnVirtual, Method::kGin,
+          Method::kGinVirtual, Method::kFactorGcn,  Method::kPna,
+          Method::kTopKPool,   Method::kSagPool};
+}
+
+std::vector<Method> AllMethods() {
+  std::vector<Method> methods = BaselineMethods();
+  methods.push_back(Method::kOodGnn);
+  return methods;
+}
+
+std::vector<Method> ExtensionMethods() {
+  return {Method::kGat, Method::kGraphSage};
+}
+
+GraphPredictionModel::GraphPredictionModel(Method method,
+                                           const EncoderConfig& config,
+                                           int output_dim, Rng* rng)
+    : method_(method), output_dim_(output_dim) {
+  OODGNN_CHECK_GT(output_dim, 0);
+  EncoderConfig cfg = config;
+  switch (method) {
+    case Method::kGcn:
+      cfg.virtual_node = false;
+      encoder_ = std::make_unique<MessagePassingEncoder>(ConvKind::kGcn, cfg,
+                                                         rng);
+      break;
+    case Method::kGcnVirtual:
+      cfg.virtual_node = true;
+      encoder_ = std::make_unique<MessagePassingEncoder>(ConvKind::kGcn, cfg,
+                                                         rng);
+      break;
+    case Method::kGin:
+    case Method::kOodGnn:  // The paper uses GIN as the OOD-GNN backbone.
+      cfg.virtual_node = false;
+      encoder_ = std::make_unique<MessagePassingEncoder>(ConvKind::kGin, cfg,
+                                                         rng);
+      break;
+    case Method::kGinVirtual:
+      cfg.virtual_node = true;
+      encoder_ = std::make_unique<MessagePassingEncoder>(ConvKind::kGin, cfg,
+                                                         rng);
+      break;
+    case Method::kFactorGcn:
+      encoder_ = std::make_unique<FactorGcnEncoder>(cfg, rng);
+      break;
+    case Method::kPna:
+      cfg.virtual_node = false;
+      encoder_ = std::make_unique<MessagePassingEncoder>(ConvKind::kPna, cfg,
+                                                         rng);
+      break;
+    case Method::kTopKPool:
+      encoder_ = std::make_unique<HierarchicalPoolEncoder>(PoolKind::kTopK,
+                                                           cfg, rng);
+      break;
+    case Method::kSagPool:
+      encoder_ = std::make_unique<HierarchicalPoolEncoder>(PoolKind::kSag,
+                                                           cfg, rng);
+      break;
+    case Method::kGat:
+      cfg.virtual_node = false;
+      encoder_ = std::make_unique<MessagePassingEncoder>(ConvKind::kGat, cfg,
+                                                         rng);
+      break;
+    case Method::kGraphSage:
+      cfg.virtual_node = false;
+      encoder_ = std::make_unique<MessagePassingEncoder>(ConvKind::kSage,
+                                                         cfg, rng);
+      break;
+  }
+  RegisterModule(encoder_.get());
+  const int rep_dim = encoder_->output_dim();
+  head_ = std::make_unique<Mlp>(
+      std::vector<int>{rep_dim, rep_dim / 2 > 0 ? rep_dim / 2 : rep_dim,
+                       output_dim},
+      rng);
+  RegisterModule(head_.get());
+}
+
+Variable GraphPredictionModel::Encode(const GraphBatch& batch, bool training,
+                                      Rng* rng) {
+  return encoder_->Encode(batch, training, rng);
+}
+
+Variable GraphPredictionModel::Classify(const Variable& z, bool training) {
+  return head_->Forward(z, training);
+}
+
+Variable GraphPredictionModel::Predict(const GraphBatch& batch, bool training,
+                                       Rng* rng) {
+  return Classify(Encode(batch, training, rng), training);
+}
+
+}  // namespace oodgnn

@@ -1,0 +1,80 @@
+#ifndef OODGNN_GNN_MODEL_ZOO_H_
+#define OODGNN_GNN_MODEL_ZOO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/gnn/encoder.h"
+#include "src/graph/dataset.h"
+#include "src/nn/mlp.h"
+#include "src/nn/module.h"
+
+namespace oodgnn {
+
+class Rng;
+
+/// Every method compared in the paper's Tables 2–4. kOodGnn shares the
+/// GIN encoder but is trained with the decorrelation/reweighting
+/// procedure (src/core).
+enum class Method {
+  kGcn,
+  kGcnVirtual,
+  kGin,
+  kGinVirtual,
+  kFactorGcn,
+  kPna,
+  kTopKPool,
+  kSagPool,
+  kOodGnn,
+  // Extension methods beyond the paper's comparison table (cited in its
+  // related-work section); usable everywhere a Method is accepted.
+  kGat,
+  kGraphSage,
+};
+
+/// Display name matching the paper's tables ("GCN-virtual", ...).
+const char* MethodName(Method method);
+
+/// The eight baseline rows of the paper's tables (everything except
+/// OOD-GNN), in table order.
+std::vector<Method> BaselineMethods();
+
+/// All nine methods, in table order (baselines then OOD-GNN).
+std::vector<Method> AllMethods();
+
+/// Extension methods not part of the paper's tables (GAT, GraphSAGE).
+std::vector<Method> ExtensionMethods();
+
+/// Encoder + classifier-head pair: the (Φ, R) of the paper. The head is
+/// the paper's two-layer MLP.
+class GraphPredictionModel : public Module {
+ public:
+  /// Builds the encoder prescribed by `method` with the given config and
+  /// a classifier head with `output_dim` logits/outputs.
+  GraphPredictionModel(Method method, const EncoderConfig& config,
+                       int output_dim, Rng* rng);
+
+  /// Graph representations Z: [num_graphs, representation_dim].
+  Variable Encode(const GraphBatch& batch, bool training, Rng* rng);
+
+  /// Classifier head on representations: [num_graphs, output_dim].
+  Variable Classify(const Variable& z, bool training);
+
+  /// Encode + Classify.
+  Variable Predict(const GraphBatch& batch, bool training, Rng* rng);
+
+  int representation_dim() const { return encoder_->output_dim(); }
+  int output_dim() const { return output_dim_; }
+  Method method() const { return method_; }
+
+ private:
+  Method method_;
+  int output_dim_;
+  std::unique_ptr<GraphEncoder> encoder_;
+  std::unique_ptr<Mlp> head_;
+};
+
+}  // namespace oodgnn
+
+#endif  // OODGNN_GNN_MODEL_ZOO_H_

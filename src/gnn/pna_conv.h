@@ -1,0 +1,43 @@
+#ifndef OODGNN_GNN_PNA_CONV_H_
+#define OODGNN_GNN_PNA_CONV_H_
+
+#include <memory>
+
+#include "src/graph/batch.h"
+#include "src/nn/linear.h"
+#include "src/nn/module.h"
+
+namespace oodgnn {
+
+class Rng;
+
+/// Principal Neighbourhood Aggregation layer (Corso et al., NeurIPS
+/// 2020), single-tower variant: neighbor messages are pre-transformed,
+/// reduced with {mean, max, min, sum} aggregators, each aggregate is
+/// modulated by the {identity, amplification, attenuation} degree
+/// scalers, and the 12 concatenated blocks are post-transformed back to
+/// `out_dim` together with the node's own embedding.
+class PnaConv : public Module {
+ public:
+  /// `delta` is the normalizing constant E[log(d+1)] over the training
+  /// graphs (computed once per dataset by the caller).
+  PnaConv(int in_dim, int out_dim, float delta, Rng* rng);
+
+  /// h: [num_nodes, in_dim] -> [num_nodes, out_dim].
+  Variable Forward(const Variable& h, const GraphBatch& batch) const;
+
+  int out_dim() const { return post_->out_features(); }
+
+ private:
+  float delta_;
+  std::unique_ptr<Linear> pre_;
+  std::unique_ptr<Linear> post_;
+};
+
+/// Computes the PNA degree normalizer δ = mean(log(deg+1)) over the
+/// given graphs.
+float ComputePnaDelta(const std::vector<const Graph*>& graphs);
+
+}  // namespace oodgnn
+
+#endif  // OODGNN_GNN_PNA_CONV_H_

@@ -1,0 +1,23 @@
+#include "src/gnn/readout.h"
+
+#include "src/tensor/ops.h"
+#include "src/util/check.h"
+
+namespace oodgnn {
+
+Variable Readout(const Variable& h, const std::vector<int>& node_graph,
+                 int num_graphs, ReadoutKind kind) {
+  OODGNN_CHECK_EQ(h.rows(), static_cast<int>(node_graph.size()));
+  switch (kind) {
+    case ReadoutKind::kSum:
+      return SegmentSum(h, node_graph, num_graphs);
+    case ReadoutKind::kMean:
+      return SegmentMean(h, node_graph, num_graphs);
+    case ReadoutKind::kMax:
+      return SegmentMax(h, node_graph, num_graphs);
+  }
+  OODGNN_CHECK(false) << "unknown readout";
+  return Variable();
+}
+
+}  // namespace oodgnn

@@ -1,0 +1,20 @@
+#ifndef OODGNN_GNN_READOUT_H_
+#define OODGNN_GNN_READOUT_H_
+
+#include <vector>
+
+#include "src/tensor/variable.h"
+
+namespace oodgnn {
+
+/// How node embeddings are summarized into a graph embedding.
+enum class ReadoutKind { kSum, kMean, kMax };
+
+/// Pools node embeddings h [num_nodes, d] into graph embeddings
+/// [num_graphs, d] according to `node_graph` assignments.
+Variable Readout(const Variable& h, const std::vector<int>& node_graph,
+                 int num_graphs, ReadoutKind kind);
+
+}  // namespace oodgnn
+
+#endif  // OODGNN_GNN_READOUT_H_

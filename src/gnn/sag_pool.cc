@@ -1,0 +1,29 @@
+#include "src/gnn/sag_pool.h"
+
+#include "src/gnn/pool_common.h"
+#include "src/tensor/ops.h"
+#include "src/util/check.h"
+
+namespace oodgnn {
+
+SagPool::SagPool(int dim, float ratio, Rng* rng)
+    : ratio_(ratio),
+      score_conv_(std::make_unique<GcnConv>(dim, 1, rng)) {
+  OODGNN_CHECK(ratio > 0.f && ratio <= 1.f);
+  RegisterModule(score_conv_.get());
+}
+
+PoolResult SagPool::Forward(const Variable& h,
+                            const GraphBatch& batch) const {
+  OODGNN_CHECK_EQ(h.rows(), batch.num_nodes);
+  Variable scores = score_conv_->Forward(h, batch);
+
+  PoolResult result;
+  result.kept = SelectTopKNodes(scores.value(), batch, ratio_);
+  result.topology = InduceSubgraph(batch, result.kept);
+  Variable gate = TanhOp(RowGather(scores, result.kept));
+  result.h = MulColVec(RowGather(h, result.kept), gate);
+  return result;
+}
+
+}  // namespace oodgnn

@@ -1,0 +1,33 @@
+#ifndef OODGNN_GNN_SAG_POOL_H_
+#define OODGNN_GNN_SAG_POOL_H_
+
+#include <memory>
+
+#include "src/gnn/gcn_conv.h"
+#include "src/gnn/topk_pool.h"
+#include "src/nn/module.h"
+
+namespace oodgnn {
+
+class Rng;
+
+/// Self-Attention Graph pooling (Lee et al., ICML 2019): node scores
+/// come from a one-output GCN convolution (structure-aware attention)
+/// instead of a plain projection; survivors are gated by tanh(score)
+/// exactly like TopKPool.
+class SagPool : public Module {
+ public:
+  SagPool(int dim, float ratio, Rng* rng);
+
+  PoolResult Forward(const Variable& h, const GraphBatch& batch) const;
+
+  float ratio() const { return ratio_; }
+
+ private:
+  float ratio_;
+  std::unique_ptr<GcnConv> score_conv_;
+};
+
+}  // namespace oodgnn
+
+#endif  // OODGNN_GNN_SAG_POOL_H_

@@ -1,0 +1,25 @@
+#include "src/gnn/sage_conv.h"
+
+#include "src/tensor/ops.h"
+#include "src/util/check.h"
+
+namespace oodgnn {
+
+SageConv::SageConv(int in_dim, int out_dim, Rng* rng)
+    : self_(std::make_unique<Linear>(in_dim, out_dim, rng)),
+      neighbor_(
+          std::make_unique<Linear>(in_dim, out_dim, rng, /*bias=*/false)) {
+  RegisterModule(self_.get());
+  RegisterModule(neighbor_.get());
+}
+
+Variable SageConv::Forward(const Variable& h, const GraphBatch& batch) const {
+  OODGNN_CHECK_EQ(h.rows(), batch.num_nodes);
+  Variable out = self_->Forward(h);
+  if (batch.edge_src.empty()) return out;
+  Variable mean_neighbors = SegmentMean(RowGather(h, batch.edge_src),
+                                        batch.edge_dst, batch.num_nodes);
+  return Add(out, neighbor_->Forward(mean_neighbors));
+}
+
+}  // namespace oodgnn

@@ -1,0 +1,34 @@
+#ifndef OODGNN_GNN_SAGE_CONV_H_
+#define OODGNN_GNN_SAGE_CONV_H_
+
+#include <memory>
+
+#include "src/graph/batch.h"
+#include "src/nn/linear.h"
+#include "src/nn/module.h"
+
+namespace oodgnn {
+
+class Rng;
+
+/// GraphSAGE layer (Hamilton et al., NeurIPS 2017), mean-aggregator
+/// variant:
+///   h'_v = W_self·h_v + W_neigh·mean_{u∈N(v)} h_u.
+/// Extension beyond the paper's baseline table.
+class SageConv : public Module {
+ public:
+  SageConv(int in_dim, int out_dim, Rng* rng);
+
+  /// h: [num_nodes, in_dim] -> [num_nodes, out_dim].
+  Variable Forward(const Variable& h, const GraphBatch& batch) const;
+
+  int out_dim() const { return self_->out_features(); }
+
+ private:
+  std::unique_ptr<Linear> self_;
+  std::unique_ptr<Linear> neighbor_;
+};
+
+}  // namespace oodgnn
+
+#endif  // OODGNN_GNN_SAGE_CONV_H_

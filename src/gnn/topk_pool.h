@@ -1,0 +1,41 @@
+#ifndef OODGNN_GNN_TOPK_POOL_H_
+#define OODGNN_GNN_TOPK_POOL_H_
+
+#include <vector>
+
+#include "src/graph/batch.h"
+#include "src/nn/module.h"
+
+namespace oodgnn {
+
+class Rng;
+
+/// Result of a pooling layer: gated node embeddings plus the induced
+/// coarsened topology.
+struct PoolResult {
+  Variable h;
+  GraphBatch topology;
+  /// Global node ids (w.r.t. the input batch) that survived.
+  std::vector<int> kept;
+};
+
+/// Top-K pooling (Gao & Ji, "Graph U-Nets", ICML 2019): projects node
+/// embeddings onto a learnable direction p, keeps the ceil(ratio·n)
+/// best-scoring nodes per graph, and gates the survivors by
+/// tanh(score).
+class TopKPool : public Module {
+ public:
+  TopKPool(int dim, float ratio, Rng* rng);
+
+  PoolResult Forward(const Variable& h, const GraphBatch& batch) const;
+
+  float ratio() const { return ratio_; }
+
+ private:
+  float ratio_;
+  Variable projection_;  // [dim, 1]
+};
+
+}  // namespace oodgnn
+
+#endif  // OODGNN_GNN_TOPK_POOL_H_

@@ -1,0 +1,41 @@
+#ifndef OODGNN_GNN_VIRTUAL_NODE_H_
+#define OODGNN_GNN_VIRTUAL_NODE_H_
+
+#include <memory>
+
+#include "src/graph/batch.h"
+#include "src/nn/mlp.h"
+#include "src/nn/module.h"
+
+namespace oodgnn {
+
+class Rng;
+
+/// Virtual-node augmentation (Hu et al., OGB 2020): a per-graph latent
+/// node connected to every real node. Between message-passing layers the
+/// virtual embedding is added to every node of its graph and then
+/// updated from the graph's node sum through an MLP.
+class VirtualNode : public Module {
+ public:
+  VirtualNode(int dim, Rng* rng);
+
+  /// Initial per-graph virtual embedding (zeros), [num_graphs, dim].
+  Variable InitialState(int num_graphs) const;
+
+  /// Returns h with each node augmented by its graph's virtual
+  /// embedding: h_v + vn[graph(v)].
+  Variable Distribute(const Variable& h, const Variable& vn,
+                      const GraphBatch& batch) const;
+
+  /// New virtual state: MLP(vn + Σ_{v∈g} h_v).
+  Variable Update(const Variable& vn, const Variable& h,
+                  const GraphBatch& batch, bool training);
+
+ private:
+  int dim_;
+  std::unique_ptr<Mlp> update_mlp_;
+};
+
+}  // namespace oodgnn
+
+#endif  // OODGNN_GNN_VIRTUAL_NODE_H_

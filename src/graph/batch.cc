@@ -1,0 +1,83 @@
+#include "src/graph/batch.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace oodgnn {
+
+GraphBatch GraphBatch::FromGraphs(const std::vector<const Graph*>& graphs) {
+  OODGNN_CHECK(!graphs.empty());
+  GraphBatch batch;
+  batch.num_graphs = static_cast<int>(graphs.size());
+
+  const int feature_dim = graphs[0]->feature_dim();
+  const int num_targets = static_cast<int>(graphs[0]->targets.size());
+  int total_nodes = 0;
+  int total_edges = 0;
+  for (const Graph* g : graphs) {
+    OODGNN_CHECK(g != nullptr);
+    OODGNN_CHECK_EQ(g->feature_dim(), feature_dim);
+    OODGNN_CHECK_EQ(static_cast<int>(g->targets.size()), num_targets);
+    total_nodes += g->num_nodes();
+    total_edges += g->num_edges();
+  }
+  batch.num_nodes = total_nodes;
+  batch.features = Tensor(total_nodes, feature_dim);
+  batch.edge_src.reserve(static_cast<size_t>(total_edges));
+  batch.edge_dst.reserve(static_cast<size_t>(total_edges));
+  batch.node_graph.resize(static_cast<size_t>(total_nodes));
+  batch.class_labels.reserve(graphs.size());
+  if (num_targets > 0) {
+    batch.targets = Tensor(batch.num_graphs, num_targets);
+    batch.target_mask = Tensor(batch.num_graphs, num_targets, 1.f);
+  }
+
+  int node_offset = 0;
+  for (size_t gi = 0; gi < graphs.size(); ++gi) {
+    const Graph& g = *graphs[gi];
+    for (int v = 0; v < g.num_nodes(); ++v) {
+      const float* src = g.x.row(v);
+      std::copy(src, src + feature_dim, batch.features.row(node_offset + v));
+      batch.node_graph[static_cast<size_t>(node_offset + v)] =
+          static_cast<int>(gi);
+    }
+    for (int e = 0; e < g.num_edges(); ++e) {
+      batch.edge_src.push_back(g.edge_src[static_cast<size_t>(e)] +
+                               node_offset);
+      batch.edge_dst.push_back(g.edge_dst[static_cast<size_t>(e)] +
+                               node_offset);
+    }
+    batch.class_labels.push_back(g.label);
+    if (num_targets > 0) {
+      for (int t = 0; t < num_targets; ++t) {
+        batch.targets.at(static_cast<int>(gi), t) =
+            g.targets[static_cast<size_t>(t)];
+        if (!g.target_mask.empty()) {
+          batch.target_mask.at(static_cast<int>(gi), t) =
+              g.target_mask[static_cast<size_t>(t)];
+        }
+      }
+    }
+    node_offset += g.num_nodes();
+  }
+
+  batch.in_degree.assign(static_cast<size_t>(total_nodes), 0);
+  for (int v : batch.edge_dst) ++batch.in_degree[static_cast<size_t>(v)];
+  return batch;
+}
+
+GraphBatch MakeBatch(const std::vector<Graph>& dataset_graphs,
+                     const std::vector<size_t>& indices, size_t begin,
+                     size_t end) {
+  OODGNN_CHECK(begin < end && end <= indices.size());
+  std::vector<const Graph*> ptrs;
+  ptrs.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    OODGNN_CHECK_LT(indices[i], dataset_graphs.size());
+    ptrs.push_back(&dataset_graphs[indices[i]]);
+  }
+  return GraphBatch::FromGraphs(ptrs);
+}
+
+}  // namespace oodgnn

@@ -1,0 +1,53 @@
+#ifndef OODGNN_GRAPH_BATCH_H_
+#define OODGNN_GRAPH_BATCH_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/tensor/tensor.h"
+
+namespace oodgnn {
+
+/// Disjoint union of several graphs, with node indices offset so a
+/// single message-passing pass processes the whole mini-batch (the
+/// PyTorch-Geometric batching convention).
+struct GraphBatch {
+  int num_graphs = 0;
+  int num_nodes = 0;
+
+  /// Stacked node features, [num_nodes, F].
+  Tensor features;
+
+  /// Global (offset) directed edge endpoints.
+  std::vector<int> edge_src;
+  std::vector<int> edge_dst;
+
+  /// node_graph[v] = index of the graph node v belongs to.
+  std::vector<int> node_graph;
+
+  /// In-degree per node (incoming directed edges), cached for
+  /// normalization terms.
+  std::vector<int> in_degree;
+
+  /// Class labels, one per graph (multi-class tasks; −1 if unused).
+  std::vector<int> class_labels;
+
+  /// Stacked multi-task targets and presence masks, [num_graphs, T].
+  /// Empty tensors when the task has no vector targets.
+  Tensor targets;
+  Tensor target_mask;
+
+  /// Builds a batch from graph pointers. All graphs must share the same
+  /// feature width and target arity.
+  static GraphBatch FromGraphs(const std::vector<const Graph*>& graphs);
+};
+
+/// Convenience: batches `dataset_graphs[indices[i]]` for i in
+/// [begin, end).
+GraphBatch MakeBatch(const std::vector<Graph>& dataset_graphs,
+                     const std::vector<size_t>& indices, size_t begin,
+                     size_t end);
+
+}  // namespace oodgnn
+
+#endif  // OODGNN_GRAPH_BATCH_H_

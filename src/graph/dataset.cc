@@ -1,0 +1,74 @@
+#include "src/graph/dataset.h"
+
+#include <set>
+
+#include "src/util/check.h"
+
+namespace oodgnn {
+
+const char* TaskTypeName(TaskType type) {
+  switch (type) {
+    case TaskType::kMulticlass:
+      return "multiclass";
+    case TaskType::kBinary:
+      return "binary";
+    case TaskType::kRegression:
+      return "regression";
+  }
+  return "?";
+}
+
+double GraphDataset::AverageNodes() const {
+  if (graphs.empty()) return 0.0;
+  double total = 0.0;
+  for (const Graph& g : graphs) total += g.num_nodes();
+  return total / static_cast<double>(graphs.size());
+}
+
+double GraphDataset::AverageEdges() const {
+  if (graphs.empty()) return 0.0;
+  double total = 0.0;
+  // Report undirected edge count (paper convention): directed/2.
+  for (const Graph& g : graphs) total += g.num_edges() / 2.0;
+  return total / static_cast<double>(graphs.size());
+}
+
+void GraphDataset::Validate() const {
+  OODGNN_CHECK(!graphs.empty()) << name << ": empty dataset";
+  std::set<size_t> seen;
+  auto check_split = [&](const std::vector<size_t>& split,
+                         const char* which) {
+    for (size_t idx : split) {
+      OODGNN_CHECK_LT(idx, graphs.size())
+          << name << ": out-of-range index in " << which;
+      OODGNN_CHECK(seen.insert(idx).second)
+          << name << ": index " << idx << " appears in multiple splits";
+    }
+  };
+  check_split(train_idx, "train");
+  check_split(valid_idx, "valid");
+  check_split(test_idx, "test");
+  // test2 may alias the same underlying graphs conceptually but must be
+  // distinct indices (the generators materialize perturbed copies).
+  check_split(test2_idx, "test2");
+
+  for (const Graph& g : graphs) {
+    OODGNN_CHECK_EQ(g.feature_dim(), feature_dim) << name;
+    if (task_type == TaskType::kMulticlass) {
+      OODGNN_CHECK(g.label >= 0 && g.label < num_tasks)
+          << name << ": label " << g.label << " outside [0," << num_tasks
+          << ")";
+    } else {
+      OODGNN_CHECK_EQ(static_cast<int>(g.targets.size()), num_tasks) << name;
+      OODGNN_CHECK(g.target_mask.empty() ||
+                   g.target_mask.size() == g.targets.size())
+          << name;
+    }
+    for (size_t e = 0; e < g.edge_src.size(); ++e) {
+      OODGNN_CHECK(g.edge_src[e] >= 0 && g.edge_src[e] < g.num_nodes());
+      OODGNN_CHECK(g.edge_dst[e] >= 0 && g.edge_dst[e] < g.num_nodes());
+    }
+  }
+}
+
+}  // namespace oodgnn

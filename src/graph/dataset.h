@@ -1,0 +1,59 @@
+#ifndef OODGNN_GRAPH_DATASET_H_
+#define OODGNN_GRAPH_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace oodgnn {
+
+/// What kind of graph-level prediction a dataset poses.
+enum class TaskType {
+  /// Single multi-class label per graph (uses Graph::label).
+  kMulticlass,
+  /// One or more binary tasks per graph, possibly with missing labels
+  /// (uses Graph::targets / target_mask). Evaluated with ROC-AUC.
+  kBinary,
+  /// One or more real-valued targets per graph. Evaluated with RMSE.
+  kRegression,
+};
+
+/// Returns a short human-readable name ("multiclass", ...).
+const char* TaskTypeName(TaskType type);
+
+/// A dataset of graphs plus its train/validation/test index split.
+/// Some benchmarks carry a second OOD test split (e.g. MNIST-75SP has
+/// Test(noise) and Test(color)).
+struct GraphDataset {
+  std::string name;
+  TaskType task_type = TaskType::kMulticlass;
+  /// Number of classes for kMulticlass; number of tasks otherwise.
+  int num_tasks = 1;
+  int feature_dim = 0;
+
+  std::vector<Graph> graphs;
+
+  std::vector<size_t> train_idx;
+  std::vector<size_t> valid_idx;
+  std::vector<size_t> test_idx;
+
+  /// Optional second test split and its display name.
+  std::vector<size_t> test2_idx;
+  std::string test2_name;
+
+  /// Output width the prediction head needs (classes or tasks).
+  int OutputDim() const { return num_tasks; }
+
+  /// Mean node/edge counts over all graphs (Table 1 statistics).
+  double AverageNodes() const;
+  double AverageEdges() const;
+
+  /// Validates internal consistency (index ranges, disjoint splits,
+  /// uniform feature width and target arity). Aborts on violation.
+  void Validate() const;
+};
+
+}  // namespace oodgnn
+
+#endif  // OODGNN_GRAPH_DATASET_H_

@@ -1,0 +1,36 @@
+#ifndef OODGNN_NN_BATCHNORM_H_
+#define OODGNN_NN_BATCHNORM_H_
+
+#include "src/nn/module.h"
+#include "src/tensor/variable.h"
+
+namespace oodgnn {
+
+/// 1-D batch normalization over the row dimension (features are
+/// columns). Maintains running statistics for evaluation mode.
+class BatchNorm1d : public Module {
+ public:
+  explicit BatchNorm1d(int num_features, float momentum = 0.1f,
+                       float eps = 1e-5f);
+
+  /// x: [m, num_features]. In training mode normalizes with batch
+  /// statistics (differentiably) and updates the running estimates; in
+  /// eval mode uses the running estimates as constants.
+  Variable Forward(const Variable& x, bool training);
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  int num_features_;
+  float momentum_;
+  float eps_;
+  Variable gamma_;
+  Variable beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+};
+
+}  // namespace oodgnn
+
+#endif  // OODGNN_NN_BATCHNORM_H_

@@ -1,0 +1,20 @@
+#ifndef OODGNN_NN_INIT_H_
+#define OODGNN_NN_INIT_H_
+
+#include "src/tensor/tensor.h"
+
+namespace oodgnn {
+
+class Rng;
+
+/// Glorot/Xavier uniform initialization: U[-a, a] with
+/// a = sqrt(6 / (fan_in + fan_out)). Shape [fan_in, fan_out].
+Tensor GlorotUniform(int fan_in, int fan_out, Rng* rng);
+
+/// He/Kaiming normal initialization: N(0, sqrt(2 / fan_in)). Shape
+/// [fan_in, fan_out]; suited to ReLU networks.
+Tensor HeNormal(int fan_in, int fan_out, Rng* rng);
+
+}  // namespace oodgnn
+
+#endif  // OODGNN_NN_INIT_H_

@@ -1,0 +1,24 @@
+#include "src/nn/linear.h"
+
+#include "src/nn/init.h"
+#include "src/tensor/ops.h"
+#include "src/util/check.h"
+
+namespace oodgnn {
+
+Linear::Linear(int in_features, int out_features, Rng* rng, bool bias)
+    : in_features_(in_features), out_features_(out_features) {
+  weight_ = RegisterParameter(GlorotUniform(in_features, out_features, rng));
+  if (bias) {
+    bias_ = RegisterParameter(Tensor(1, out_features));
+  }
+}
+
+Variable Linear::Forward(const Variable& x) const {
+  OODGNN_CHECK_EQ(x.cols(), in_features_);
+  Variable out = MatMul(x, weight_);
+  if (bias_.defined()) out = AddRowVec(out, bias_);
+  return out;
+}
+
+}  // namespace oodgnn

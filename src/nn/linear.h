@@ -1,0 +1,32 @@
+#ifndef OODGNN_NN_LINEAR_H_
+#define OODGNN_NN_LINEAR_H_
+
+#include "src/nn/module.h"
+#include "src/tensor/variable.h"
+
+namespace oodgnn {
+
+class Rng;
+
+/// Fully connected layer: y = x·W + b with W [in,out] (Glorot-uniform
+/// init) and optional bias b [1,out] (zero init).
+class Linear : public Module {
+ public:
+  Linear(int in_features, int out_features, Rng* rng, bool bias = true);
+
+  /// x: [m, in] -> [m, out].
+  Variable Forward(const Variable& x) const;
+
+  int in_features() const { return in_features_; }
+  int out_features() const { return out_features_; }
+
+ private:
+  int in_features_;
+  int out_features_;
+  Variable weight_;
+  Variable bias_;  // Undefined when bias is disabled.
+};
+
+}  // namespace oodgnn
+
+#endif  // OODGNN_NN_LINEAR_H_

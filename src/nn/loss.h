@@ -1,0 +1,38 @@
+#ifndef OODGNN_NN_LOSS_H_
+#define OODGNN_NN_LOSS_H_
+
+#include <vector>
+
+#include "src/tensor/variable.h"
+
+namespace oodgnn {
+
+// Fused, numerically stable loss functions. Every loss supports
+// per-sample weights (the `w_n` of Eq. 6 in the paper); an empty weight
+// vector means uniform weights of 1. Sample weights are constants — no
+// gradient flows into them (the paper alternates: weights are learned by
+// the decorrelation objective, not the prediction loss).
+
+/// Multi-class cross-entropy on raw logits [m,C] with integer labels in
+/// [0,C). Returns (1/m)·Σ_i w_i·(−log softmax(logits_i)[y_i]) as a 1×1
+/// Variable.
+Variable SoftmaxCrossEntropy(const Variable& logits,
+                             const std::vector<int>& labels,
+                             const std::vector<float>& weights = {});
+
+/// Multi-task binary cross-entropy on raw logits [m,T]. `targets` holds
+/// 0/1 labels, `mask` is 1 where a label is present (OGB-style missing
+/// labels) and 0 elsewhere. Mean over present entries of
+/// w_i·[softplus(x) − y·x].
+Variable BceWithLogits(const Variable& logits, const Tensor& targets,
+                       const Tensor& mask,
+                       const std::vector<float>& weights = {});
+
+/// Mean squared error over all entries of pred [m,T]:
+/// (1/(m·T))·Σ w_i·(pred − target)².
+Variable MseLoss(const Variable& pred, const Tensor& targets,
+                 const std::vector<float>& weights = {});
+
+}  // namespace oodgnn
+
+#endif  // OODGNN_NN_LOSS_H_

@@ -1,0 +1,37 @@
+#include "src/nn/mlp.h"
+
+#include "src/tensor/ops.h"
+#include "src/util/check.h"
+
+namespace oodgnn {
+
+Mlp::Mlp(const std::vector<int>& dims, Rng* rng, bool batch_norm)
+    : dims_(dims) {
+  OODGNN_CHECK_GE(dims.size(), 2u);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+    RegisterModule(layers_.back().get());
+    const bool is_hidden = i + 2 < dims.size();
+    if (batch_norm && is_hidden) {
+      norms_.push_back(std::make_unique<BatchNorm1d>(dims[i + 1]));
+      RegisterModule(norms_.back().get());
+    } else if (batch_norm) {
+      norms_.push_back(nullptr);
+    }
+  }
+}
+
+Variable Mlp::Forward(const Variable& x, bool training) {
+  Variable h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    const bool is_hidden = i + 1 < layers_.size();
+    if (is_hidden) {
+      if (!norms_.empty() && norms_[i]) h = norms_[i]->Forward(h, training);
+      h = Relu(h);
+    }
+  }
+  return h;
+}
+
+}  // namespace oodgnn

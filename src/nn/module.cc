@@ -1,0 +1,37 @@
+#include "src/nn/module.h"
+
+#include "src/util/check.h"
+
+namespace oodgnn {
+
+std::vector<Variable> Module::Parameters() const {
+  std::vector<Variable> all = params_;
+  for (const Module* child : children_) {
+    std::vector<Variable> sub = child->Parameters();
+    all.insert(all.end(), sub.begin(), sub.end());
+  }
+  return all;
+}
+
+void Module::ZeroGrad() {
+  for (Variable param : Parameters()) param.ZeroGrad();
+}
+
+int64_t Module::NumParameters() const {
+  int64_t total = 0;
+  for (const Variable& param : Parameters()) total += param.value().size();
+  return total;
+}
+
+Variable Module::RegisterParameter(Tensor init) {
+  Variable param = Variable::Param(std::move(init));
+  params_.push_back(param);
+  return param;
+}
+
+void Module::RegisterModule(Module* child) {
+  OODGNN_CHECK(child != nullptr);
+  children_.push_back(child);
+}
+
+}  // namespace oodgnn

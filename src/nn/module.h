@@ -1,0 +1,47 @@
+#ifndef OODGNN_NN_MODULE_H_
+#define OODGNN_NN_MODULE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/variable.h"
+
+namespace oodgnn {
+
+/// Base class for trainable components. Subclasses register their
+/// parameters (trainable leaf Variables) and child modules in their
+/// constructor; `Parameters()` flattens the tree for the optimizer.
+///
+/// Modules are not copyable: parameter handles are shared state.
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All parameters of this module and its registered children.
+  std::vector<Variable> Parameters() const;
+
+  /// Zeroes gradients of all parameters.
+  void ZeroGrad();
+
+  /// Total number of scalar parameters.
+  int64_t NumParameters() const;
+
+ protected:
+  /// Wraps `init` as a trainable leaf, registers and returns it.
+  Variable RegisterParameter(Tensor init);
+
+  /// Registers a child module (non-owning; the child must outlive this).
+  void RegisterModule(Module* child);
+
+ private:
+  std::vector<Variable> params_;
+  std::vector<Module*> children_;
+};
+
+}  // namespace oodgnn
+
+#endif  // OODGNN_NN_MODULE_H_

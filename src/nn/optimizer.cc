@@ -1,0 +1,84 @@
+#include "src/nn/optimizer.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace oodgnn {
+
+Optimizer::Optimizer(std::vector<Variable> params)
+    : params_(std::move(params)) {
+  for (const Variable& p : params_) {
+    OODGNN_CHECK(p.defined() && p.requires_grad())
+        << "optimizer parameters must be trainable leaves";
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (Variable& p : params_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<Variable> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params)),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  lr_ = lr;
+  velocity_.reserve(params_.size());
+  for (const Variable& p : params_) {
+    velocity_.emplace_back(p.value().rows(), p.value().cols());
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Variable& p = params_[i];
+    if (p.grad().empty()) continue;  // Never touched by Backward.
+    Tensor& value = p.mutable_value();
+    const Tensor& grad = p.grad();
+    Tensor& vel = velocity_[i];
+    for (int j = 0; j < value.size(); ++j) {
+      float g = grad[j] + weight_decay_ * value[j];
+      vel[j] = momentum_ * vel[j] + g;
+      value[j] -= lr_ * vel[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Variable> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  lr_ = lr;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Variable& p : params_) {
+    m_.emplace_back(p.value().rows(), p.value().cols());
+    v_.emplace_back(p.value().rows(), p.value().cols());
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float bias1 = 1.f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bias2 = 1.f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Variable& p = params_[i];
+    if (p.grad().empty()) continue;
+    Tensor& value = p.mutable_value();
+    const Tensor& grad = p.grad();
+    for (int j = 0; j < value.size(); ++j) {
+      float g = grad[j] + weight_decay_ * value[j];
+      m_[i][j] = beta1_ * m_[i][j] + (1.f - beta1_) * g;
+      v_[i][j] = beta2_ * v_[i][j] + (1.f - beta2_) * g * g;
+      const float m_hat = m_[i][j] / bias1;
+      const float v_hat = v_[i][j] / bias2;
+      value[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+}  // namespace oodgnn

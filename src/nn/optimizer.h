@@ -1,0 +1,71 @@
+#ifndef OODGNN_NN_OPTIMIZER_H_
+#define OODGNN_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "src/tensor/variable.h"
+
+namespace oodgnn {
+
+/// Base class for first-order optimizers over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Variable> params);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update using the gradients currently stored on the
+  /// parameters.
+  virtual void Step() = 0;
+
+  /// Clears parameter gradients (call between steps).
+  void ZeroGrad();
+
+  /// Changes the learning rate.
+  void set_learning_rate(float lr) { lr_ = lr; }
+  float learning_rate() const { return lr_; }
+
+ protected:
+  std::vector<Variable> params_;
+  float lr_ = 1e-3f;
+};
+
+/// Stochastic gradient descent with optional momentum and decoupled L2
+/// weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Variable> params, float lr, float momentum = 0.f,
+      float weight_decay = 0.f);
+
+  void Step() override;
+
+ private:
+  float momentum_;
+  float weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam optimizer (Kingma & Ba, 2015) with bias correction and optional
+/// L2 weight decay added to the gradient.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Variable> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.f);
+
+  void Step() override;
+
+ private:
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t step_count_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace oodgnn
+
+#endif  // OODGNN_NN_OPTIMIZER_H_

@@ -1,0 +1,116 @@
+#include "src/nn/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+
+#include "src/nn/module.h"
+#include "src/util/check.h"
+#include "src/util/logging.h"
+
+namespace oodgnn {
+namespace {
+
+constexpr uint32_t kMagic = 0x4F4F4447;  // "OODG"
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* file) const {
+    if (file) std::fclose(file);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteU32(std::FILE* file, uint32_t value) {
+  return std::fwrite(&value, sizeof(value), 1, file) == 1;
+}
+
+bool ReadU32(std::FILE* file, uint32_t* value) {
+  return std::fread(value, sizeof(*value), 1, file) == 1;
+}
+
+}  // namespace
+
+bool SaveParameters(const std::string& path,
+                    const std::vector<Variable>& parameters) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (!file) {
+    OODGNN_LOG(Error) << "cannot open " << path << " for writing";
+    return false;
+  }
+  if (!WriteU32(file.get(), kMagic) || !WriteU32(file.get(), kVersion) ||
+      !WriteU32(file.get(), static_cast<uint32_t>(parameters.size()))) {
+    return false;
+  }
+  for (const Variable& param : parameters) {
+    OODGNN_CHECK(param.defined());
+    const Tensor& value = param.value();
+    if (!WriteU32(file.get(), static_cast<uint32_t>(value.rows())) ||
+        !WriteU32(file.get(), static_cast<uint32_t>(value.cols()))) {
+      return false;
+    }
+    const size_t count = static_cast<size_t>(value.size());
+    if (std::fwrite(value.data(), sizeof(float), count, file.get()) !=
+        count) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SaveParameters(const std::string& path, const Module& module) {
+  return SaveParameters(path, module.Parameters());
+}
+
+bool LoadParameters(const std::string& path,
+                    std::vector<Variable> parameters) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (!file) {
+    OODGNN_LOG(Error) << "cannot open " << path << " for reading";
+    return false;
+  }
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint32_t count = 0;
+  if (!ReadU32(file.get(), &magic) || !ReadU32(file.get(), &version) ||
+      !ReadU32(file.get(), &count)) {
+    return false;
+  }
+  if (magic != kMagic) {
+    OODGNN_LOG(Error) << path << " is not an oodgnn checkpoint";
+    return false;
+  }
+  if (version != kVersion) {
+    OODGNN_LOG(Error) << path << ": unsupported checkpoint version "
+                      << version;
+    return false;
+  }
+  OODGNN_CHECK_EQ(count, parameters.size())
+      << "checkpoint has " << count << " tensors, module expects "
+      << parameters.size();
+  for (Variable& param : parameters) {
+    uint32_t rows = 0;
+    uint32_t cols = 0;
+    if (!ReadU32(file.get(), &rows) || !ReadU32(file.get(), &cols)) {
+      return false;
+    }
+    Tensor& value = param.mutable_value();
+    OODGNN_CHECK(static_cast<int>(rows) == value.rows() &&
+                 static_cast<int>(cols) == value.cols())
+        << "checkpoint tensor is " << rows << "x" << cols
+        << " but the parameter is " << value.rows() << "x" << value.cols();
+    const size_t elements = static_cast<size_t>(value.size());
+    if (std::fread(value.data(), sizeof(float), elements, file.get()) !=
+        elements) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LoadParameters(const std::string& path, Module* module) {
+  OODGNN_CHECK(module != nullptr);
+  return LoadParameters(path, module->Parameters());
+}
+
+}  // namespace oodgnn

@@ -1,0 +1,32 @@
+#ifndef OODGNN_NN_SERIALIZE_H_
+#define OODGNN_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/tensor/variable.h"
+
+namespace oodgnn {
+
+class Module;
+
+/// Writes the parameter tensors to a binary checkpoint file (magic,
+/// version, per-tensor shape + row-major float32 payload). Parameter
+/// order is the module's registration order, so a checkpoint can only
+/// be restored into an identically constructed module. Returns false on
+/// I/O failure.
+bool SaveParameters(const std::string& path,
+                    const std::vector<Variable>& parameters);
+bool SaveParameters(const std::string& path, const Module& module);
+
+/// Restores parameter values from a checkpoint written by
+/// SaveParameters. The parameter count and every shape must match;
+/// aborts on a structural mismatch, returns false on I/O failure or a
+/// malformed file.
+bool LoadParameters(const std::string& path,
+                    std::vector<Variable> parameters);
+bool LoadParameters(const std::string& path, Module* module);
+
+}  // namespace oodgnn
+
+#endif  // OODGNN_NN_SERIALIZE_H_

@@ -1,0 +1,44 @@
+#include "src/tensor/gradcheck.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace oodgnn {
+
+GradCheckResult CheckGradients(const std::vector<Variable>& leaves,
+                               const std::function<Variable()>& scalar_fn,
+                               float eps) {
+  // Analytic pass.
+  for (Variable leaf : leaves) leaf.ZeroGrad();
+  Variable loss = scalar_fn();
+  OODGNN_CHECK_EQ(loss.value().size(), 1);
+  loss.Backward();
+  std::vector<Tensor> analytic;
+  analytic.reserve(leaves.size());
+  for (const Variable& leaf : leaves) analytic.push_back(leaf.grad());
+
+  GradCheckResult result;
+  for (size_t l = 0; l < leaves.size(); ++l) {
+    Variable leaf = leaves[l];
+    for (int i = 0; i < leaf.value().size(); ++i) {
+      const float original = leaf.value()[i];
+      leaf.mutable_value()[i] = original + eps;
+      const double up = scalar_fn().value()[0];
+      leaf.mutable_value()[i] = original - eps;
+      const double down = scalar_fn().value()[0];
+      leaf.mutable_value()[i] = original;
+      const double numeric = (up - down) / (2.0 * eps);
+      const double err = std::fabs(numeric - analytic[l][i]) /
+                         std::max(1.0, std::fabs(numeric));
+      if (err > result.max_relative_error) {
+        result.max_relative_error = err;
+        result.worst_leaf = static_cast<int>(l);
+        result.worst_element = i;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace oodgnn

@@ -1,0 +1,31 @@
+#ifndef OODGNN_TENSOR_GRADCHECK_H_
+#define OODGNN_TENSOR_GRADCHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/tensor/variable.h"
+
+namespace oodgnn {
+
+/// Result of a finite-difference gradient check.
+struct GradCheckResult {
+  /// Maximum absolute error between analytic and numeric gradient,
+  /// normalized by max(1, |numeric|).
+  double max_relative_error = 0.0;
+  /// Flat index (leaf, element) where the worst error occurred.
+  int worst_leaf = -1;
+  int worst_element = -1;
+};
+
+/// Verifies the analytic gradients of `scalar_fn` (a function that
+/// rebuilds a 1×1 Variable from the current leaf values) against central
+/// finite differences, perturbing every element of every leaf. The
+/// leaves must be Param variables consumed inside `scalar_fn`.
+GradCheckResult CheckGradients(const std::vector<Variable>& leaves,
+                               const std::function<Variable()>& scalar_fn,
+                               float eps = 1e-2f);
+
+}  // namespace oodgnn
+
+#endif  // OODGNN_TENSOR_GRADCHECK_H_

@@ -1,0 +1,739 @@
+#include "src/tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace oodgnn {
+namespace {
+
+using NodePtr = std::shared_ptr<VariableNode>;
+
+/// out += a[m,k] · b[k,n]; plain ikj loop (cache-friendly row-major).
+void MatMulAcc(const Tensor& a, const Tensor& b, Tensor* out) {
+  const int m = a.rows();
+  const int k = a.cols();
+  const int n = b.cols();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out->row(i);
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.f) continue;
+      const float* brow = b.row(p);
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+/// out += aᵀ[k,m] · b is expressed as out[p,j] += Σ_i a[i,p]·b[i,j].
+void MatMulTransAAcc(const Tensor& a, const Tensor& b, Tensor* out) {
+  const int m = a.rows();
+  const int k = a.cols();
+  const int n = b.cols();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    const float* brow = b.row(i);
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.f) continue;
+      float* orow = out->row(p);
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  (void)m;
+}
+
+/// out += a[m,k] · bᵀ[k,n] where b is [n,k]: out[i,j] += dot(a[i,:], b[j,:]).
+void MatMulTransBAcc(const Tensor& a, const Tensor& b, Tensor* out) {
+  const int m = a.rows();
+  const int k = a.cols();
+  const int n = b.rows();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out->row(i);
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b.row(j);
+      float acc = 0.f;
+      for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      orow[j] += acc;
+    }
+  }
+}
+
+/// Unary element-wise op helper: forward maps value, backward multiplies
+/// upstream grad by a locally computed derivative.
+template <typename Fwd, typename Bwd>
+Variable UnaryOp(const Variable& a, Fwd&& fwd, Bwd&& dfn) {
+  OODGNN_CHECK(a.defined());
+  const Tensor& av = a.value();
+  Tensor out(av.rows(), av.cols());
+  for (int i = 0; i < av.size(); ++i) out[i] = fwd(av[i]);
+  NodePtr pa = a.node();
+  // The derivative receives (input, output) so implementations can use
+  // whichever is cheaper.
+  return Variable::MakeOp(
+      std::move(out), {pa}, [pa, dfn](const VariableNode& self) {
+        if (!pa->requires_grad) return;
+        const Tensor& g = self.grad;
+        for (int i = 0; i < g.size(); ++i) {
+          pa->grad[i] += g[i] * dfn(pa->value[i], self.value[i]);
+        }
+      });
+}
+
+}  // namespace
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  OODGNN_CHECK(a.defined() && b.defined());
+  OODGNN_CHECK_EQ(a.cols(), b.rows()) << "MatMul shape mismatch";
+  Tensor out(a.rows(), b.cols());
+  MatMulAcc(a.value(), b.value(), &out);
+  NodePtr pa = a.node();
+  NodePtr pb = b.node();
+  return Variable::MakeOp(
+      std::move(out), {pa, pb}, [pa, pb](const VariableNode& self) {
+        if (pa->requires_grad) {
+          MatMulTransBAcc(self.grad, pb->value, &pa->grad);
+        }
+        if (pb->requires_grad) {
+          MatMulTransAAcc(pa->value, self.grad, &pb->grad);
+        }
+      });
+}
+
+Variable Add(const Variable& a, const Variable& b) {
+  OODGNN_CHECK(a.value().SameShape(b.value()));
+  Tensor out = a.value();
+  out.Add(b.value());
+  NodePtr pa = a.node();
+  NodePtr pb = b.node();
+  return Variable::MakeOp(
+      std::move(out), {pa, pb}, [pa, pb](const VariableNode& self) {
+        if (pa->requires_grad) pa->grad.Add(self.grad);
+        if (pb->requires_grad) pb->grad.Add(self.grad);
+      });
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  OODGNN_CHECK(a.value().SameShape(b.value()));
+  Tensor out = a.value();
+  for (int i = 0; i < out.size(); ++i) out[i] -= b.value()[i];
+  NodePtr pa = a.node();
+  NodePtr pb = b.node();
+  return Variable::MakeOp(
+      std::move(out), {pa, pb}, [pa, pb](const VariableNode& self) {
+        if (pa->requires_grad) pa->grad.Add(self.grad);
+        if (pb->requires_grad) {
+          for (int i = 0; i < self.grad.size(); ++i) {
+            pb->grad[i] -= self.grad[i];
+          }
+        }
+      });
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  OODGNN_CHECK(a.value().SameShape(b.value()));
+  Tensor out(a.rows(), a.cols());
+  for (int i = 0; i < out.size(); ++i) out[i] = a.value()[i] * b.value()[i];
+  NodePtr pa = a.node();
+  NodePtr pb = b.node();
+  return Variable::MakeOp(
+      std::move(out), {pa, pb}, [pa, pb](const VariableNode& self) {
+        const Tensor& g = self.grad;
+        if (pa->requires_grad) {
+          for (int i = 0; i < g.size(); ++i) pa->grad[i] += g[i] * pb->value[i];
+        }
+        if (pb->requires_grad) {
+          for (int i = 0; i < g.size(); ++i) pb->grad[i] += g[i] * pa->value[i];
+        }
+      });
+}
+
+Variable AddRowVec(const Variable& a, const Variable& b) {
+  OODGNN_CHECK_EQ(b.rows(), 1);
+  OODGNN_CHECK_EQ(b.cols(), a.cols());
+  Tensor out = a.value();
+  for (int r = 0; r < out.rows(); ++r) {
+    float* orow = out.row(r);
+    const float* brow = b.value().row(0);
+    for (int c = 0; c < out.cols(); ++c) orow[c] += brow[c];
+  }
+  NodePtr pa = a.node();
+  NodePtr pb = b.node();
+  return Variable::MakeOp(
+      std::move(out), {pa, pb}, [pa, pb](const VariableNode& self) {
+        if (pa->requires_grad) pa->grad.Add(self.grad);
+        if (pb->requires_grad) {
+          for (int r = 0; r < self.grad.rows(); ++r) {
+            const float* grow = self.grad.row(r);
+            float* brow = pb->grad.row(0);
+            for (int c = 0; c < self.grad.cols(); ++c) brow[c] += grow[c];
+          }
+        }
+      });
+}
+
+Variable MulRowVec(const Variable& a, const Variable& b) {
+  OODGNN_CHECK_EQ(b.rows(), 1);
+  OODGNN_CHECK_EQ(b.cols(), a.cols());
+  Tensor out(a.rows(), a.cols());
+  for (int r = 0; r < out.rows(); ++r) {
+    for (int c = 0; c < out.cols(); ++c) {
+      out.at(r, c) = a.value().at(r, c) * b.value().at(0, c);
+    }
+  }
+  NodePtr pa = a.node();
+  NodePtr pb = b.node();
+  return Variable::MakeOp(
+      std::move(out), {pa, pb}, [pa, pb](const VariableNode& self) {
+        const Tensor& g = self.grad;
+        if (pa->requires_grad) {
+          for (int r = 0; r < g.rows(); ++r) {
+            for (int c = 0; c < g.cols(); ++c) {
+              pa->grad.at(r, c) += g.at(r, c) * pb->value.at(0, c);
+            }
+          }
+        }
+        if (pb->requires_grad) {
+          for (int r = 0; r < g.rows(); ++r) {
+            for (int c = 0; c < g.cols(); ++c) {
+              pb->grad.at(0, c) += g.at(r, c) * pa->value.at(r, c);
+            }
+          }
+        }
+      });
+}
+
+Variable DivRowVec(const Variable& a, const Variable& b) {
+  OODGNN_CHECK_EQ(b.rows(), 1);
+  OODGNN_CHECK_EQ(b.cols(), a.cols());
+  Tensor out(a.rows(), a.cols());
+  for (int r = 0; r < out.rows(); ++r) {
+    for (int c = 0; c < out.cols(); ++c) {
+      out.at(r, c) = a.value().at(r, c) / b.value().at(0, c);
+    }
+  }
+  NodePtr pa = a.node();
+  NodePtr pb = b.node();
+  return Variable::MakeOp(
+      std::move(out), {pa, pb}, [pa, pb](const VariableNode& self) {
+        const Tensor& g = self.grad;
+        if (pa->requires_grad) {
+          for (int r = 0; r < g.rows(); ++r) {
+            for (int c = 0; c < g.cols(); ++c) {
+              pa->grad.at(r, c) += g.at(r, c) / pb->value.at(0, c);
+            }
+          }
+        }
+        if (pb->requires_grad) {
+          for (int r = 0; r < g.rows(); ++r) {
+            for (int c = 0; c < g.cols(); ++c) {
+              const float bv = pb->value.at(0, c);
+              pb->grad.at(0, c) -=
+                  g.at(r, c) * self.value.at(r, c) / bv;
+            }
+          }
+        }
+      });
+}
+
+Variable MulColVec(const Variable& a, const Variable& w) {
+  OODGNN_CHECK_EQ(w.cols(), 1);
+  OODGNN_CHECK_EQ(w.rows(), a.rows());
+  Tensor out(a.rows(), a.cols());
+  for (int r = 0; r < out.rows(); ++r) {
+    const float wv = w.value().at(r, 0);
+    const float* arow = a.value().row(r);
+    float* orow = out.row(r);
+    for (int c = 0; c < out.cols(); ++c) orow[c] = arow[c] * wv;
+  }
+  NodePtr pa = a.node();
+  NodePtr pw = w.node();
+  return Variable::MakeOp(
+      std::move(out), {pa, pw}, [pa, pw](const VariableNode& self) {
+        const Tensor& g = self.grad;
+        for (int r = 0; r < g.rows(); ++r) {
+          const float* grow = g.row(r);
+          if (pa->requires_grad) {
+            const float wv = pw->value.at(r, 0);
+            float* arow = pa->grad.row(r);
+            for (int c = 0; c < g.cols(); ++c) arow[c] += grow[c] * wv;
+          }
+          if (pw->requires_grad) {
+            const float* arow = pa->value.row(r);
+            float acc = 0.f;
+            for (int c = 0; c < g.cols(); ++c) acc += grow[c] * arow[c];
+            pw->grad.at(r, 0) += acc;
+          }
+        }
+      });
+}
+
+Variable Scale(const Variable& a, float s) {
+  Tensor out = a.value();
+  out.Scale(s);
+  NodePtr pa = a.node();
+  return Variable::MakeOp(
+      std::move(out), {pa}, [pa, s](const VariableNode& self) {
+        if (!pa->requires_grad) return;
+        for (int i = 0; i < self.grad.size(); ++i) {
+          pa->grad[i] += self.grad[i] * s;
+        }
+      });
+}
+
+Variable MulByScalarVar(const Variable& a, const Variable& s) {
+  OODGNN_CHECK_EQ(s.value().size(), 1);
+  const float sv = s.value()[0];
+  Tensor out = a.value();
+  out.Scale(sv);
+  NodePtr pa = a.node();
+  NodePtr ps = s.node();
+  return Variable::MakeOp(
+      std::move(out), {pa, ps}, [pa, ps](const VariableNode& self) {
+        const Tensor& g = self.grad;
+        if (pa->requires_grad) {
+          const float sv = ps->value[0];
+          for (int i = 0; i < g.size(); ++i) pa->grad[i] += g[i] * sv;
+        }
+        if (ps->requires_grad) {
+          float acc = 0.f;
+          for (int i = 0; i < g.size(); ++i) acc += g[i] * pa->value[i];
+          ps->grad[0] += acc;
+        }
+      });
+}
+
+Variable Reciprocal(const Variable& a) {
+  return UnaryOp(
+      a, [](float x) { return 1.f / x; },
+      [](float, float y) { return -y * y; });
+}
+
+Variable AddScalar(const Variable& a, float s) {
+  Tensor out = a.value();
+  for (int i = 0; i < out.size(); ++i) out[i] += s;
+  NodePtr pa = a.node();
+  return Variable::MakeOp(std::move(out), {pa},
+                          [pa](const VariableNode& self) {
+                            if (pa->requires_grad) pa->grad.Add(self.grad);
+                          });
+}
+
+Variable Relu(const Variable& a) {
+  return UnaryOp(
+      a, [](float x) { return x > 0.f ? x : 0.f; },
+      [](float x, float) { return x > 0.f ? 1.f : 0.f; });
+}
+
+Variable LeakyRelu(const Variable& a, float negative_slope) {
+  return UnaryOp(
+      a,
+      [negative_slope](float x) {
+        return x > 0.f ? x : negative_slope * x;
+      },
+      [negative_slope](float x, float) {
+        return x > 0.f ? 1.f : negative_slope;
+      });
+}
+
+Variable Sigmoid(const Variable& a) {
+  return UnaryOp(
+      a, [](float x) { return 1.f / (1.f + std::exp(-x)); },
+      [](float, float y) { return y * (1.f - y); });
+}
+
+Variable TanhOp(const Variable& a) {
+  return UnaryOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.f - y * y; });
+}
+
+Variable CosOp(const Variable& a) {
+  return UnaryOp(
+      a, [](float x) { return std::cos(x); },
+      [](float x, float) { return -std::sin(x); });
+}
+
+Variable ExpOp(const Variable& a) {
+  return UnaryOp(
+      a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+Variable LogOp(const Variable& a) {
+  return UnaryOp(
+      a, [](float x) { return std::log(x); },
+      [](float x, float) { return 1.f / x; });
+}
+
+Variable SqrtOp(const Variable& a) {
+  return UnaryOp(
+      a, [](float x) { return std::sqrt(x); },
+      [](float, float y) { return 0.5f / std::max(y, 1e-12f); });
+}
+
+Variable Square(const Variable& a) {
+  return UnaryOp(
+      a, [](float x) { return x * x; },
+      [](float x, float) { return 2.f * x; });
+}
+
+Variable AbsOp(const Variable& a) {
+  return UnaryOp(
+      a, [](float x) { return std::fabs(x); },
+      [](float x, float) { return x > 0.f ? 1.f : (x < 0.f ? -1.f : 0.f); });
+}
+
+Variable Sum(const Variable& a) {
+  Tensor out(1, 1, a.value().Sum());
+  NodePtr pa = a.node();
+  return Variable::MakeOp(
+      std::move(out), {pa}, [pa](const VariableNode& self) {
+        if (!pa->requires_grad) return;
+        const float g = self.grad[0];
+        for (int i = 0; i < pa->grad.size(); ++i) pa->grad[i] += g;
+      });
+}
+
+Variable MeanAll(const Variable& a) {
+  OODGNN_CHECK_GT(a.value().size(), 0);
+  return Scale(Sum(a), 1.f / static_cast<float>(a.value().size()));
+}
+
+Variable SumRows(const Variable& a) {
+  Tensor out(1, a.cols());
+  for (int r = 0; r < a.rows(); ++r) {
+    const float* arow = a.value().row(r);
+    for (int c = 0; c < a.cols(); ++c) out.at(0, c) += arow[c];
+  }
+  NodePtr pa = a.node();
+  return Variable::MakeOp(
+      std::move(out), {pa}, [pa](const VariableNode& self) {
+        if (!pa->requires_grad) return;
+        for (int r = 0; r < pa->grad.rows(); ++r) {
+          float* grow = pa->grad.row(r);
+          const float* srow = self.grad.row(0);
+          for (int c = 0; c < pa->grad.cols(); ++c) grow[c] += srow[c];
+        }
+      });
+}
+
+Variable SumCols(const Variable& a) {
+  Tensor out(a.rows(), 1);
+  for (int r = 0; r < a.rows(); ++r) {
+    const float* arow = a.value().row(r);
+    float acc = 0.f;
+    for (int c = 0; c < a.cols(); ++c) acc += arow[c];
+    out.at(r, 0) = acc;
+  }
+  NodePtr pa = a.node();
+  return Variable::MakeOp(
+      std::move(out), {pa}, [pa](const VariableNode& self) {
+        if (!pa->requires_grad) return;
+        for (int r = 0; r < pa->grad.rows(); ++r) {
+          const float g = self.grad.at(r, 0);
+          float* grow = pa->grad.row(r);
+          for (int c = 0; c < pa->grad.cols(); ++c) grow[c] += g;
+        }
+      });
+}
+
+Variable MeanRows(const Variable& a) {
+  OODGNN_CHECK_GT(a.rows(), 0);
+  return Scale(SumRows(a), 1.f / static_cast<float>(a.rows()));
+}
+
+Variable Transpose(const Variable& a) {
+  Tensor out = a.value().Transposed();
+  NodePtr pa = a.node();
+  return Variable::MakeOp(
+      std::move(out), {pa}, [pa](const VariableNode& self) {
+        if (!pa->requires_grad) return;
+        for (int r = 0; r < self.grad.rows(); ++r) {
+          for (int c = 0; c < self.grad.cols(); ++c) {
+            pa->grad.at(c, r) += self.grad.at(r, c);
+          }
+        }
+      });
+}
+
+Variable SoftmaxRows(const Variable& a) {
+  Tensor out(a.rows(), a.cols());
+  for (int r = 0; r < a.rows(); ++r) {
+    const float* arow = a.value().row(r);
+    float* orow = out.row(r);
+    float mx = -std::numeric_limits<float>::infinity();
+    for (int c = 0; c < a.cols(); ++c) mx = std::max(mx, arow[c]);
+    float total = 0.f;
+    for (int c = 0; c < a.cols(); ++c) {
+      orow[c] = std::exp(arow[c] - mx);
+      total += orow[c];
+    }
+    for (int c = 0; c < a.cols(); ++c) orow[c] /= total;
+  }
+  NodePtr pa = a.node();
+  return Variable::MakeOp(
+      std::move(out), {pa}, [pa](const VariableNode& self) {
+        if (!pa->requires_grad) return;
+        for (int r = 0; r < self.grad.rows(); ++r) {
+          const float* srow = self.value.row(r);
+          const float* grow = self.grad.row(r);
+          float dot = 0.f;
+          for (int c = 0; c < self.grad.cols(); ++c) dot += grow[c] * srow[c];
+          float* arow = pa->grad.row(r);
+          for (int c = 0; c < self.grad.cols(); ++c) {
+            arow[c] += srow[c] * (grow[c] - dot);
+          }
+        }
+      });
+}
+
+Variable RowGather(const Variable& a, const std::vector<int>& index) {
+  Tensor out(static_cast<int>(index.size()), a.cols());
+  for (size_t i = 0; i < index.size(); ++i) {
+    OODGNN_DCHECK(index[i] >= 0 && index[i] < a.rows());
+    const float* src = a.value().row(index[i]);
+    float* dst = out.row(static_cast<int>(i));
+    std::copy(src, src + a.cols(), dst);
+  }
+  NodePtr pa = a.node();
+  return Variable::MakeOp(
+      std::move(out), {pa},
+      [pa, index](const VariableNode& self) {
+        if (!pa->requires_grad) return;
+        for (size_t i = 0; i < index.size(); ++i) {
+          const float* grow = self.grad.row(static_cast<int>(i));
+          float* arow = pa->grad.row(index[i]);
+          for (int c = 0; c < self.grad.cols(); ++c) arow[c] += grow[c];
+        }
+      });
+}
+
+Variable ScatterAddRows(const Variable& a, const std::vector<int>& index,
+                        int out_rows) {
+  OODGNN_CHECK_EQ(static_cast<int>(index.size()), a.rows());
+  Tensor out(out_rows, a.cols());
+  for (size_t i = 0; i < index.size(); ++i) {
+    OODGNN_DCHECK(index[i] >= 0 && index[i] < out_rows);
+    const float* src = a.value().row(static_cast<int>(i));
+    float* dst = out.row(index[i]);
+    for (int c = 0; c < a.cols(); ++c) dst[c] += src[c];
+  }
+  NodePtr pa = a.node();
+  return Variable::MakeOp(
+      std::move(out), {pa},
+      [pa, index](const VariableNode& self) {
+        if (!pa->requires_grad) return;
+        for (size_t i = 0; i < index.size(); ++i) {
+          const float* grow = self.grad.row(index[i]);
+          float* arow = pa->grad.row(static_cast<int>(i));
+          for (int c = 0; c < self.grad.cols(); ++c) arow[c] += grow[c];
+        }
+      });
+}
+
+Variable SegmentSum(const Variable& a, const std::vector<int>& segment,
+                    int num_segments) {
+  return ScatterAddRows(a, segment, num_segments);
+}
+
+Variable SegmentMean(const Variable& a, const std::vector<int>& segment,
+                     int num_segments) {
+  OODGNN_CHECK_EQ(static_cast<int>(segment.size()), a.rows());
+  std::vector<float> inv_count(static_cast<size_t>(num_segments), 0.f);
+  for (int s : segment) {
+    OODGNN_DCHECK(s >= 0 && s < num_segments);
+    inv_count[static_cast<size_t>(s)] += 1.f;
+  }
+  for (float& v : inv_count) v = v > 0.f ? 1.f / v : 0.f;
+  Variable sum = SegmentSum(a, segment, num_segments);
+  Variable scale = Variable::Constant(Tensor::ColVector(inv_count));
+  return MulColVec(sum, scale);
+}
+
+namespace {
+
+Variable SegmentExtreme(const Variable& a, const std::vector<int>& segment,
+                        int num_segments, bool is_max) {
+  OODGNN_CHECK_EQ(static_cast<int>(segment.size()), a.rows());
+  const float init = is_max ? -std::numeric_limits<float>::infinity()
+                            : std::numeric_limits<float>::infinity();
+  Tensor out(num_segments, a.cols(), init);
+  // argmax[s*cols+c] = row index supplying the extreme, or -1 if empty.
+  auto arg = std::make_shared<std::vector<int>>(
+      static_cast<size_t>(num_segments) * a.cols(), -1);
+  for (int r = 0; r < a.rows(); ++r) {
+    const int s = segment[static_cast<size_t>(r)];
+    const float* arow = a.value().row(r);
+    float* orow = out.row(s);
+    for (int c = 0; c < a.cols(); ++c) {
+      const bool better = is_max ? arow[c] > orow[c] : arow[c] < orow[c];
+      if (better) {
+        orow[c] = arow[c];
+        (*arg)[static_cast<size_t>(s) * a.cols() + c] = r;
+      }
+    }
+  }
+  // Empty segments: replace ±inf sentinels with zeros.
+  for (int s = 0; s < num_segments; ++s) {
+    float* orow = out.row(s);
+    for (int c = 0; c < a.cols(); ++c) {
+      if ((*arg)[static_cast<size_t>(s) * a.cols() + c] < 0) orow[c] = 0.f;
+    }
+  }
+  NodePtr pa = a.node();
+  return Variable::MakeOp(
+      std::move(out), {pa},
+      [pa, arg](const VariableNode& self) {
+        if (!pa->requires_grad) return;
+        const int cols = self.grad.cols();
+        for (int s = 0; s < self.grad.rows(); ++s) {
+          const float* grow = self.grad.row(s);
+          for (int c = 0; c < cols; ++c) {
+            const int r = (*arg)[static_cast<size_t>(s) * cols + c];
+            if (r >= 0) pa->grad.at(r, c) += grow[c];
+          }
+        }
+      });
+}
+
+}  // namespace
+
+Variable SegmentMax(const Variable& a, const std::vector<int>& segment,
+                    int num_segments) {
+  return SegmentExtreme(a, segment, num_segments, /*is_max=*/true);
+}
+
+Variable SegmentMin(const Variable& a, const std::vector<int>& segment,
+                    int num_segments) {
+  return SegmentExtreme(a, segment, num_segments, /*is_max=*/false);
+}
+
+Variable ConcatCols(const std::vector<Variable>& parts) {
+  OODGNN_CHECK(!parts.empty());
+  const int rows = parts[0].rows();
+  int total_cols = 0;
+  for (const Variable& p : parts) {
+    OODGNN_CHECK_EQ(p.rows(), rows);
+    total_cols += p.cols();
+  }
+  Tensor out(rows, total_cols);
+  int offset = 0;
+  for (const Variable& p : parts) {
+    for (int r = 0; r < rows; ++r) {
+      const float* src = p.value().row(r);
+      float* dst = out.row(r) + offset;
+      std::copy(src, src + p.cols(), dst);
+    }
+    offset += p.cols();
+  }
+  std::vector<NodePtr> nodes;
+  nodes.reserve(parts.size());
+  for (const Variable& p : parts) nodes.push_back(p.node());
+  return Variable::MakeOp(
+      std::move(out), nodes, [nodes](const VariableNode& self) {
+        int offset = 0;
+        for (const NodePtr& node : nodes) {
+          const int cols = node->value.cols();
+          if (node->requires_grad) {
+            for (int r = 0; r < node->value.rows(); ++r) {
+              const float* grow = self.grad.row(r) + offset;
+              float* drow = node->grad.row(r);
+              for (int c = 0; c < cols; ++c) drow[c] += grow[c];
+            }
+          }
+          offset += cols;
+        }
+      });
+}
+
+Variable ConcatRows(const std::vector<Variable>& parts) {
+  OODGNN_CHECK(!parts.empty());
+  const int cols = parts[0].cols();
+  int total_rows = 0;
+  for (const Variable& p : parts) {
+    OODGNN_CHECK_EQ(p.cols(), cols);
+    total_rows += p.rows();
+  }
+  Tensor out(total_rows, cols);
+  int offset = 0;
+  for (const Variable& p : parts) {
+    for (int r = 0; r < p.rows(); ++r) {
+      const float* src = p.value().row(r);
+      std::copy(src, src + cols, out.row(offset + r));
+    }
+    offset += p.rows();
+  }
+  std::vector<NodePtr> nodes;
+  nodes.reserve(parts.size());
+  for (const Variable& p : parts) nodes.push_back(p.node());
+  return Variable::MakeOp(
+      std::move(out), nodes, [nodes](const VariableNode& self) {
+        int offset = 0;
+        for (const NodePtr& node : nodes) {
+          if (node->requires_grad) {
+            for (int r = 0; r < node->value.rows(); ++r) {
+              const float* grow = self.grad.row(offset + r);
+              float* drow = node->grad.row(r);
+              for (int c = 0; c < self.grad.cols(); ++c) drow[c] += grow[c];
+            }
+          }
+          offset += node->value.rows();
+        }
+      });
+}
+
+Variable SliceRows(const Variable& a, int start, int len) {
+  OODGNN_CHECK(start >= 0 && len >= 0 && start + len <= a.rows());
+  Tensor out(len, a.cols());
+  for (int r = 0; r < len; ++r) {
+    const float* src = a.value().row(start + r);
+    std::copy(src, src + a.cols(), out.row(r));
+  }
+  NodePtr pa = a.node();
+  return Variable::MakeOp(
+      std::move(out), {pa}, [pa, start](const VariableNode& self) {
+        if (!pa->requires_grad) return;
+        for (int r = 0; r < self.grad.rows(); ++r) {
+          const float* grow = self.grad.row(r);
+          float* drow = pa->grad.row(start + r);
+          for (int c = 0; c < self.grad.cols(); ++c) drow[c] += grow[c];
+        }
+      });
+}
+
+Variable Dropout(const Variable& a, float p, Rng* rng, bool training) {
+  OODGNN_CHECK(p >= 0.f && p < 1.f);
+  if (!training || p == 0.f) return a;
+  auto mask = std::make_shared<Tensor>(a.rows(), a.cols());
+  const float keep_scale = 1.f / (1.f - p);
+  for (int i = 0; i < mask->size(); ++i) {
+    (*mask)[i] = rng->Bernoulli(p) ? 0.f : keep_scale;
+  }
+  Tensor out(a.rows(), a.cols());
+  for (int i = 0; i < out.size(); ++i) out[i] = a.value()[i] * (*mask)[i];
+  NodePtr pa = a.node();
+  return Variable::MakeOp(
+      std::move(out), {pa}, [pa, mask](const VariableNode& self) {
+        if (!pa->requires_grad) return;
+        for (int i = 0; i < self.grad.size(); ++i) {
+          pa->grad[i] += self.grad[i] * (*mask)[i];
+        }
+      });
+}
+
+Variable Clamp(const Variable& a, float lo, float hi) {
+  OODGNN_CHECK_LE(lo, hi);
+  return UnaryOp(
+      a, [lo, hi](float x) { return std::clamp(x, lo, hi); },
+      [lo, hi](float x, float) { return (x >= lo && x <= hi) ? 1.f : 0.f; });
+}
+
+}  // namespace oodgnn

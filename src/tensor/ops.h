@@ -1,0 +1,133 @@
+#ifndef OODGNN_TENSOR_OPS_H_
+#define OODGNN_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "src/tensor/variable.h"
+
+namespace oodgnn {
+
+class Rng;
+
+// ---------------------------------------------------------------------------
+// Differentiable operators. Each returns a new Variable whose backward
+// function accumulates gradients into its inputs. Shape contracts are
+// checked at call time.
+// ---------------------------------------------------------------------------
+
+/// Matrix product a[m,k] · b[k,n] -> [m,n].
+Variable MatMul(const Variable& a, const Variable& b);
+
+/// Element-wise sum; shapes must match.
+Variable Add(const Variable& a, const Variable& b);
+
+/// Element-wise difference; shapes must match.
+Variable Sub(const Variable& a, const Variable& b);
+
+/// Element-wise (Hadamard) product; shapes must match.
+Variable Mul(const Variable& a, const Variable& b);
+
+/// a[m,n] + row vector b[1,n] broadcast over rows.
+Variable AddRowVec(const Variable& a, const Variable& b);
+
+/// a[m,n] * row vector b[1,n] broadcast over rows.
+Variable MulRowVec(const Variable& a, const Variable& b);
+
+/// a[m,n] / row vector b[1,n] broadcast over rows. b must be non-zero.
+Variable DivRowVec(const Variable& a, const Variable& b);
+
+/// a[m,n] with row i scaled by w[i,0] (column-vector broadcast across
+/// columns). Used for per-sample weighting.
+Variable MulColVec(const Variable& a, const Variable& w);
+
+/// a * s for a constant scalar s.
+Variable Scale(const Variable& a, float s);
+
+/// a * s where s is a trainable 1×1 Variable (broadcast to all of a).
+Variable MulByScalarVar(const Variable& a, const Variable& s);
+
+/// Element-wise reciprocal 1/x (input must be non-zero).
+Variable Reciprocal(const Variable& a);
+
+/// a + s element-wise for a constant scalar s.
+Variable AddScalar(const Variable& a, float s);
+
+/// Element-wise nonlinearities.
+Variable Relu(const Variable& a);
+Variable LeakyRelu(const Variable& a, float negative_slope = 0.2f);
+Variable Sigmoid(const Variable& a);
+Variable TanhOp(const Variable& a);
+Variable CosOp(const Variable& a);
+Variable ExpOp(const Variable& a);
+Variable LogOp(const Variable& a);    // requires strictly positive input
+Variable SqrtOp(const Variable& a);   // requires non-negative input
+Variable Square(const Variable& a);
+Variable AbsOp(const Variable& a);
+
+/// Sum of all elements -> 1×1.
+Variable Sum(const Variable& a);
+
+/// Mean of all elements -> 1×1.
+Variable MeanAll(const Variable& a);
+
+/// Column sums: [m,n] -> [1,n] (reduces over rows).
+Variable SumRows(const Variable& a);
+
+/// Row sums: [m,n] -> [m,1] (reduces over columns).
+Variable SumCols(const Variable& a);
+
+/// Column means: [m,n] -> [1,n].
+Variable MeanRows(const Variable& a);
+
+/// Transpose [m,n] -> [n,m].
+Variable Transpose(const Variable& a);
+
+/// Row-wise softmax.
+Variable SoftmaxRows(const Variable& a);
+
+/// out[i] = a[index[i]]; indices may repeat. [m,n] -> [k,n].
+Variable RowGather(const Variable& a, const std::vector<int>& index);
+
+/// out[index[i]] += a[i]; out has `out_rows` rows. The scatter-add used
+/// for message aggregation; indices must lie in [0, out_rows).
+Variable ScatterAddRows(const Variable& a, const std::vector<int>& index,
+                        int out_rows);
+
+/// Per-segment column-wise sum: rows of `a` with segment[r] == s are
+/// summed into output row s. Equivalent to ScatterAddRows.
+Variable SegmentSum(const Variable& a, const std::vector<int>& segment,
+                    int num_segments);
+
+/// Per-segment mean; empty segments produce zero rows.
+Variable SegmentMean(const Variable& a, const std::vector<int>& segment,
+                     int num_segments);
+
+/// Per-segment element-wise max; empty segments produce zero rows. The
+/// gradient flows to the (first) argmax element of each segment/column.
+Variable SegmentMax(const Variable& a, const std::vector<int>& segment,
+                    int num_segments);
+
+/// Per-segment element-wise min (same conventions as SegmentMax).
+Variable SegmentMin(const Variable& a, const std::vector<int>& segment,
+                    int num_segments);
+
+/// Horizontal concatenation [m,n1],[m,n2],... -> [m, Σn].
+Variable ConcatCols(const std::vector<Variable>& parts);
+
+/// Vertical concatenation [m1,n],[m2,n],... -> [Σm, n].
+Variable ConcatRows(const std::vector<Variable>& parts);
+
+/// Contiguous row slice [start, start+len).
+Variable SliceRows(const Variable& a, int start, int len);
+
+/// Inverted dropout: during training, zeroes each element with
+/// probability p and scales survivors by 1/(1-p); identity otherwise.
+Variable Dropout(const Variable& a, float p, Rng* rng, bool training);
+
+/// Element-wise clamp to [lo, hi]; gradient is passed through inside the
+/// interval and zero outside.
+Variable Clamp(const Variable& a, float lo, float hi);
+
+}  // namespace oodgnn
+
+#endif  // OODGNN_TENSOR_OPS_H_

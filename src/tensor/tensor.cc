@@ -1,0 +1,143 @@
+#include "src/tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace oodgnn {
+
+Tensor::Tensor(int rows, int cols) : Tensor(rows, cols, 0.f) {}
+
+Tensor::Tensor(int rows, int cols, float fill)
+    : rows_(rows),
+      cols_(cols),
+      data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), fill) {
+  OODGNN_CHECK_GE(rows, 0);
+  OODGNN_CHECK_GE(cols, 0);
+}
+
+Tensor Tensor::FromData(int rows, int cols, std::vector<float> data) {
+  OODGNN_CHECK_EQ(data.size(),
+                  static_cast<size_t>(rows) * static_cast<size_t>(cols));
+  Tensor t;
+  t.rows_ = rows;
+  t.cols_ = cols;
+  t.data_ = std::move(data);
+  return t;
+}
+
+Tensor Tensor::RowVector(std::vector<float> values) {
+  int n = static_cast<int>(values.size());
+  return FromData(1, n, std::move(values));
+}
+
+Tensor Tensor::ColVector(std::vector<float> values) {
+  int n = static_cast<int>(values.size());
+  return FromData(n, 1, std::move(values));
+}
+
+Tensor Tensor::Identity(int n) {
+  Tensor t(n, n);
+  for (int i = 0; i < n; ++i) t.at(i, i) = 1.f;
+  return t;
+}
+
+Tensor Tensor::RandomNormal(int rows, int cols, Rng* rng, float mean,
+                            float stddev) {
+  Tensor t(rows, cols);
+  for (int i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng->Normal(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::RandomUniform(int rows, int cols, Rng* rng, float lo,
+                             float hi) {
+  Tensor t(rows, cols);
+  for (int i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return t;
+}
+
+float& Tensor::at(int r, int c) {
+  OODGNN_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  return data_[static_cast<size_t>(r) * cols_ + c];
+}
+
+float Tensor::at(int r, int c) const {
+  OODGNN_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  return data_[static_cast<size_t>(r) * cols_ + c];
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::Add(const Tensor& other) {
+  OODGNN_CHECK(SameShape(other));
+  for (int i = 0; i < size(); ++i) data_[static_cast<size_t>(i)] += other[i];
+}
+
+void Tensor::Scale(float s) {
+  for (float& v : data_) v *= s;
+}
+
+float Tensor::Sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::MaxAbs() const {
+  float m = 0.f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+Tensor Tensor::Reshaped(int rows, int cols) const {
+  OODGNN_CHECK_EQ(rows * cols, size());
+  Tensor t = *this;
+  t.rows_ = rows;
+  t.cols_ = cols;
+  return t;
+}
+
+Tensor Tensor::Transposed() const {
+  Tensor t(cols_, rows_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  }
+  return t;
+}
+
+std::string Tensor::ToString() const {
+  std::ostringstream out;
+  out << "Tensor(" << rows_ << "x" << cols_ << ")";
+  const int max_rows = 8;
+  const int max_cols = 12;
+  for (int r = 0; r < std::min(rows_, max_rows); ++r) {
+    out << "\n  [";
+    for (int c = 0; c < std::min(cols_, max_cols); ++c) {
+      if (c) out << ", ";
+      out << at(r, c);
+    }
+    if (cols_ > max_cols) out << ", ...";
+    out << "]";
+  }
+  if (rows_ > max_rows) out << "\n  ...";
+  return out.str();
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float tol) {
+  if (!a.SameShape(b)) return false;
+  for (int i = 0; i < a.size(); ++i) {
+    if (std::fabs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace oodgnn

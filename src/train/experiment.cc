@@ -1,0 +1,100 @@
+#include "src/train/experiment.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/check.h"
+
+namespace oodgnn {
+
+MethodScores RunSeeds(Method method, const GraphDataset& dataset,
+                      const TrainConfig& base_config, int num_seeds) {
+  OODGNN_CHECK_GT(num_seeds, 0);
+  MethodScores scores;
+  for (int s = 0; s < num_seeds; ++s) {
+    TrainConfig config = base_config;
+    config.encoder.readout = RecommendedReadout(dataset.name);
+    config.seed = base_config.seed + static_cast<uint64_t>(s);
+    TrainResult result = TrainAndEvaluate(method, dataset, config);
+    scores.train.push_back(result.train_metric);
+    scores.valid.push_back(result.valid_metric);
+    scores.test.push_back(result.test_metric);
+    if (result.test2_metric >= 0) scores.test2.push_back(result.test2_metric);
+    scores.last_run = std::move(result);
+  }
+  return scores;
+}
+
+std::string FormatCell(const std::vector<double>& values, bool percent) {
+  if (values.empty()) return "-";
+  std::vector<double> scaled = values;
+  if (percent) {
+    for (double& v : scaled) v *= 100.0;
+  }
+  double mean = 0.0;
+  for (double v : scaled) mean += v;
+  mean /= static_cast<double>(scaled.size());
+  double var = 0.0;
+  for (double v : scaled) var += (v - mean) * (v - mean);
+  const double stddev =
+      scaled.size() > 1
+          ? std::sqrt(var / static_cast<double>(scaled.size() - 1))
+          : 0.0;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), percent ? "%.1f±%.1f" : "%.2f±%.2f", mean,
+                stddev);
+  return buf;
+}
+
+ReadoutKind RecommendedReadout(const std::string& dataset_name) {
+  if (dataset_name == "TRIANGLES" || dataset_name == "COLLAB" ||
+      dataset_name == "PROTEINS_25" || dataset_name == "DD_200" ||
+      dataset_name == "DD_300") {
+    return ReadoutKind::kSum;
+  }
+  return ReadoutKind::kMean;
+}
+
+void ApplyFastDefaults(const Flags& flags, int seeds, int epochs,
+                       double scale, BenchOptions* options) {
+  if (options->full) return;
+  if (!flags.Has("seeds")) options->seeds = seeds;
+  if (!flags.Has("epochs")) options->train.epochs = epochs;
+  if (!flags.Has("scale")) options->data_scale = scale;
+}
+
+BenchOptions BenchOptions::FromFlags(const Flags& flags) {
+  BenchOptions options;
+  options.full = flags.GetBool("full", false);
+  if (options.full) {
+    // Paper-leaning settings: bigger data, more seeds, longer training.
+    options.seeds = 5;
+    options.data_scale = 3.0;
+    options.train.epochs = 60;
+    options.train.encoder.hidden_dim = 64;
+  } else {
+    options.seeds = 2;
+    options.data_scale = 1.0;
+    options.train.epochs = 20;
+    options.train.encoder.hidden_dim = 32;
+  }
+  options.train.batch_size = 64;
+  options.train.lr = 1e-3f;
+  options.train.encoder.num_layers = 3;
+  options.train.encoder.dropout = 0.3f;
+
+  options.seeds = flags.GetInt("seeds", options.seeds);
+  options.data_scale = flags.GetDouble("scale", options.data_scale);
+  options.train.epochs = flags.GetInt("epochs", options.train.epochs);
+  options.train.batch_size = flags.GetInt("batch", options.train.batch_size);
+  options.train.lr =
+      static_cast<float>(flags.GetDouble("lr", options.train.lr));
+  options.train.encoder.hidden_dim =
+      flags.GetInt("hidden", options.train.encoder.hidden_dim);
+  options.train.encoder.num_layers =
+      flags.GetInt("layers", options.train.encoder.num_layers);
+  options.train.verbose = flags.GetBool("verbose", false);
+  return options;
+}
+
+}  // namespace oodgnn

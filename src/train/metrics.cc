@@ -1,0 +1,108 @@
+#include "src/train/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/util/check.h"
+
+namespace oodgnn {
+
+std::vector<int> ArgmaxRows(const Tensor& logits) {
+  std::vector<int> out(static_cast<size_t>(logits.rows()));
+  for (int r = 0; r < logits.rows(); ++r) {
+    const float* row = logits.row(r);
+    out[static_cast<size_t>(r)] = static_cast<int>(
+        std::max_element(row, row + logits.cols()) - row);
+  }
+  return out;
+}
+
+double Accuracy(const Tensor& logits, const std::vector<int>& labels) {
+  OODGNN_CHECK_EQ(static_cast<size_t>(logits.rows()), labels.size());
+  OODGNN_CHECK_GT(logits.rows(), 0);
+  std::vector<int> predictions = ArgmaxRows(logits);
+  int correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+double BinaryRocAuc(const std::vector<double>& scores,
+                    const std::vector<int>& labels) {
+  OODGNN_CHECK_EQ(scores.size(), labels.size());
+  const size_t n = scores.size();
+  size_t positives = 0;
+  for (int y : labels) {
+    OODGNN_CHECK(y == 0 || y == 1);
+    positives += static_cast<size_t>(y);
+  }
+  const size_t negatives = n - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+
+  // Rank-sum AUC with midranks for ties.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+  double positive_rank_sum = 0.0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double midrank = (static_cast<double>(i) + static_cast<double>(j)) /
+                               2.0 +
+                           1.0;
+    for (size_t k = i; k <= j; ++k) {
+      if (labels[order[k]] == 1) positive_rank_sum += midrank;
+    }
+    i = j + 1;
+  }
+  const double p = static_cast<double>(positives);
+  const double q = static_cast<double>(negatives);
+  return (positive_rank_sum - p * (p + 1.0) / 2.0) / (p * q);
+}
+
+double MultiTaskRocAuc(const Tensor& scores, const Tensor& targets,
+                       const Tensor& mask) {
+  OODGNN_CHECK(scores.SameShape(targets));
+  OODGNN_CHECK(mask.empty() || scores.SameShape(mask));
+  double total = 0.0;
+  int evaluable_tasks = 0;
+  for (int t = 0; t < scores.cols(); ++t) {
+    std::vector<double> task_scores;
+    std::vector<int> task_labels;
+    for (int r = 0; r < scores.rows(); ++r) {
+      if (!mask.empty() && mask.at(r, t) == 0.f) continue;
+      task_scores.push_back(static_cast<double>(scores.at(r, t)));
+      task_labels.push_back(targets.at(r, t) > 0.5f ? 1 : 0);
+    }
+    const bool has_both =
+        std::count(task_labels.begin(), task_labels.end(), 1) > 0 &&
+        std::count(task_labels.begin(), task_labels.end(), 0) > 0;
+    if (!has_both) continue;
+    total += BinaryRocAuc(task_scores, task_labels);
+    ++evaluable_tasks;
+  }
+  return evaluable_tasks > 0 ? total / evaluable_tasks : 0.5;
+}
+
+double Rmse(const Tensor& predictions, const Tensor& targets,
+            const Tensor& mask) {
+  OODGNN_CHECK(predictions.SameShape(targets));
+  OODGNN_CHECK(mask.empty() || predictions.SameShape(mask));
+  double total = 0.0;
+  int64_t count = 0;
+  for (int i = 0; i < predictions.size(); ++i) {
+    if (!mask.empty() && mask[i] == 0.f) continue;
+    const double diff =
+        static_cast<double>(predictions[i]) - static_cast<double>(targets[i]);
+    total += diff * diff;
+    ++count;
+  }
+  OODGNN_CHECK_GT(count, 0);
+  return std::sqrt(total / static_cast<double>(count));
+}
+
+}  // namespace oodgnn

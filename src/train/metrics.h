@@ -1,0 +1,35 @@
+#ifndef OODGNN_TRAIN_METRICS_H_
+#define OODGNN_TRAIN_METRICS_H_
+
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace oodgnn {
+
+/// Multi-class accuracy: fraction of rows whose argmax equals the label.
+double Accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+/// Row-wise argmax of a logits matrix.
+std::vector<int> ArgmaxRows(const Tensor& logits);
+
+/// Binary ROC-AUC from raw scores (higher = more positive). Ties are
+/// handled by the rank-sum (Mann-Whitney) formulation. Returns 0.5 when
+/// only one class is present.
+double BinaryRocAuc(const std::vector<double>& scores,
+                    const std::vector<int>& labels);
+
+/// OGB-style multi-task ROC-AUC: per-task AUC over entries whose mask
+/// is non-zero, averaged over tasks that contain both classes.
+/// `scores`/`targets`/`mask` are [N, T]; an empty mask means all labels
+/// present. Returns 0.5 if no task is evaluable.
+double MultiTaskRocAuc(const Tensor& scores, const Tensor& targets,
+                       const Tensor& mask);
+
+/// Root mean squared error over all (optionally masked) entries.
+double Rmse(const Tensor& predictions, const Tensor& targets,
+            const Tensor& mask);
+
+}  // namespace oodgnn
+
+#endif  // OODGNN_TRAIN_METRICS_H_

@@ -1,0 +1,214 @@
+#include "src/train/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "src/gnn/pna_conv.h"
+#include "src/graph/batch.h"
+#include "src/nn/loss.h"
+#include "src/nn/optimizer.h"
+#include "src/tensor/ops.h"
+#include "src/train/metrics.h"
+#include "src/util/check.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+namespace oodgnn {
+namespace {
+
+/// Loss dispatch per task type (Eq. 6: ℓ is cross-entropy for
+/// classification, MSE for regression).
+Variable PredictionLoss(const Variable& logits, const GraphBatch& batch,
+                        TaskType type, const std::vector<float>& weights) {
+  switch (type) {
+    case TaskType::kMulticlass:
+      return SoftmaxCrossEntropy(logits, batch.class_labels, weights);
+    case TaskType::kBinary:
+      return BceWithLogits(logits, batch.targets, batch.target_mask, weights);
+    case TaskType::kRegression:
+      return MseLoss(logits, batch.targets, weights);
+  }
+  OODGNN_CHECK(false);
+  return Variable();
+}
+
+/// Collects model outputs over a split (eval mode, batched).
+Tensor PredictSplit(GraphPredictionModel* model, const GraphDataset& dataset,
+                    const std::vector<size_t>& indices, int batch_size,
+                    Rng* rng, std::vector<int>* labels, Tensor* targets,
+                    Tensor* mask) {
+  Tensor all_logits(static_cast<int>(indices.size()), model->output_dim());
+  if (targets->empty() && dataset.task_type != TaskType::kMulticlass) {
+    *targets = Tensor(static_cast<int>(indices.size()), dataset.num_tasks);
+    *mask = Tensor(static_cast<int>(indices.size()), dataset.num_tasks, 1.f);
+  }
+  int row = 0;
+  for (size_t begin = 0; begin < indices.size();
+       begin += static_cast<size_t>(batch_size)) {
+    const size_t end =
+        std::min(indices.size(), begin + static_cast<size_t>(batch_size));
+    GraphBatch batch = MakeBatch(dataset.graphs, indices, begin, end);
+    Variable logits = model->Predict(batch, /*training=*/false, rng);
+    for (int r = 0; r < logits.rows(); ++r) {
+      const float* src = logits.value().row(r);
+      std::copy(src, src + logits.cols(), all_logits.row(row + r));
+      if (dataset.task_type == TaskType::kMulticlass) {
+        labels->push_back(batch.class_labels[static_cast<size_t>(r)]);
+      } else {
+        for (int t = 0; t < dataset.num_tasks; ++t) {
+          targets->at(row + r, t) = batch.targets.at(r, t);
+          mask->at(row + r, t) = batch.target_mask.at(r, t);
+        }
+      }
+    }
+    row += logits.rows();
+  }
+  return all_logits;
+}
+
+}  // namespace
+
+bool HigherIsBetter(TaskType type) {
+  return type != TaskType::kRegression;
+}
+
+double EvaluateSplit(GraphPredictionModel* model, const GraphDataset& dataset,
+                     const std::vector<size_t>& indices, int batch_size,
+                     Rng* rng) {
+  OODGNN_CHECK(!indices.empty());
+  std::vector<int> labels;
+  Tensor targets;
+  Tensor mask;
+  Tensor logits = PredictSplit(model, dataset, indices, batch_size, rng,
+                               &labels, &targets, &mask);
+  switch (dataset.task_type) {
+    case TaskType::kMulticlass:
+      return Accuracy(logits, labels);
+    case TaskType::kBinary:
+      return MultiTaskRocAuc(logits, targets, mask);
+    case TaskType::kRegression:
+      return Rmse(logits, targets, mask);
+  }
+  OODGNN_CHECK(false);
+  return 0.0;
+}
+
+TrainResult TrainAndEvaluate(Method method, const GraphDataset& dataset,
+                             const TrainConfig& config) {
+  OODGNN_CHECK(!dataset.train_idx.empty());
+  Timer timer;
+  Rng rng(config.seed);
+
+  EncoderConfig encoder_config = config.encoder;
+  encoder_config.feature_dim = dataset.feature_dim;
+  if (method == Method::kPna) {
+    std::vector<const Graph*> train_graphs;
+    for (size_t idx : dataset.train_idx) {
+      train_graphs.push_back(&dataset.graphs[idx]);
+    }
+    encoder_config.pna_delta = ComputePnaDelta(train_graphs);
+  }
+
+  GraphPredictionModel model(method, encoder_config, dataset.OutputDim(),
+                             &rng);
+  Adam optimizer(model.Parameters(), config.lr, 0.9f, 0.999f, 1e-8f,
+                 config.weight_decay);
+
+  std::unique_ptr<OodGnnReweighter> reweighter;
+  if (method == Method::kOodGnn) {
+    reweighter = std::make_unique<OodGnnReweighter>(
+        model.representation_dim(), config.batch_size, config.ood, &rng);
+  }
+
+  TrainResult result;
+  result.num_parameters = model.NumParameters();
+
+  const bool higher_better = HigherIsBetter(dataset.task_type);
+  double best_valid = higher_better ? -1e30 : 1e30;
+
+  std::vector<size_t> order = dataset.train_idx;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    double epoch_decor = 0.0;
+    int num_batches = 0;
+    const bool final_epoch = epoch + 1 == config.epochs;
+
+    for (size_t begin = 0; begin < order.size();
+         begin += static_cast<size_t>(config.batch_size)) {
+      const size_t end = std::min(
+          order.size(), begin + static_cast<size_t>(config.batch_size));
+      if (end - begin < 2) continue;  // Degenerate trailing batch.
+      GraphBatch batch = MakeBatch(dataset.graphs, order, begin, end);
+
+      // Algorithm 1 line 3: forward to representations.
+      Variable z = model.Encode(batch, /*training=*/true, &rng);
+
+      // Lines 4–8: learn the sample weights on detached representations
+      // (after a short warmup during which the encoder settles).
+      std::vector<float> weights;
+      if (reweighter && epoch >= config.ood.warmup_epochs) {
+        weights = reweighter->ComputeWeights(z.value());
+        epoch_decor += reweighter->last_decorrelation_loss();
+        if (final_epoch) {
+          result.final_weights.insert(result.final_weights.end(),
+                                      weights.begin(), weights.end());
+          result.final_weight_graphs.insert(result.final_weight_graphs.end(),
+                                            order.begin() + begin,
+                                            order.begin() + end);
+        }
+      }
+
+      // Line 9: weighted prediction loss, backprop, update Φ and R.
+      Variable logits = model.Classify(z, /*training=*/true);
+      Variable loss =
+          PredictionLoss(logits, batch, dataset.task_type, weights);
+      optimizer.ZeroGrad();
+      loss.Backward();
+      optimizer.Step();
+
+      epoch_loss += static_cast<double>(loss.value()[0]);
+      ++num_batches;
+    }
+    if (num_batches == 0) continue;
+    result.epoch_losses.push_back(epoch_loss / num_batches);
+    if (reweighter) {
+      result.epoch_decorrelation_losses.push_back(epoch_decor / num_batches);
+    }
+
+    // Model selection on the validation split (falls back to train).
+    const std::vector<size_t>& valid_split =
+        dataset.valid_idx.empty() ? dataset.train_idx : dataset.valid_idx;
+    const double valid_metric =
+        EvaluateSplit(&model, dataset, valid_split, config.batch_size, &rng);
+    const bool improved = higher_better ? valid_metric > best_valid
+                                        : valid_metric < best_valid;
+    if (improved) {
+      best_valid = valid_metric;
+      result.valid_metric = valid_metric;
+      result.train_metric = EvaluateSplit(&model, dataset, dataset.train_idx,
+                                          config.batch_size, &rng);
+      if (!dataset.test_idx.empty()) {
+        result.test_metric = EvaluateSplit(&model, dataset, dataset.test_idx,
+                                           config.batch_size, &rng);
+      }
+      if (!dataset.test2_idx.empty()) {
+        result.test2_metric = EvaluateSplit(
+            &model, dataset, dataset.test2_idx, config.batch_size, &rng);
+      }
+    }
+    if (config.verbose) {
+      OODGNN_LOG(Info) << dataset.name << " [" << MethodName(method)
+                       << "] epoch " << epoch + 1 << "/" << config.epochs
+                       << " loss=" << result.epoch_losses.back()
+                       << " valid=" << valid_metric;
+    }
+  }
+
+  result.train_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace oodgnn

@@ -1,0 +1,71 @@
+#ifndef OODGNN_UTIL_CHECK_H_
+#define OODGNN_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace oodgnn {
+namespace internal_check {
+
+/// Terminates the process after printing a contract-violation message.
+/// Used by the OODGNN_CHECK family of macros; not intended to be called
+/// directly.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "[oodgnn] CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+/// Helper that lazily builds the streamed message for a failed check.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace oodgnn
+
+/// Aborts with a diagnostic when `condition` is false. Streams extra
+/// context: OODGNN_CHECK(n > 0) << "n=" << n;
+#define OODGNN_CHECK(condition)                                       \
+  if (condition) {                                                    \
+  } else                                                              \
+    ::oodgnn::internal_check::CheckMessageBuilder(__FILE__, __LINE__, \
+                                                  #condition)
+
+#define OODGNN_CHECK_EQ(a, b) OODGNN_CHECK((a) == (b))
+#define OODGNN_CHECK_NE(a, b) OODGNN_CHECK((a) != (b))
+#define OODGNN_CHECK_LT(a, b) OODGNN_CHECK((a) < (b))
+#define OODGNN_CHECK_LE(a, b) OODGNN_CHECK((a) <= (b))
+#define OODGNN_CHECK_GT(a, b) OODGNN_CHECK((a) > (b))
+#define OODGNN_CHECK_GE(a, b) OODGNN_CHECK((a) >= (b))
+
+/// Debug-only check; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define OODGNN_DCHECK(condition) OODGNN_CHECK(true)
+#else
+#define OODGNN_DCHECK(condition) OODGNN_CHECK(condition)
+#endif
+
+#endif  // OODGNN_UTIL_CHECK_H_

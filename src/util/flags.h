@@ -1,0 +1,38 @@
+#ifndef OODGNN_UTIL_FLAGS_H_
+#define OODGNN_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace oodgnn {
+
+/// Minimal command-line flag parser for the benchmark and example
+/// binaries. Accepts "--name=value", "--name value" and boolean
+/// "--name" forms; everything else is collected as a positional
+/// argument.
+class Flags {
+ public:
+  /// Parses argv. Aborts on a malformed flag (e.g. "--=x").
+  Flags(int argc, char** argv);
+
+  /// True if the flag was present on the command line.
+  bool Has(const std::string& name) const;
+
+  /// Typed getters returning `fallback` when the flag is absent.
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+  int GetInt(const std::string& name, int fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace oodgnn
+
+#endif  // OODGNN_UTIL_FLAGS_H_

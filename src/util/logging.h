@@ -1,0 +1,48 @@
+#ifndef OODGNN_UTIL_LOGGING_H_
+#define OODGNN_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace oodgnn {
+
+/// Severity levels for the library logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum severity that is printed to stderr. Messages below
+/// this level are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Builds a log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace oodgnn
+
+#define OODGNN_LOG(level)                                       \
+  ::oodgnn::internal_logging::LogMessage(                       \
+      ::oodgnn::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // OODGNN_UTIL_LOGGING_H_

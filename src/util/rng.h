@@ -1,0 +1,60 @@
+#ifndef OODGNN_UTIL_RNG_H_
+#define OODGNN_UTIL_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace oodgnn {
+
+/// Deterministic random number generator used by every stochastic
+/// component in the library. Wraps std::mt19937_64 with convenience
+/// samplers; copies are cheap and independent, and `Fork` derives a
+/// decorrelated child stream so sub-components can consume randomness
+/// without perturbing the parent sequence.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Normal deviate with the given mean and standard deviation.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Requires at least one strictly positive weight.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffles the given index vector in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    for (size_t i = values->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*values)[i - 1], (*values)[j]);
+    }
+  }
+
+  /// Returns a random permutation of [0, n).
+  std::vector<size_t> Permutation(size_t n);
+
+  /// Derives an independent child generator. The child's seed depends on
+  /// the parent state, so repeated forks yield distinct streams.
+  Rng Fork();
+
+  /// Direct access for interoperating with <random> distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace oodgnn
+
+#endif  // OODGNN_UTIL_RNG_H_

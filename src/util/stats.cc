@@ -1,0 +1,86 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace oodgnn {
+
+double Mean(const std::vector<double>& values) {
+  OODGNN_CHECK(!values.empty());
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double mean = Mean(values);
+  double ss = 0.0;
+  for (double v : values) ss += (v - mean) * (v - mean);
+  return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+std::string MeanStdString(const std::vector<double>& values, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f±%.*f", decimals, Mean(values),
+                decimals, StdDev(values));
+  return buf;
+}
+
+std::vector<double> Histogram::BinCenters() const {
+  std::vector<double> centers(counts.size());
+  double width = (hi - lo) / static_cast<double>(counts.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    centers[i] = lo + (static_cast<double>(i) + 0.5) * width;
+  }
+  return centers;
+}
+
+Histogram MakeHistogram(const std::vector<double>& values, int bins,
+                        double lo, double hi) {
+  OODGNN_CHECK_GT(bins, 0);
+  OODGNN_CHECK_LT(lo, hi);
+  Histogram hist;
+  hist.lo = lo;
+  hist.hi = hi;
+  hist.counts.assign(static_cast<size_t>(bins), 0);
+  for (double v : values) {
+    double t = (v - lo) / (hi - lo);
+    int bin = static_cast<int>(t * bins);
+    bin = std::clamp(bin, 0, bins - 1);
+    ++hist.counts[static_cast<size_t>(bin)];
+  }
+  return hist;
+}
+
+Histogram MakeHistogram(const std::vector<double>& values, int bins) {
+  OODGNN_CHECK(!values.empty());
+  auto [lo_it, hi_it] = std::minmax_element(values.begin(), values.end());
+  double lo = *lo_it;
+  double hi = *hi_it;
+  if (hi - lo < 1e-12) hi = lo + 1.0;  // Degenerate range: widen.
+  return MakeHistogram(values, bins, lo, hi);
+}
+
+std::string RenderHistogram(const Histogram& hist, int max_bar_width) {
+  int max_count = 0;
+  for (int c : hist.counts) max_count = std::max(max_count, c);
+  std::ostringstream out;
+  auto centers = hist.BinCenters();
+  for (size_t i = 0; i < hist.counts.size(); ++i) {
+    int bar = max_count == 0
+                  ? 0
+                  : hist.counts[i] * max_bar_width / max_count;
+    char label[32];
+    std::snprintf(label, sizeof(label), "%8.3f", centers[i]);
+    out << label << " | " << std::string(static_cast<size_t>(bar), '#')
+        << " " << hist.counts[i] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace oodgnn

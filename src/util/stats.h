@@ -1,0 +1,41 @@
+#ifndef OODGNN_UTIL_STATS_H_
+#define OODGNN_UTIL_STATS_H_
+
+#include <string>
+#include <vector>
+
+namespace oodgnn {
+
+/// Arithmetic mean of `values`. Requires a non-empty input.
+double Mean(const std::vector<double>& values);
+
+/// Sample standard deviation (n-1 denominator). Returns 0 for fewer than
+/// two values.
+double StdDev(const std::vector<double>& values);
+
+/// Formats "mean±std" with the given number of decimals, e.g. "78.4±0.9".
+std::string MeanStdString(const std::vector<double>& values, int decimals = 1);
+
+/// Histogram with uniformly spaced bins over [lo, hi]. Values outside the
+/// range are clamped into the boundary bins.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<int> counts;
+
+  /// Bin centers, one per count.
+  std::vector<double> BinCenters() const;
+};
+
+/// Builds a histogram of `values` with `bins` buckets spanning
+/// [min(values), max(values)] (or [lo, hi] if provided explicitly).
+Histogram MakeHistogram(const std::vector<double>& values, int bins);
+Histogram MakeHistogram(const std::vector<double>& values, int bins,
+                        double lo, double hi);
+
+/// Renders a histogram as fixed-width ASCII bars, one line per bin.
+std::string RenderHistogram(const Histogram& hist, int max_bar_width = 40);
+
+}  // namespace oodgnn
+
+#endif  // OODGNN_UTIL_STATS_H_

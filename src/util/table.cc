@@ -1,0 +1,67 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace oodgnn {
+
+ResultTable::ResultTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  OODGNN_CHECK(!headers_.empty());
+}
+
+void ResultTable::AddRow(std::vector<std::string> cells) {
+  OODGNN_CHECK_EQ(cells.size(), headers_.size())
+      << "row width must match header width";
+  rows_.push_back(std::move(cells));
+}
+
+std::string ResultTable::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row,
+                        std::ostringstream& out) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      out << row[c] << std::string(widths[c] - row[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+  std::ostringstream out;
+  render_row(headers_, out);
+  for (size_t c = 0; c < widths.size(); ++c) {
+    out << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+  }
+  out << "-|\n";
+  for (const auto& row : rows_) render_row(row, out);
+  return out.str();
+}
+
+std::string ResultTable::ToCsv() const {
+  std::ostringstream out;
+  auto render = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ",";
+      out << row[c];
+    }
+    out << "\n";
+  };
+  render(headers_);
+  for (const auto& row : rows_) render(row);
+  return out.str();
+}
+
+void ResultTable::Print() const {
+  std::fputs(ToString().c_str(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace oodgnn

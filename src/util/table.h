@@ -1,0 +1,39 @@
+#ifndef OODGNN_UTIL_TABLE_H_
+#define OODGNN_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace oodgnn {
+
+/// Fixed-column ASCII table used by the benchmark harnesses to print
+/// paper-style result tables (one row per method, one column per
+/// dataset/metric).
+class ResultTable {
+ public:
+  /// Creates a table with the given column headers. The first column is
+  /// conventionally the row label ("Method").
+  explicit ResultTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with aligned columns and a header separator.
+  std::string ToString() const;
+
+  /// Renders the table as CSV (no alignment, comma-separated).
+  std::string ToCsv() const;
+
+  /// Prints ToString() to stdout.
+  void Print() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace oodgnn
+
+#endif  // OODGNN_UTIL_TABLE_H_

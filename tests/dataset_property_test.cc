@@ -1,0 +1,105 @@
+// Parameterized property sweep across every registered benchmark
+// dataset: generation is deterministic in the seed, split families
+// match the paper's protocol, and the feature matrices are sane.
+
+#include <cmath>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "src/data/registry.h"
+#include "src/train/experiment.h"
+#include "src/util/rng.h"
+
+namespace oodgnn {
+namespace {
+
+constexpr double kScale = 0.2;
+
+class DatasetProperties : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DatasetProperties, DeterministicInSeed) {
+  GraphDataset a = MakeDatasetByName(GetParam(), kScale, 123);
+  GraphDataset b = MakeDatasetByName(GetParam(), kScale, 123);
+  ASSERT_EQ(a.graphs.size(), b.graphs.size());
+  for (size_t i = 0; i < a.graphs.size(); ++i) {
+    ASSERT_EQ(a.graphs[i].num_nodes(), b.graphs[i].num_nodes());
+    ASSERT_EQ(a.graphs[i].num_edges(), b.graphs[i].num_edges());
+    ASSERT_TRUE(AllClose(a.graphs[i].x, b.graphs[i].x, 0.f));
+  }
+  EXPECT_EQ(a.train_idx, b.train_idx);
+  EXPECT_EQ(a.test_idx, b.test_idx);
+}
+
+TEST_P(DatasetProperties, DifferentSeedsDiffer) {
+  GraphDataset a = MakeDatasetByName(GetParam(), kScale, 1);
+  GraphDataset b = MakeDatasetByName(GetParam(), kScale, 2);
+  bool any_difference = a.graphs.size() != b.graphs.size();
+  for (size_t i = 0; !any_difference && i < a.graphs.size(); ++i) {
+    any_difference = a.graphs[i].num_edges() != b.graphs[i].num_edges() ||
+                     !AllClose(a.graphs[i].x, b.graphs[i].x, 0.f);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST_P(DatasetProperties, FeaturesAreFiniteAndNonDegenerate) {
+  GraphDataset ds = MakeDatasetByName(GetParam(), kScale, 7);
+  double total_abs = 0.0;
+  for (const Graph& g : ds.graphs) {
+    for (int i = 0; i < g.x.size(); ++i) {
+      ASSERT_TRUE(std::isfinite(g.x[i]));
+      total_abs += std::fabs(g.x[i]);
+    }
+  }
+  EXPECT_GT(total_abs, 0.0) << "all-zero features";
+}
+
+TEST_P(DatasetProperties, EverySplitNonEmptyAndLabelsCoverTask) {
+  GraphDataset ds = MakeDatasetByName(GetParam(), kScale, 9);
+  EXPECT_FALSE(ds.train_idx.empty());
+  EXPECT_FALSE(ds.test_idx.empty());
+  if (ds.task_type == TaskType::kMulticlass) {
+    std::set<int> train_labels;
+    for (size_t idx : ds.train_idx) {
+      train_labels.insert(ds.graphs[idx].label);
+    }
+    EXPECT_GE(train_labels.size(), 2u) << "train split single-class";
+  }
+}
+
+TEST_P(DatasetProperties, ReadoutConventionIsDefined) {
+  // Every registered dataset maps to one of the two conventions.
+  ReadoutKind kind = RecommendedReadout(GetParam());
+  EXPECT_TRUE(kind == ReadoutKind::kSum || kind == ReadoutKind::kMean);
+}
+
+TEST_P(DatasetProperties, SizeShiftHoldsForSizeSplitFamilies) {
+  const std::string name = GetParam();
+  const bool size_split = name == "TRIANGLES" || name == "COLLAB" ||
+                          name == "PROTEINS_25" || name == "DD_200";
+  if (!size_split) return;
+  GraphDataset ds = MakeDatasetByName(name, kScale, 11);
+  int train_max = 0;
+  int test_max = 0;
+  for (size_t idx : ds.train_idx) {
+    train_max = std::max(train_max, ds.graphs[idx].num_nodes());
+  }
+  for (size_t idx : ds.test_idx) {
+    test_max = std::max(test_max, ds.graphs[idx].num_nodes());
+  }
+  EXPECT_GT(test_max, train_max)
+      << name << ": test split contains no larger graphs";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, DatasetProperties,
+    ::testing::ValuesIn(AllDatasetNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace oodgnn

@@ -1,0 +1,89 @@
+#include "src/core/dependence.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "src/core/decorrelation.h"
+#include "src/util/file.h"
+#include "src/util/rng.h"
+
+namespace oodgnn {
+namespace {
+
+Tensor PlantedData(int n, uint64_t seed) {
+  // Columns: x, x²−1 (dependent pair), independent noise.
+  Rng rng(seed);
+  Tensor z(n, 3);
+  for (int r = 0; r < n; ++r) {
+    const float x = static_cast<float>(rng.Normal(0.0, 1.0));
+    z.at(r, 0) = x;
+    z.at(r, 1) = x * x - 1.f;
+    z.at(r, 2) = static_cast<float>(rng.Normal(0.0, 1.0));
+  }
+  return z;
+}
+
+TEST(DependenceMatrixTest, SymmetricZeroDiagonal) {
+  Rng rng(1);
+  RffConfig config;
+  config.num_functions = 2;
+  RffFeatureMap rff(3, config, &rng);
+  Tensor matrix = PairwiseDependenceMatrix(PlantedData(200, 2), rff);
+  ASSERT_EQ(matrix.rows(), 3);
+  ASSERT_EQ(matrix.cols(), 3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FLOAT_EQ(matrix.at(i, i), 0.f);
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_NEAR(matrix.at(i, j), matrix.at(j, i), 1e-6);
+      EXPECT_GE(matrix.at(i, j), 0.f);
+    }
+  }
+}
+
+TEST(DependenceMatrixTest, UpperTriangleSumsToDependenceMeasure) {
+  Rng rng(3);
+  RffConfig config;
+  config.num_functions = 2;
+  RffFeatureMap rff(3, config, &rng);
+  Tensor z = PlantedData(150, 4);
+  Tensor matrix = PairwiseDependenceMatrix(z, rff);
+  double triangle = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = i + 1; j < 3; ++j) triangle += matrix.at(i, j);
+  }
+  EXPECT_NEAR(triangle, DependenceMeasure(z, rff),
+              1e-3 * std::max(1.0, triangle));
+}
+
+TEST(DependenceMatrixTest, IdentifiesThePlantedPair) {
+  Rng rng(5);
+  RffConfig config;
+  config.num_functions = 4;
+  RffFeatureMap rff(3, config, &rng);
+  DependenceSummary summary =
+      SummarizeDependence(PlantedData(800, 6), rff);
+  EXPECT_EQ(summary.max_i, 0);
+  EXPECT_EQ(summary.max_j, 1);
+  EXPECT_GT(summary.max_pair, 0.5 * summary.total);
+}
+
+TEST(FileTest, WriteReadRoundTrip) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/file_test.txt";
+  const std::string payload("line1\nline2\0binary", 18);
+  ASSERT_TRUE(WriteStringToFile(path, payload));
+  EXPECT_TRUE(FileExists(path));
+  std::string read_back;
+  ASSERT_TRUE(ReadFileToString(path, &read_back));
+  EXPECT_EQ(read_back, payload);
+}
+
+TEST(FileTest, MissingFileFails) {
+  std::string content;
+  EXPECT_FALSE(ReadFileToString("/no/such/file", &content));
+  EXPECT_FALSE(FileExists("/no/such/file"));
+  EXPECT_FALSE(WriteStringToFile("/no/such/dir/file", "x"));
+}
+
+}  // namespace
+}  // namespace oodgnn

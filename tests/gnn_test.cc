@@ -1,0 +1,335 @@
+#include <algorithm>
+#include <numeric>
+
+#include "gtest/gtest.h"
+#include "src/gnn/encoder.h"
+#include "src/gnn/factor_gcn.h"
+#include "src/gnn/gcn_conv.h"
+#include "src/gnn/gin_conv.h"
+#include "src/gnn/model_zoo.h"
+#include "src/gnn/pna_conv.h"
+#include "src/gnn/pool_common.h"
+#include "src/gnn/readout.h"
+#include "src/gnn/sag_pool.h"
+#include "src/gnn/topk_pool.h"
+#include "src/gnn/virtual_node.h"
+#include "src/graph/batch.h"
+#include "src/tensor/ops.h"
+#include "src/util/rng.h"
+
+namespace oodgnn {
+namespace {
+
+/// Two small graphs batched together: a triangle and a path.
+GraphBatch SmallBatch(int feature_dim = 4) {
+  Graph a(3, feature_dim);
+  a.AddUndirectedEdge(0, 1);
+  a.AddUndirectedEdge(1, 2);
+  a.AddUndirectedEdge(2, 0);
+  a.label = 0;
+  Graph b(4, feature_dim);
+  b.AddUndirectedEdge(0, 1);
+  b.AddUndirectedEdge(1, 2);
+  b.AddUndirectedEdge(2, 3);
+  b.label = 1;
+  Rng rng(42);
+  for (Graph* g : {&a, &b}) {
+    g->x = Tensor::RandomNormal(g->num_nodes(), feature_dim, &rng);
+  }
+  return GraphBatch::FromGraphs({&a, &b});
+}
+
+/// Applies a node permutation within each graph of a batch.
+GraphBatch PermuteBatch(const GraphBatch& batch,
+                        const std::vector<int>& perm) {
+  GraphBatch out = batch;
+  out.features = Tensor(batch.num_nodes, batch.features.cols());
+  for (int v = 0; v < batch.num_nodes; ++v) {
+    const float* src = batch.features.row(v);
+    std::copy(src, src + batch.features.cols(),
+              out.features.row(perm[static_cast<size_t>(v)]));
+    out.node_graph[static_cast<size_t>(perm[static_cast<size_t>(v)])] =
+        batch.node_graph[static_cast<size_t>(v)];
+  }
+  for (size_t e = 0; e < batch.edge_src.size(); ++e) {
+    out.edge_src[e] = perm[static_cast<size_t>(batch.edge_src[e])];
+    out.edge_dst[e] = perm[static_cast<size_t>(batch.edge_dst[e])];
+  }
+  out.in_degree.assign(static_cast<size_t>(batch.num_nodes), 0);
+  for (int v : out.edge_dst) ++out.in_degree[static_cast<size_t>(v)];
+  return out;
+}
+
+TEST(GinConvTest, OutputShape) {
+  Rng rng(1);
+  GinConv conv(4, 8, &rng);
+  GraphBatch batch = SmallBatch();
+  Variable h = Variable::Constant(batch.features);
+  Variable out = conv.Forward(h, batch, /*training=*/false);
+  EXPECT_EQ(out.rows(), 7);
+  EXPECT_EQ(out.cols(), 8);
+}
+
+TEST(GinConvTest, AggregatesNeighborSum) {
+  // With ε=0 and an identity-like check: input to the MLP must be
+  // h_v + Σ_{u∈N(v)} h_u. We verify via the no-edge case equalling the
+  // pure self term.
+  Rng rng(2);
+  GinConv conv(2, 2, &rng);
+  Graph g(2, 2);
+  g.x.at(0, 0) = 1.f;
+  g.x.at(1, 1) = 1.f;
+  GraphBatch isolated = GraphBatch::FromGraphs({&g});
+  Graph connected = g;
+  connected.AddUndirectedEdge(0, 1);
+  GraphBatch joined = GraphBatch::FromGraphs({&connected});
+  Variable h0 = Variable::Constant(isolated.features);
+  Variable out_isolated = conv.Forward(h0, isolated, false);
+  Variable out_joined = conv.Forward(h0, joined, false);
+  // Adding an edge must change the output.
+  EXPECT_FALSE(AllClose(out_isolated.value(), out_joined.value()));
+}
+
+TEST(GcnConvTest, SymmetricNormalizationOnRegularGraph) {
+  // On a d-regular graph every node has the same normalized
+  // aggregation, so identical inputs give identical outputs.
+  Rng rng(3);
+  GcnConv conv(2, 3, &rng);
+  Graph ring(4, 2);
+  for (int i = 0; i < 4; ++i) ring.AddUndirectedEdge(i, (i + 1) % 4);
+  ring.x.Fill(1.f);
+  GraphBatch batch = GraphBatch::FromGraphs({&ring});
+  Variable out =
+      conv.Forward(Variable::Constant(batch.features), batch);
+  for (int r = 1; r < out.rows(); ++r) {
+    for (int c = 0; c < out.cols(); ++c) {
+      EXPECT_NEAR(out.value().at(r, c), out.value().at(0, c), 1e-5);
+    }
+  }
+}
+
+TEST(GcnConvTest, HandlesIsolatedNodes) {
+  Rng rng(4);
+  GcnConv conv(2, 2, &rng);
+  Graph g(3, 2);  // No edges at all.
+  g.x.Fill(1.f);
+  GraphBatch batch = GraphBatch::FromGraphs({&g});
+  Variable out = conv.Forward(Variable::Constant(batch.features), batch);
+  EXPECT_EQ(out.rows(), 3);
+  for (int i = 0; i < out.value().size(); ++i) {
+    EXPECT_TRUE(std::isfinite(out.value()[i]));
+  }
+}
+
+TEST(PnaConvTest, OutputShapeAndFiniteness) {
+  Rng rng(5);
+  PnaConv conv(4, 6, /*delta=*/1.1f, &rng);
+  GraphBatch batch = SmallBatch();
+  Variable out = conv.Forward(Variable::Constant(batch.features), batch);
+  EXPECT_EQ(out.rows(), 7);
+  EXPECT_EQ(out.cols(), 6);
+  for (int i = 0; i < out.value().size(); ++i) {
+    EXPECT_TRUE(std::isfinite(out.value()[i]));
+  }
+}
+
+TEST(PnaConvTest, DeltaComputation) {
+  Graph g(3, 1);
+  g.AddUndirectedEdge(0, 1);  // Degrees 1, 1, 0 -> log2+log2+log1 over 3.
+  const float delta = ComputePnaDelta({&g});
+  EXPECT_NEAR(delta, 2.f * std::log(2.f) / 3.f, 1e-5);
+}
+
+TEST(ReadoutTest, SumMeanMaxValues) {
+  Tensor h = Tensor::FromData(3, 2, {1, 2, 3, 4, 5, 6});
+  std::vector<int> node_graph = {0, 0, 1};
+  Variable hv = Variable::Constant(h);
+  Tensor sum = Readout(hv, node_graph, 2, ReadoutKind::kSum).value();
+  EXPECT_FLOAT_EQ(sum.at(0, 0), 4.f);
+  EXPECT_FLOAT_EQ(sum.at(1, 1), 6.f);
+  Tensor mean = Readout(hv, node_graph, 2, ReadoutKind::kMean).value();
+  EXPECT_FLOAT_EQ(mean.at(0, 1), 3.f);
+  Tensor max = Readout(hv, node_graph, 2, ReadoutKind::kMax).value();
+  EXPECT_FLOAT_EQ(max.at(0, 0), 3.f);
+}
+
+TEST(VirtualNodeTest, DistributeAddsPerGraphState) {
+  Rng rng(6);
+  VirtualNode vn(2, &rng);
+  GraphBatch batch = SmallBatch(2);
+  Variable h = Variable::Constant(batch.features);
+  Variable state = Variable::Constant(
+      Tensor::FromData(2, 2, {1.f, 1.f, -1.f, -1.f}));
+  Variable out = vn.Distribute(h, state, batch);
+  // Graph 0 nodes get +1, graph 1 nodes get −1.
+  EXPECT_NEAR(out.value().at(0, 0) - h.value().at(0, 0), 1.f, 1e-6);
+  EXPECT_NEAR(out.value().at(5, 0) - h.value().at(5, 0), -1.f, 1e-6);
+}
+
+TEST(PoolCommonTest, SelectTopKRespectsRatioAndGraphs) {
+  GraphBatch batch = SmallBatch();
+  Tensor scores(7, 1);
+  for (int v = 0; v < 7; ++v) scores.at(v, 0) = static_cast<float>(v);
+  std::vector<int> kept = SelectTopKNodes(scores, batch, 0.5f);
+  // Graph 0 has 3 nodes -> keep 2; graph 1 has 4 -> keep 2.
+  EXPECT_EQ(kept.size(), 4u);
+  // Highest scores win: nodes {1,2} from graph 0, {5,6} from graph 1.
+  EXPECT_EQ(kept, (std::vector<int>{1, 2, 5, 6}));
+}
+
+TEST(PoolCommonTest, AtLeastOneNodePerGraph) {
+  GraphBatch batch = SmallBatch();
+  Tensor scores(7, 1);
+  std::vector<int> kept = SelectTopKNodes(scores, batch, 0.01f);
+  EXPECT_EQ(kept.size(), 2u);  // One per graph.
+}
+
+TEST(PoolCommonTest, InduceSubgraphRemapsEdges) {
+  GraphBatch batch = SmallBatch();
+  // Keep nodes 0,1 (graph 0) and 3,4 (graph 1).
+  GraphBatch sub = InduceSubgraph(batch, {0, 1, 3, 4});
+  EXPECT_EQ(sub.num_nodes, 4);
+  // Triangle edges between 0,1 survive (both directions).
+  int surviving = static_cast<int>(sub.edge_src.size());
+  EXPECT_EQ(surviving, 4);  // (0,1),(1,0) from graph0; (3,4),(4,3)->(2,3),(3,2).
+  for (size_t e = 0; e < sub.edge_src.size(); ++e) {
+    EXPECT_LT(sub.edge_src[e], 4);
+    EXPECT_LT(sub.edge_dst[e], 4);
+  }
+  EXPECT_EQ(sub.node_graph, (std::vector<int>{0, 0, 1, 1}));
+}
+
+TEST(TopKPoolTest, GatesAndCoarsens) {
+  Rng rng(7);
+  TopKPool pool(4, 0.5f, &rng);
+  GraphBatch batch = SmallBatch();
+  PoolResult result =
+      pool.Forward(Variable::Constant(batch.features), batch);
+  EXPECT_EQ(result.h.rows(), 4);
+  EXPECT_EQ(result.h.cols(), 4);
+  EXPECT_EQ(result.topology.num_nodes, 4);
+  EXPECT_EQ(result.topology.num_graphs, 2);
+}
+
+TEST(SagPoolTest, StructureAwareScores) {
+  Rng rng(8);
+  SagPool pool(4, 0.5f, &rng);
+  GraphBatch batch = SmallBatch();
+  PoolResult result =
+      pool.Forward(Variable::Constant(batch.features), batch);
+  EXPECT_EQ(result.h.rows(), 4);
+  EXPECT_EQ(result.kept.size(), 4u);
+}
+
+TEST(FactorGcnTest, FactorConcatShape) {
+  Rng rng(9);
+  FactorGcnConv conv(4, 8, /*num_factors=*/4, &rng);
+  GraphBatch batch = SmallBatch();
+  Variable out = conv.Forward(Variable::Constant(batch.features), batch);
+  EXPECT_EQ(out.cols(), 8);
+  EXPECT_EQ(conv.last_attention().size(), 4u);
+  EXPECT_EQ(conv.last_attention()[0].rows(),
+            static_cast<int>(batch.edge_src.size()));
+  // Attention values are probabilities.
+  for (int i = 0; i < conv.last_attention()[0].size(); ++i) {
+    EXPECT_GT(conv.last_attention()[0][i], 0.f);
+    EXPECT_LT(conv.last_attention()[0][i], 1.f);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Permutation invariance: encoders must be invariant to node relabeling.
+// ---------------------------------------------------------------------------
+
+class EncoderPermutationInvariance
+    : public ::testing::TestWithParam<Method> {};
+
+TEST_P(EncoderPermutationInvariance, EncodeIsPermutationInvariant) {
+  const Method method = GetParam();
+  Rng rng(10);
+  EncoderConfig config;
+  config.feature_dim = 4;
+  config.hidden_dim = 8;
+  config.num_layers = 2;
+  config.dropout = 0.f;
+  GraphPredictionModel model(method, config, /*output_dim=*/3, &rng);
+
+  GraphBatch batch = SmallBatch();
+  // Permute within each graph: rotate graph 0's nodes, swap two of
+  // graph 1's nodes.
+  std::vector<int> perm = {1, 2, 0, 4, 3, 5, 6};
+  GraphBatch permuted = PermuteBatch(batch, perm);
+
+  Rng fwd1(1);
+  Rng fwd2(1);
+  Variable z1 = model.Encode(batch, /*training=*/false, &fwd1);
+  Variable z2 = model.Encode(permuted, /*training=*/false, &fwd2);
+  EXPECT_TRUE(AllClose(z1.value(), z2.value(), 1e-3f))
+      << MethodName(method);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEncoders, EncoderPermutationInvariance,
+    ::testing::Values(Method::kGcn, Method::kGcnVirtual, Method::kGin,
+                      Method::kGinVirtual, Method::kFactorGcn, Method::kPna,
+                      Method::kOodGnn),
+    [](const ::testing::TestParamInfo<Method>& info) {
+      std::string name = MethodName(info.param);
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name;
+    });
+
+class ModelZooForward : public ::testing::TestWithParam<Method> {};
+
+TEST_P(ModelZooForward, PredictsCorrectShapeAndBackprops) {
+  Rng rng(11);
+  EncoderConfig config;
+  config.feature_dim = 4;
+  config.hidden_dim = 8;
+  config.num_layers = 2;
+  GraphPredictionModel model(GetParam(), config, /*output_dim=*/5, &rng);
+  GraphBatch batch = SmallBatch();
+  Rng fwd(2);
+  Variable logits = model.Predict(batch, /*training=*/true, &fwd);
+  EXPECT_EQ(logits.rows(), 2);
+  EXPECT_EQ(logits.cols(), 5);
+
+  model.ZeroGrad();
+  Sum(Square(logits)).Backward();
+  // At least one parameter receives a non-zero gradient.
+  float max_grad = 0.f;
+  for (const Variable& p : model.Parameters()) {
+    max_grad = std::max(max_grad, p.grad().MaxAbs());
+  }
+  EXPECT_GT(max_grad, 0.f);
+  EXPECT_GT(model.NumParameters(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethodsSuite, ModelZooForward, ::testing::ValuesIn(AllMethods()),
+    [](const ::testing::TestParamInfo<Method>& info) {
+      std::string name = MethodName(info.param);
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name;
+    });
+
+TEST(ModelZooTest, OodGnnSharesGinParameterCount) {
+  Rng rng(12);
+  EncoderConfig config;
+  config.feature_dim = 5;
+  config.hidden_dim = 16;
+  config.num_layers = 3;
+  GraphPredictionModel gin(Method::kGin, config, 2, &rng);
+  GraphPredictionModel ood(Method::kOodGnn, config, 2, &rng);
+  EXPECT_EQ(gin.NumParameters(), ood.NumParameters());
+}
+
+TEST(ModelZooTest, MethodNamesMatchPaperRows) {
+  EXPECT_STREQ(MethodName(Method::kGcnVirtual), "GCN-virtual");
+  EXPECT_STREQ(MethodName(Method::kOodGnn), "OOD-GNN");
+  EXPECT_EQ(BaselineMethods().size(), 8u);
+  EXPECT_EQ(AllMethods().size(), 9u);
+}
+
+}  // namespace
+}  // namespace oodgnn

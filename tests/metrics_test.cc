@@ -1,0 +1,101 @@
+#include "src/train/metrics.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace oodgnn {
+namespace {
+
+TEST(AccuracyTest, ArgmaxAndFraction) {
+  Tensor logits = Tensor::FromData(3, 2, {1.f, 2.f, 5.f, 0.f, 1.f, 1.5f});
+  EXPECT_EQ(ArgmaxRows(logits), (std::vector<int>{1, 0, 1}));
+  EXPECT_NEAR(Accuracy(logits, {1, 0, 0}), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(Accuracy(logits, {0, 1, 0}), 0.0, 1e-9);
+}
+
+TEST(RocAucTest, PerfectSeparationIsOne) {
+  EXPECT_DOUBLE_EQ(BinaryRocAuc({0.1, 0.2, 0.8, 0.9}, {0, 0, 1, 1}), 1.0);
+}
+
+TEST(RocAucTest, ReversedSeparationIsZero) {
+  EXPECT_DOUBLE_EQ(BinaryRocAuc({0.9, 0.8, 0.2, 0.1}, {0, 0, 1, 1}), 0.0);
+}
+
+TEST(RocAucTest, InterleavedPairCounting) {
+  // Positives at 0.1 and 0.3, negatives at 0.2 and 0.4: of the four
+  // (P,N) pairs only (0.3 > 0.2) is correctly ordered -> AUC = 0.25.
+  EXPECT_DOUBLE_EQ(BinaryRocAuc({0.1, 0.2, 0.3, 0.4}, {1, 0, 1, 0}), 0.25);
+}
+
+TEST(RocAucTest, HandComputedExample) {
+  // scores: P={0.8, 0.4}, N={0.6, 0.2}. Pairs: (0.8>0.6),(0.8>0.2),
+  // (0.4<0.6),(0.4>0.2) -> 3/4.
+  EXPECT_DOUBLE_EQ(BinaryRocAuc({0.8, 0.4, 0.6, 0.2}, {1, 1, 0, 0}), 0.75);
+}
+
+TEST(RocAucTest, TiesGetHalfCredit) {
+  // One positive tied with one negative: 0.5 credit for the pair.
+  EXPECT_DOUBLE_EQ(BinaryRocAuc({0.5, 0.5}, {1, 0}), 0.5);
+}
+
+TEST(RocAucTest, SingleClassReturnsHalf) {
+  EXPECT_DOUBLE_EQ(BinaryRocAuc({0.3, 0.7}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(BinaryRocAuc({0.3, 0.7}, {0, 0}), 0.5);
+}
+
+TEST(MultiTaskRocAucTest, AveragesEvaluableTasks) {
+  // Task 0: perfect (positives score higher); task 1: reversed
+  // (positives score lower). Average = 0.5.
+  Tensor scores = Tensor::FromData(4, 2, {0.1f, 0.9f,   //
+                                          0.2f, 0.8f,   //
+                                          0.8f, 0.2f,   //
+                                          0.9f, 0.1f});
+  Tensor targets = Tensor::FromData(4, 2, {0.f, 0.f,  //
+                                           0.f, 0.f,  //
+                                           1.f, 1.f,  //
+                                           1.f, 1.f});
+  Tensor mask;  // All present.
+  EXPECT_DOUBLE_EQ(MultiTaskRocAuc(scores, targets, mask), 0.5);
+}
+
+TEST(MultiTaskRocAucTest, MaskRemovesEntries) {
+  Tensor scores = Tensor::FromData(4, 1, {0.1f, 0.9f, 0.5f, 0.6f});
+  Tensor targets = Tensor::FromData(4, 1, {0.f, 1.f, 1.f, 0.f});
+  // Mask away the two confusing rows -> perfect AUC on the rest.
+  Tensor mask = Tensor::FromData(4, 1, {1.f, 1.f, 0.f, 0.f});
+  EXPECT_DOUBLE_EQ(MultiTaskRocAuc(scores, targets, mask), 1.0);
+}
+
+TEST(MultiTaskRocAucTest, SkipsSingleClassTasks) {
+  // Task 1 is all-positive -> skipped; only task 0 counts.
+  Tensor scores = Tensor::FromData(2, 2, {0.9f, 0.5f, 0.1f, 0.5f});
+  Tensor targets = Tensor::FromData(2, 2, {1.f, 1.f, 0.f, 1.f});
+  Tensor mask;
+  EXPECT_DOUBLE_EQ(MultiTaskRocAuc(scores, targets, mask), 1.0);
+}
+
+TEST(MultiTaskRocAucTest, NoEvaluableTaskReturnsHalf) {
+  Tensor scores = Tensor::FromData(2, 1, {0.9f, 0.5f});
+  Tensor targets = Tensor::FromData(2, 1, {1.f, 1.f});
+  Tensor mask;
+  EXPECT_DOUBLE_EQ(MultiTaskRocAuc(scores, targets, mask), 0.5);
+}
+
+TEST(RmseTest, MatchesManual) {
+  Tensor pred = Tensor::FromData(2, 2, {1.f, 2.f, 3.f, 4.f});
+  Tensor target = Tensor::FromData(2, 2, {1.f, 0.f, 3.f, 0.f});
+  Tensor mask;
+  // Errors: 0, 2, 0, 4 -> sqrt((4+16)/4) = sqrt(5).
+  EXPECT_NEAR(Rmse(pred, target, mask), std::sqrt(5.0), 1e-9);
+}
+
+TEST(RmseTest, MaskedEntriesIgnored) {
+  Tensor pred = Tensor::FromData(1, 2, {1.f, 100.f});
+  Tensor target = Tensor::FromData(1, 2, {0.f, 0.f});
+  Tensor mask = Tensor::FromData(1, 2, {1.f, 0.f});
+  EXPECT_NEAR(Rmse(pred, target, mask), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace oodgnn

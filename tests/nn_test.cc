@@ -1,0 +1,305 @@
+#include <cmath>
+#include <functional>
+
+#include "gtest/gtest.h"
+#include "src/nn/batchnorm.h"
+#include "src/nn/init.h"
+#include "src/nn/linear.h"
+#include "src/nn/loss.h"
+#include "src/nn/mlp.h"
+#include "src/nn/optimizer.h"
+#include "src/tensor/gradcheck.h"
+#include "src/tensor/ops.h"
+#include "src/util/rng.h"
+
+namespace oodgnn {
+namespace {
+
+TEST(InitTest, GlorotUniformBounds) {
+  Rng rng(1);
+  Tensor w = GlorotUniform(100, 50, &rng);
+  const float bound = std::sqrt(6.f / 150.f);
+  for (int i = 0; i < w.size(); ++i) {
+    EXPECT_GE(w[i], -bound);
+    EXPECT_LE(w[i], bound);
+  }
+}
+
+TEST(InitTest, HeNormalScale) {
+  Rng rng(2);
+  Tensor w = HeNormal(200, 200, &rng);
+  double ss = 0.0;
+  for (int i = 0; i < w.size(); ++i) ss += w[i] * w[i];
+  const double stddev = std::sqrt(ss / w.size());
+  EXPECT_NEAR(stddev, std::sqrt(2.0 / 200.0), 0.01);
+}
+
+TEST(LinearTest, ShapeAndBias) {
+  Rng rng(3);
+  Linear layer(4, 7, &rng);
+  Variable x = Variable::Constant(Tensor(5, 4));
+  Variable y = layer.Forward(x);
+  EXPECT_EQ(y.rows(), 5);
+  EXPECT_EQ(y.cols(), 7);
+  // Zero input -> bias only -> zero (bias initialized to 0).
+  EXPECT_FLOAT_EQ(y.value().MaxAbs(), 0.f);
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  Rng rng(4);
+  Linear layer(3, 3, &rng, /*bias=*/false);
+  EXPECT_EQ(layer.NumParameters(), 9);
+  Linear with_bias(3, 3, &rng);
+  EXPECT_EQ(with_bias.NumParameters(), 12);
+}
+
+TEST(LinearTest, GradCheckThroughLayer) {
+  Rng rng(5);
+  Linear layer(3, 2, &rng);
+  Variable x = Variable::Param(Tensor::RandomNormal(4, 3, &rng));
+  std::vector<Variable> leaves = layer.Parameters();
+  leaves.push_back(x);
+  auto fn = [&] { return Sum(Square(layer.Forward(x))); };
+  EXPECT_LT(CheckGradients(leaves, fn).max_relative_error, 5e-2);
+}
+
+TEST(MlpTest, HiddenReluFinalLinear) {
+  Rng rng(6);
+  Mlp mlp({2, 8, 3}, &rng);
+  Variable x = Variable::Constant(Tensor::RandomNormal(5, 2, &rng));
+  Variable y = mlp.Forward(x, /*training=*/false);
+  EXPECT_EQ(y.rows(), 5);
+  EXPECT_EQ(y.cols(), 3);
+  // Final layer is linear: outputs may be negative.
+  bool any_negative = false;
+  for (int i = 0; i < y.value().size(); ++i) {
+    if (y.value()[i] < 0) any_negative = true;
+  }
+  EXPECT_TRUE(any_negative);
+}
+
+TEST(MlpTest, ParameterCount) {
+  Rng rng(7);
+  Mlp mlp({4, 8, 2}, &rng);
+  // (4*8+8) + (8*2+2) = 40 + 18.
+  EXPECT_EQ(mlp.NumParameters(), 58);
+}
+
+TEST(BatchNormTest, NormalizesTrainingBatch) {
+  Rng rng(8);
+  BatchNorm1d bn(3);
+  Variable x =
+      Variable::Constant(Tensor::RandomNormal(64, 3, &rng, 5.f, 2.f));
+  Variable y = bn.Forward(x, /*training=*/true);
+  for (int c = 0; c < 3; ++c) {
+    double mean = 0.0;
+    for (int r = 0; r < 64; ++r) mean += y.value().at(r, c);
+    mean /= 64;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    double var = 0.0;
+    for (int r = 0; r < 64; ++r) {
+      var += (y.value().at(r, c) - mean) * (y.value().at(r, c) - mean);
+    }
+    EXPECT_NEAR(var / 64, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNormTest, RunningStatsTrackBatches) {
+  Rng rng(9);
+  BatchNorm1d bn(2, /*momentum=*/1.f);  // Adopt the batch stats fully.
+  Variable x =
+      Variable::Constant(Tensor::RandomNormal(128, 2, &rng, 3.f, 1.f));
+  bn.Forward(x, /*training=*/true);
+  EXPECT_NEAR(bn.running_mean().at(0, 0), 3.f, 0.3f);
+  EXPECT_NEAR(bn.running_var().at(0, 1), 1.f, 0.3f);
+}
+
+TEST(BatchNormTest, EvalUsesRunningStats) {
+  Rng rng(10);
+  BatchNorm1d bn(2, 1.f);
+  Variable train_x =
+      Variable::Constant(Tensor::RandomNormal(128, 2, &rng, 3.f, 1.f));
+  bn.Forward(train_x, /*training=*/true);
+  // A shifted eval batch is normalized by the *running* stats, so its
+  // output mean reflects the shift.
+  Variable eval_x = Variable::Constant(Tensor(4, 2, 3.f));
+  Variable y = bn.Forward(eval_x, /*training=*/false);
+  EXPECT_NEAR(y.value().at(0, 0), 0.f, 0.3f);
+}
+
+TEST(BatchNormTest, GradCheckTrainingMode) {
+  Rng rng(11);
+  BatchNorm1d bn(2);
+  Variable x = Variable::Param(Tensor::RandomNormal(6, 2, &rng));
+  std::vector<Variable> leaves = bn.Parameters();
+  leaves.push_back(x);
+  auto fn = [&] { return Sum(Square(bn.Forward(x, true))); };
+  EXPECT_LT(CheckGradients(leaves, fn).max_relative_error, 5e-2);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Variable x = Variable::Param(Tensor::FromData(1, 1, {5.f}));
+  Sgd sgd({x}, /*lr=*/0.1f);
+  for (int i = 0; i < 200; ++i) {
+    sgd.ZeroGrad();
+    Variable loss = Square(x);
+    loss.Backward();
+    sgd.Step();
+  }
+  EXPECT_NEAR(x.value()[0], 0.f, 1e-3);
+}
+
+TEST(SgdTest, MomentumAcceleratesDescent) {
+  Variable a = Variable::Param(Tensor::FromData(1, 1, {5.f}));
+  Variable b = Variable::Param(Tensor::FromData(1, 1, {5.f}));
+  Sgd plain({a}, 0.01f);
+  Sgd momentum({b}, 0.01f, 0.9f);
+  for (int i = 0; i < 30; ++i) {
+    plain.ZeroGrad();
+    Square(a).Backward();
+    plain.Step();
+    momentum.ZeroGrad();
+    Square(b).Backward();
+    momentum.Step();
+  }
+  EXPECT_LT(std::fabs(b.value()[0]), std::fabs(a.value()[0]));
+}
+
+TEST(SgdTest, WeightDecayShrinksParameters) {
+  Variable x = Variable::Param(Tensor::FromData(1, 1, {1.f}));
+  Sgd sgd({x}, 0.1f, 0.f, /*weight_decay=*/0.5f);
+  // Gradient-free loss: only decay acts.
+  x.ZeroGrad();
+  sgd.Step();
+  EXPECT_NEAR(x.value()[0], 1.f - 0.1f * 0.5f, 1e-6);
+}
+
+TEST(AdamTest, ConvergesOnLinearRegression) {
+  Rng rng(12);
+  // y = 2*x0 - 3*x1 + 1, learn [w, b].
+  Tensor inputs = Tensor::RandomNormal(64, 2, &rng);
+  Tensor targets(64, 1);
+  for (int r = 0; r < 64; ++r) {
+    targets.at(r, 0) = 2.f * inputs.at(r, 0) - 3.f * inputs.at(r, 1) + 1.f;
+  }
+  Variable w = Variable::Param(Tensor(2, 1));
+  Variable b = Variable::Param(Tensor(1, 1));
+  Adam adam({w, b}, 0.05f);
+  Variable x = Variable::Constant(inputs);
+  for (int step = 0; step < 400; ++step) {
+    adam.ZeroGrad();
+    Variable pred = AddRowVec(MatMul(x, w), Transpose(b));
+    Variable loss = MseLoss(pred, targets);
+    loss.Backward();
+    adam.Step();
+  }
+  EXPECT_NEAR(w.value()[0], 2.f, 0.05f);
+  EXPECT_NEAR(w.value()[1], -3.f, 0.05f);
+  EXPECT_NEAR(b.value()[0], 1.f, 0.05f);
+}
+
+TEST(LossTest, CrossEntropyMatchesManual) {
+  Variable logits =
+      Variable::Constant(Tensor::FromData(2, 3, {1, 2, 3, 3, 2, 1}));
+  Variable loss = SoftmaxCrossEntropy(logits, {2, 0});
+  // Both rows have the true class at logit 3 with [1,2,3] pattern.
+  const double p = std::exp(3.0) / (std::exp(1.0) + std::exp(2.0) +
+                                    std::exp(3.0));
+  EXPECT_NEAR(loss.value()[0], -std::log(p), 1e-5);
+}
+
+TEST(LossTest, CrossEntropyWeightsScaleGradient) {
+  Variable logits = Variable::Param(Tensor::FromData(1, 2, {0.3f, -0.2f}));
+  SoftmaxCrossEntropy(logits, {0}, {2.f}).Backward();
+  Tensor weighted = logits.grad();
+  logits.ZeroGrad();
+  SoftmaxCrossEntropy(logits, {0}).Backward();
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_NEAR(weighted[i], 2.f * logits.grad()[i], 1e-6);
+  }
+}
+
+TEST(LossTest, CrossEntropyGradCheck) {
+  Rng rng(13);
+  Variable logits = Variable::Param(Tensor::RandomNormal(4, 3, &rng));
+  std::vector<int> labels = {0, 2, 1, 2};
+  std::vector<float> weights = {0.5f, 1.5f, 1.f, 1.f};
+  auto fn = [&] { return SoftmaxCrossEntropy(logits, labels, weights); };
+  EXPECT_LT(CheckGradients({logits}, fn).max_relative_error, 5e-2);
+}
+
+TEST(LossTest, BceMatchesManualAndIgnoresMasked) {
+  Variable logits = Variable::Constant(Tensor::FromData(1, 2, {0.f, 100.f}));
+  Tensor targets = Tensor::FromData(1, 2, {1.f, 0.f});
+  Tensor mask = Tensor::FromData(1, 2, {1.f, 0.f});
+  Variable loss = BceWithLogits(logits, targets, mask);
+  // Only the first entry counts: BCE(0, 1) = log 2.
+  EXPECT_NEAR(loss.value()[0], std::log(2.0), 1e-5);
+}
+
+TEST(LossTest, BceGradCheck) {
+  Rng rng(14);
+  Variable logits = Variable::Param(Tensor::RandomNormal(3, 4, &rng));
+  Tensor targets(3, 4);
+  Tensor mask(3, 4, 1.f);
+  for (int i = 0; i < targets.size(); ++i) {
+    targets[i] = rng.Bernoulli(0.5) ? 1.f : 0.f;
+  }
+  mask.at(1, 2) = 0.f;
+  std::vector<float> weights = {1.f, 0.5f, 2.f};
+  auto fn = [&] { return BceWithLogits(logits, targets, mask, weights); };
+  EXPECT_LT(CheckGradients({logits}, fn).max_relative_error, 5e-2);
+}
+
+TEST(LossTest, BceIsNumericallyStableAtExtremes) {
+  Variable logits =
+      Variable::Param(Tensor::FromData(1, 2, {80.f, -80.f}));
+  Tensor targets = Tensor::FromData(1, 2, {1.f, 0.f});
+  Tensor mask(1, 2, 1.f);
+  Variable loss = BceWithLogits(logits, targets, mask);
+  EXPECT_TRUE(std::isfinite(loss.value()[0]));
+  EXPECT_NEAR(loss.value()[0], 0.f, 1e-5);
+  loss.Backward();
+  EXPECT_TRUE(std::isfinite(logits.grad()[0]));
+}
+
+TEST(LossTest, MseMatchesManualWithWeights) {
+  Variable pred = Variable::Constant(Tensor::FromData(2, 1, {1.f, 3.f}));
+  Tensor targets = Tensor::FromData(2, 1, {0.f, 0.f});
+  Variable loss = MseLoss(pred, targets, {1.f, 2.f});
+  // (1*1 + 2*9) / 2 = 9.5.
+  EXPECT_NEAR(loss.value()[0], 9.5f, 1e-5);
+}
+
+TEST(LossTest, MseGradCheck) {
+  Rng rng(15);
+  Variable pred = Variable::Param(Tensor::RandomNormal(3, 2, &rng));
+  Tensor targets = Tensor::RandomNormal(3, 2, &rng);
+  std::vector<float> weights = {1.f, 0.2f, 3.f};
+  auto fn = [&] { return MseLoss(pred, targets, weights); };
+  EXPECT_LT(CheckGradients({pred}, fn).max_relative_error, 5e-2);
+}
+
+TEST(ModuleTest, ParametersAreSharedHandles) {
+  Rng rng(16);
+  Linear layer(2, 2, &rng);
+  std::vector<Variable> params = layer.Parameters();
+  params[0].mutable_value()[0] = 42.f;
+  // The layer sees the mutation (handles share nodes).
+  Variable x = Variable::Constant(Tensor::Identity(2));
+  EXPECT_FLOAT_EQ(layer.Forward(x).value().at(0, 0), 42.f);
+}
+
+TEST(ModuleTest, ZeroGradClearsAll) {
+  Rng rng(17);
+  Mlp mlp({2, 4, 1}, &rng);
+  Variable x = Variable::Constant(Tensor::RandomNormal(3, 2, &rng));
+  Sum(Square(mlp.Forward(x, true))).Backward();
+  mlp.ZeroGrad();
+  for (const Variable& p : mlp.Parameters()) {
+    EXPECT_FLOAT_EQ(p.grad().MaxAbs(), 0.f);
+  }
+}
+
+}  // namespace
+}  // namespace oodgnn

@@ -1,0 +1,106 @@
+#include "src/nn/serialize.h"
+
+#include <cstdio>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "src/data/triangles.h"
+#include "src/gnn/model_zoo.h"
+#include "src/graph/batch.h"
+#include "src/nn/mlp.h"
+#include "src/util/rng.h"
+
+namespace oodgnn {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(SerializeTest, RoundTripPreservesValues) {
+  Rng rng(1);
+  Mlp original({3, 5, 2}, &rng);
+  const std::string path = TempPath("mlp.ckpt");
+  ASSERT_TRUE(SaveParameters(path, original));
+
+  Rng rng2(2);  // Different init.
+  Mlp restored({3, 5, 2}, &rng2);
+  ASSERT_TRUE(LoadParameters(path, &restored));
+
+  std::vector<Variable> a = original.Parameters();
+  std::vector<Variable> b = restored.Parameters();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(AllClose(a[i].value(), b[i].value(), 0.f));
+  }
+}
+
+TEST(SerializeTest, RestoredModelPredictsIdentically) {
+  TrianglesConfig data_config;
+  data_config.num_train = 20;
+  data_config.num_valid = 5;
+  data_config.num_test = 5;
+  GraphDataset ds = MakeTrianglesDataset(data_config, 3);
+  GraphBatch batch = MakeBatch(ds.graphs, ds.train_idx, 0, 8);
+
+  EncoderConfig encoder;
+  encoder.feature_dim = ds.feature_dim;
+  encoder.hidden_dim = 8;
+  encoder.num_layers = 2;
+  encoder.dropout = 0.f;
+
+  Rng rng1(4);
+  GraphPredictionModel original(Method::kGin, encoder, ds.num_tasks, &rng1);
+  const std::string path = TempPath("gin.ckpt");
+  ASSERT_TRUE(SaveParameters(path, original));
+
+  Rng rng2(5);
+  GraphPredictionModel restored(Method::kGin, encoder, ds.num_tasks, &rng2);
+  ASSERT_TRUE(LoadParameters(path, &restored));
+
+  Rng fwd1(6);
+  Rng fwd2(6);
+  Tensor a = original.Predict(batch, false, &fwd1).value();
+  Tensor b = restored.Predict(batch, false, &fwd2).value();
+  EXPECT_TRUE(AllClose(a, b, 0.f));
+}
+
+TEST(SerializeTest, MissingFileFailsGracefully) {
+  Rng rng(7);
+  Mlp mlp({2, 2}, &rng);
+  EXPECT_FALSE(LoadParameters(TempPath("does_not_exist.ckpt"), &mlp));
+  EXPECT_FALSE(SaveParameters("/nonexistent_dir/x.ckpt", mlp));
+}
+
+TEST(SerializeTest, RejectsWrongMagic) {
+  const std::string path = TempPath("garbage.ckpt");
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(file, nullptr);
+  const char junk[32] = "this is not a checkpoint";
+  std::fwrite(junk, 1, sizeof(junk), file);
+  std::fclose(file);
+  Rng rng(8);
+  Mlp mlp({2, 2}, &rng);
+  EXPECT_FALSE(LoadParameters(path, &mlp));
+}
+
+TEST(SerializeDeathTest, ShapeMismatchAborts) {
+  Rng rng(9);
+  Mlp small({2, 3}, &rng);
+  const std::string path = TempPath("small.ckpt");
+  ASSERT_TRUE(SaveParameters(path, small));
+  Mlp bigger({2, 4}, &rng);
+  EXPECT_DEATH(LoadParameters(path, &bigger), "checkpoint");
+}
+
+TEST(SerializeDeathTest, ParameterCountMismatchAborts) {
+  Rng rng(10);
+  Mlp two_layers({2, 3, 1}, &rng);
+  const std::string path = TempPath("two.ckpt");
+  ASSERT_TRUE(SaveParameters(path, two_layers));
+  Mlp one_layer({2, 1}, &rng);
+  EXPECT_DEATH(LoadParameters(path, &one_layer), "tensors");
+}
+
+}  // namespace
+}  // namespace oodgnn

@@ -1,0 +1,157 @@
+#include "src/train/trainer.h"
+
+#include "gtest/gtest.h"
+#include "src/data/triangles.h"
+#include "src/train/experiment.h"
+#include "src/util/rng.h"
+
+namespace oodgnn {
+namespace {
+
+/// Trivially separable dataset: label = 1 iff the graph has edges.
+GraphDataset EasyDataset(int per_class) {
+  GraphDataset ds;
+  ds.name = "easy";
+  ds.num_tasks = 2;
+  ds.feature_dim = 2;
+  Rng rng(5);
+  for (int i = 0; i < 2 * per_class; ++i) {
+    const int label = i % 2;
+    const int n = static_cast<int>(rng.UniformInt(4, 8));
+    Graph g(n, 2);
+    for (int v = 0; v < n; ++v) g.x.at(v, 0) = 1.f;
+    if (label == 1) {
+      for (int v = 0; v + 1 < n; ++v) g.AddUndirectedEdge(v, v + 1);
+    }
+    g.label = label;
+    const size_t idx = ds.graphs.size();
+    if (i < per_class) {
+      ds.train_idx.push_back(idx);
+    } else if (i < per_class * 3 / 2) {
+      ds.valid_idx.push_back(idx);
+    } else {
+      ds.test_idx.push_back(idx);
+    }
+    ds.graphs.push_back(std::move(g));
+  }
+  return ds;
+}
+
+TrainConfig FastConfig() {
+  TrainConfig config;
+  config.epochs = 8;
+  config.batch_size = 16;
+  config.lr = 5e-3f;
+  config.encoder.hidden_dim = 8;
+  config.encoder.num_layers = 2;
+  config.encoder.dropout = 0.f;
+  return config;
+}
+
+TEST(TrainerTest, GinLearnsEasyTask) {
+  GraphDataset ds = EasyDataset(40);
+  TrainResult result = TrainAndEvaluate(Method::kGin, ds, FastConfig());
+  EXPECT_GT(result.test_metric, 0.95);
+  EXPECT_EQ(result.epoch_losses.size(), 8u);
+  EXPECT_LT(result.epoch_losses.back(), result.epoch_losses.front());
+  EXPECT_GT(result.num_parameters, 0);
+}
+
+TEST(TrainerTest, OodGnnLearnsEasyTaskAndRecordsWeights) {
+  GraphDataset ds = EasyDataset(40);
+  TrainConfig config = FastConfig();
+  config.ood.weights.epochs_reweight = 5;
+  TrainResult result = TrainAndEvaluate(Method::kOodGnn, ds, config);
+  EXPECT_GT(result.test_metric, 0.9);
+  // Final-epoch weights were recorded, one per training graph seen.
+  EXPECT_EQ(result.final_weights.size(), ds.train_idx.size());
+  EXPECT_EQ(result.epoch_decorrelation_losses.size(), 8u);
+}
+
+TEST(TrainerTest, DeterministicGivenSeed) {
+  GraphDataset ds = EasyDataset(20);
+  TrainConfig config = FastConfig();
+  config.seed = 77;
+  TrainResult a = TrainAndEvaluate(Method::kGcn, ds, config);
+  TrainResult b = TrainAndEvaluate(Method::kGcn, ds, config);
+  EXPECT_EQ(a.test_metric, b.test_metric);
+  EXPECT_EQ(a.epoch_losses, b.epoch_losses);
+}
+
+TEST(TrainerTest, WarmupSkipsReweighting) {
+  GraphDataset ds = EasyDataset(20);
+  TrainConfig config = FastConfig();
+  config.epochs = 3;
+  config.ood.warmup_epochs = 3;  // Never reweights.
+  TrainResult result = TrainAndEvaluate(Method::kOodGnn, ds, config);
+  EXPECT_TRUE(result.final_weights.empty());
+}
+
+TEST(TrainerTest, RegressionUsesRmseAndLowerIsBetter) {
+  // Tiny regression dataset: target = number of edges / 4.
+  GraphDataset ds;
+  ds.name = "reg";
+  ds.task_type = TaskType::kRegression;
+  ds.num_tasks = 1;
+  ds.feature_dim = 1;
+  Rng rng(6);
+  for (int i = 0; i < 60; ++i) {
+    const int n = static_cast<int>(rng.UniformInt(3, 8));
+    Graph g(n, 1);
+    for (int v = 0; v < n; ++v) g.x.at(v, 0) = 1.f;
+    for (int v = 0; v + 1 < n; ++v) g.AddUndirectedEdge(v, v + 1);
+    g.targets = {static_cast<float>(g.num_edges()) / 4.f};
+    const size_t idx = ds.graphs.size();
+    (i < 40 ? ds.train_idx : (i < 50 ? ds.valid_idx : ds.test_idx))
+        .push_back(idx);
+    ds.graphs.push_back(std::move(g));
+  }
+  TrainConfig config = FastConfig();
+  config.epochs = 30;
+  TrainResult result = TrainAndEvaluate(Method::kGin, ds, config);
+  EXPECT_GE(result.test_metric, 0.0);
+  EXPECT_LT(result.test_metric, 2.0);  // RMSE on ~[1.5, 3.5] targets.
+  EXPECT_FALSE(HigherIsBetter(TaskType::kRegression));
+  EXPECT_TRUE(HigherIsBetter(TaskType::kBinary));
+}
+
+TEST(ExperimentTest, RunSeedsCollectsAllRuns) {
+  GraphDataset ds = EasyDataset(15);
+  TrainConfig config = FastConfig();
+  config.epochs = 2;
+  MethodScores scores = RunSeeds(Method::kGcn, ds, config, 3);
+  EXPECT_EQ(scores.test.size(), 3u);
+  EXPECT_EQ(scores.train.size(), 3u);
+}
+
+TEST(ExperimentTest, FormatCellPercentAndRaw) {
+  EXPECT_EQ(FormatCell({0.5, 0.7}, true), "60.0±14.1");
+  EXPECT_EQ(FormatCell({1.0}, false), "1.00±0.00");
+  EXPECT_EQ(FormatCell({}, true), "-");
+}
+
+TEST(ExperimentTest, BenchOptionsDefaultsAndOverrides) {
+  {
+    const char* argv[] = {"prog"};
+    Flags flags(1, const_cast<char**>(argv));
+    BenchOptions options = BenchOptions::FromFlags(flags);
+    EXPECT_FALSE(options.full);
+    ApplyFastDefaults(flags, 7, 99, 0.25, &options);
+    EXPECT_EQ(options.seeds, 7);
+    EXPECT_EQ(options.train.epochs, 99);
+    EXPECT_DOUBLE_EQ(options.data_scale, 0.25);
+  }
+  {
+    const char* argv[] = {"prog", "--full", "--epochs=5"};
+    Flags flags(3, const_cast<char**>(argv));
+    BenchOptions options = BenchOptions::FromFlags(flags);
+    EXPECT_TRUE(options.full);
+    EXPECT_EQ(options.train.epochs, 5);  // Explicit beats --full.
+    ApplyFastDefaults(flags, 7, 99, 0.25, &options);
+    EXPECT_EQ(options.train.epochs, 5);  // --full suppresses fast defaults.
+    EXPECT_NE(options.seeds, 7);
+  }
+}
+
+}  // namespace
+}  // namespace oodgnn

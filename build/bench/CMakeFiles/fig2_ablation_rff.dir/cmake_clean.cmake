@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_ablation_rff.dir/fig2_ablation_rff.cc.o"
+  "CMakeFiles/fig2_ablation_rff.dir/fig2_ablation_rff.cc.o.d"
+  "fig2_ablation_rff"
+  "fig2_ablation_rff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_ablation_rff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_training_dynamics.dir/fig3_training_dynamics.cc.o"
+  "CMakeFiles/fig3_training_dynamics.dir/fig3_training_dynamics.cc.o.d"
+  "fig3_training_dynamics"
+  "fig3_training_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_training_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

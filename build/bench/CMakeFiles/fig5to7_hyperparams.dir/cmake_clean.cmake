@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5to7_hyperparams.dir/fig5to7_hyperparams.cc.o"
+  "CMakeFiles/fig5to7_hyperparams.dir/fig5to7_hyperparams.cc.o.d"
+  "fig5to7_hyperparams"
+  "fig5to7_hyperparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5to7_hyperparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_synthetic.dir/table2_synthetic.cc.o"
+  "CMakeFiles/table2_synthetic.dir/table2_synthetic.cc.o.d"
+  "table2_synthetic"
+  "table2_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_size_shift.dir/table3_size_shift.cc.o"
+  "CMakeFiles/table3_size_shift.dir/table3_size_shift.cc.o.d"
+  "table3_size_shift"
+  "table3_size_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_size_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_ogb.dir/table4_ogb.cc.o"
+  "CMakeFiles/table4_ogb.dir/table4_ogb.cc.o.d"
+  "table4_ogb"
+  "table4_ogb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_ogb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

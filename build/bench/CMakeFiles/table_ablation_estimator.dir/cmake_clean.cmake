@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_ablation_estimator.dir/table_ablation_estimator.cc.o"
+  "CMakeFiles/table_ablation_estimator.dir/table_ablation_estimator.cc.o.d"
+  "table_ablation_estimator"
+  "table_ablation_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_ablation_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_extensions.dir/table_extensions.cc.o"
+  "CMakeFiles/table_extensions.dir/table_extensions.cc.o.d"
+  "table_extensions"
+  "table_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

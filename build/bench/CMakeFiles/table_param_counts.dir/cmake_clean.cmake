@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_param_counts.dir/table_param_counts.cc.o"
+  "CMakeFiles/table_param_counts.dir/table_param_counts.cc.o.d"
+  "table_param_counts"
+  "table_param_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_param_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

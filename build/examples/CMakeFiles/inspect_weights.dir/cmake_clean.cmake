@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_weights.dir/inspect_weights.cpp.o"
+  "CMakeFiles/inspect_weights.dir/inspect_weights.cpp.o.d"
+  "inspect_weights"
+  "inspect_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

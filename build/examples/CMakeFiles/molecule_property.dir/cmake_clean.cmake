@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molecule_property.dir/molecule_property.cpp.o"
+  "CMakeFiles/molecule_property.dir/molecule_property.cpp.o.d"
+  "molecule_property"
+  "molecule_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molecule_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

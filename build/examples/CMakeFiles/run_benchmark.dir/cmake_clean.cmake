@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_benchmark.dir/run_benchmark.cpp.o"
+  "CMakeFiles/run_benchmark.dir/run_benchmark.cpp.o.d"
+  "run_benchmark"
+  "run_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

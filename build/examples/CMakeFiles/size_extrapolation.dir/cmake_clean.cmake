@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/size_extrapolation.dir/size_extrapolation.cpp.o"
+  "CMakeFiles/size_extrapolation.dir/size_extrapolation.cpp.o.d"
+  "size_extrapolation"
+  "size_extrapolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/size_extrapolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/decorrelation.cc" "src/CMakeFiles/oodgnn.dir/core/decorrelation.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/core/decorrelation.cc.o.d"
+  "/root/repo/src/core/dependence.cc" "src/CMakeFiles/oodgnn.dir/core/dependence.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/core/dependence.cc.o.d"
+  "/root/repo/src/core/hsic.cc" "src/CMakeFiles/oodgnn.dir/core/hsic.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/core/hsic.cc.o.d"
+  "/root/repo/src/core/ood_gnn.cc" "src/CMakeFiles/oodgnn.dir/core/ood_gnn.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/core/ood_gnn.cc.o.d"
+  "/root/repo/src/core/rff.cc" "src/CMakeFiles/oodgnn.dir/core/rff.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/core/rff.cc.o.d"
+  "/root/repo/src/core/weight_bank.cc" "src/CMakeFiles/oodgnn.dir/core/weight_bank.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/core/weight_bank.cc.o.d"
+  "/root/repo/src/core/weight_optimizer.cc" "src/CMakeFiles/oodgnn.dir/core/weight_optimizer.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/core/weight_optimizer.cc.o.d"
+  "/root/repo/src/data/molecule.cc" "src/CMakeFiles/oodgnn.dir/data/molecule.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/data/molecule.cc.o.d"
+  "/root/repo/src/data/protein.cc" "src/CMakeFiles/oodgnn.dir/data/protein.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/data/protein.cc.o.d"
+  "/root/repo/src/data/registry.cc" "src/CMakeFiles/oodgnn.dir/data/registry.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/data/registry.cc.o.d"
+  "/root/repo/src/data/social.cc" "src/CMakeFiles/oodgnn.dir/data/social.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/data/social.cc.o.d"
+  "/root/repo/src/data/splits.cc" "src/CMakeFiles/oodgnn.dir/data/splits.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/data/splits.cc.o.d"
+  "/root/repo/src/data/superpixel.cc" "src/CMakeFiles/oodgnn.dir/data/superpixel.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/data/superpixel.cc.o.d"
+  "/root/repo/src/data/triangles.cc" "src/CMakeFiles/oodgnn.dir/data/triangles.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/data/triangles.cc.o.d"
+  "/root/repo/src/gnn/encoder.cc" "src/CMakeFiles/oodgnn.dir/gnn/encoder.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/gnn/encoder.cc.o.d"
+  "/root/repo/src/gnn/factor_gcn.cc" "src/CMakeFiles/oodgnn.dir/gnn/factor_gcn.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/gnn/factor_gcn.cc.o.d"
+  "/root/repo/src/gnn/gat_conv.cc" "src/CMakeFiles/oodgnn.dir/gnn/gat_conv.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/gnn/gat_conv.cc.o.d"
+  "/root/repo/src/gnn/gcn_conv.cc" "src/CMakeFiles/oodgnn.dir/gnn/gcn_conv.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/gnn/gcn_conv.cc.o.d"
+  "/root/repo/src/gnn/gin_conv.cc" "src/CMakeFiles/oodgnn.dir/gnn/gin_conv.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/gnn/gin_conv.cc.o.d"
+  "/root/repo/src/gnn/model_zoo.cc" "src/CMakeFiles/oodgnn.dir/gnn/model_zoo.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/gnn/model_zoo.cc.o.d"
+  "/root/repo/src/gnn/pna_conv.cc" "src/CMakeFiles/oodgnn.dir/gnn/pna_conv.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/gnn/pna_conv.cc.o.d"
+  "/root/repo/src/gnn/pool_common.cc" "src/CMakeFiles/oodgnn.dir/gnn/pool_common.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/gnn/pool_common.cc.o.d"
+  "/root/repo/src/gnn/readout.cc" "src/CMakeFiles/oodgnn.dir/gnn/readout.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/gnn/readout.cc.o.d"
+  "/root/repo/src/gnn/sag_pool.cc" "src/CMakeFiles/oodgnn.dir/gnn/sag_pool.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/gnn/sag_pool.cc.o.d"
+  "/root/repo/src/gnn/sage_conv.cc" "src/CMakeFiles/oodgnn.dir/gnn/sage_conv.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/gnn/sage_conv.cc.o.d"
+  "/root/repo/src/gnn/topk_pool.cc" "src/CMakeFiles/oodgnn.dir/gnn/topk_pool.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/gnn/topk_pool.cc.o.d"
+  "/root/repo/src/gnn/virtual_node.cc" "src/CMakeFiles/oodgnn.dir/gnn/virtual_node.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/gnn/virtual_node.cc.o.d"
+  "/root/repo/src/graph/algorithms.cc" "src/CMakeFiles/oodgnn.dir/graph/algorithms.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/graph/algorithms.cc.o.d"
+  "/root/repo/src/graph/batch.cc" "src/CMakeFiles/oodgnn.dir/graph/batch.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/graph/batch.cc.o.d"
+  "/root/repo/src/graph/dataset.cc" "src/CMakeFiles/oodgnn.dir/graph/dataset.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/graph/dataset.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/oodgnn.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/graph/graph.cc.o.d"
+  "/root/repo/src/nn/batchnorm.cc" "src/CMakeFiles/oodgnn.dir/nn/batchnorm.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/nn/batchnorm.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/CMakeFiles/oodgnn.dir/nn/init.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/nn/init.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/CMakeFiles/oodgnn.dir/nn/linear.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/nn/linear.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/CMakeFiles/oodgnn.dir/nn/loss.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/nn/loss.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/CMakeFiles/oodgnn.dir/nn/mlp.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/nn/mlp.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/oodgnn.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/nn/module.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/oodgnn.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/CMakeFiles/oodgnn.dir/nn/serialize.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/nn/serialize.cc.o.d"
+  "/root/repo/src/tensor/gradcheck.cc" "src/CMakeFiles/oodgnn.dir/tensor/gradcheck.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/tensor/gradcheck.cc.o.d"
+  "/root/repo/src/tensor/ops.cc" "src/CMakeFiles/oodgnn.dir/tensor/ops.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/tensor/ops.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/oodgnn.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/tensor/tensor.cc.o.d"
+  "/root/repo/src/tensor/variable.cc" "src/CMakeFiles/oodgnn.dir/tensor/variable.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/tensor/variable.cc.o.d"
+  "/root/repo/src/train/experiment.cc" "src/CMakeFiles/oodgnn.dir/train/experiment.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/train/experiment.cc.o.d"
+  "/root/repo/src/train/metrics.cc" "src/CMakeFiles/oodgnn.dir/train/metrics.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/train/metrics.cc.o.d"
+  "/root/repo/src/train/trainer.cc" "src/CMakeFiles/oodgnn.dir/train/trainer.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/train/trainer.cc.o.d"
+  "/root/repo/src/util/file.cc" "src/CMakeFiles/oodgnn.dir/util/file.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/util/file.cc.o.d"
+  "/root/repo/src/util/flags.cc" "src/CMakeFiles/oodgnn.dir/util/flags.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/util/flags.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/oodgnn.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/oodgnn.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/oodgnn.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/oodgnn.dir/util/table.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/util/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encoder_property_test.dir/encoder_property_test.cc.o"
+  "CMakeFiles/encoder_property_test.dir/encoder_property_test.cc.o.d"
+  "encoder_property_test"
+  "encoder_property_test.pdb"
+  "encoder_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encoder_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weight_semantics_test.dir/weight_semantics_test.cc.o"
+  "CMakeFiles/weight_semantics_test.dir/weight_semantics_test.cc.o.d"
+  "weight_semantics_test"
+  "weight_semantics_test.pdb"
+  "weight_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weight_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

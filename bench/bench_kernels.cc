@@ -1,21 +1,176 @@
-// Micro-benchmarks of the computational kernels behind OOD-GNN: dense
-// GEMM, message-passing gather/scatter, the RFF feature map, the
-// weighted decorrelation objective, and one full inner weight-update
-// step. Supports the §4.7 complexity analysis: the decorrelation cost
-// is O(K·|B|·d²) — independent of the dataset size.
+// Benchmarks of the computational kernels behind OOD-GNN.
+//
+// Run with no arguments to get a serial-vs-parallel backend comparison
+// (GFLOP/s, speedup, and a bitwise-identity check) for the three dense
+// hot paths — matmul, segment sum, RFF cross-covariance — at the
+// paper's batch scale and at 10× that scale. `--threads N` selects the
+// parallel pool size (default 4, matching the CI configuration).
+//
+// Pass any --benchmark* flag to run the google-benchmark micro-suite
+// instead (GEMM, gather/scatter, RFF map, decorrelation loss, weight
+// update), which supports the §4.7 complexity analysis: the
+// decorrelation cost is O(K·|B|·d²) — independent of the dataset size.
 
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "benchmark/benchmark.h"
 #include "src/core/decorrelation.h"
+#include "src/core/dependence.h"
 #include "src/core/rff.h"
 #include "src/core/weight_bank.h"
 #include "src/core/weight_optimizer.h"
+#include "src/tensor/backend.h"
 #include "src/tensor/ops.h"
+#include "src/util/flags.h"
 #include "src/util/rng.h"
 
 namespace oodgnn {
 namespace {
+
+// ---------------------------------------------------------------------------
+// Serial-vs-parallel backend comparison.
+// ---------------------------------------------------------------------------
+
+/// Median-free best-of-repetitions wall-clock of `fn`, in seconds per
+/// call. Calibrates the iteration count so each repetition runs at
+/// least ~50 ms.
+double TimePerCall(const std::function<void()>& fn) {
+  using Clock = std::chrono::steady_clock;
+  fn();  // Warm-up.
+  int iters = 1;
+  for (;;) {
+    const auto t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) fn();
+    const double dt = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (dt >= 0.05 || iters >= (1 << 22)) break;
+    iters *= 2;
+  }
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) fn();
+    const double dt = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (dt / iters < best) best = dt / iters;
+  }
+  return best;
+}
+
+bool BitwiseEqual(const Tensor& a, const Tensor& b) {
+  return a.SameShape(b) &&
+         std::memcmp(a.data(), b.data(),
+                     sizeof(float) * static_cast<size_t>(a.size())) == 0;
+}
+
+struct Workload {
+  std::string name;
+  std::string shape;
+  int64_t flops = 0;                ///< Per call, for the GFLOP/s column.
+  std::function<Tensor()> run;      ///< Executes under the active backend.
+};
+
+void CompareBackends(int threads) {
+  if (threads < 1) threads = 1;  // MakeBackend clamps the same way.
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("Compute backend comparison: serial vs parallel (%d threads)\n",
+              threads);
+  std::printf("hardware_concurrency=%u%s\n\n", cores,
+              cores <= 1 ? "  (single core: speedup <= 1 is expected here; "
+                           "bitwise identity is the portable check)"
+                         : "");
+
+  std::vector<Workload> workloads;
+  Rng rng(7);
+
+  // Matmul at the encoder's batch shape: hidden states [N, d] times a
+  // layer weight [d, d], N = batch of 128 graphs, d = 64.
+  for (int scale : {1, 10}) {
+    const int m = 128 * scale, k = 64, n = 64;
+    auto a = std::make_shared<Tensor>(Tensor::RandomNormal(m, k, &rng));
+    auto b = std::make_shared<Tensor>(Tensor::RandomNormal(k, n, &rng));
+    workloads.push_back(
+        {scale == 1 ? "matmul (paper)" : "matmul (10x)",
+         "[" + std::to_string(m) + "x" + std::to_string(k) + "]x[" +
+             std::to_string(k) + "x" + std::to_string(n) + "]",
+         2ll * m * k * n, [a, b, m, n] {
+           Tensor out(m, n);
+           GetBackend().MatMulAcc(*a, *b, &out);
+           return out;
+         }});
+  }
+
+  // Segment sum (graph readout): ~25 nodes per graph scattered into N
+  // graph rows, d = 64.
+  for (int scale : {1, 10}) {
+    const int segs = 128 * scale, rows = segs * 25, dim = 64;
+    auto h = std::make_shared<Tensor>(Tensor::RandomNormal(rows, dim, &rng));
+    auto index = std::make_shared<std::vector<int>>();
+    for (int r = 0; r < rows; ++r) {
+      index->push_back(static_cast<int>(rng.UniformInt(0, segs - 1)));
+    }
+    workloads.push_back(
+        {scale == 1 ? "segment-sum (paper)" : "segment-sum (10x)",
+         std::to_string(rows) + " rows -> " + std::to_string(segs) + " segs",
+         static_cast<int64_t>(rows) * dim, [h, index, segs, dim] {
+           Tensor out(segs, dim);
+           GetBackend().ScatterAddRowsAcc(*h, *index, &out);
+           return out;
+         }});
+  }
+
+  // RFF cross-covariance: the pairwise dependence matrix over RFF
+  // features of a [N, 32] representation with Q = 5 Fourier functions
+  // per dimension (Eq. 4 / §4.7 decorrelation cost).
+  for (int scale : {1, 10}) {
+    const int n = 128 * scale, d = 32;
+    RffConfig config;
+    config.num_functions = 5;
+    auto rff = std::make_shared<RffFeatureMap>(d, config, &rng);
+    auto z = std::make_shared<Tensor>(Tensor::RandomNormal(n, d, &rng));
+    const int features = rff->num_features();
+    workloads.push_back(
+        {scale == 1 ? "rff-cross-cov (paper)" : "rff-cross-cov (10x)",
+         "[" + std::to_string(n) + "x" + std::to_string(d) + "] Q=5",
+         2ll * n * features * features,
+         [rff, z] { return PairwiseDependenceMatrix(*z, *rff); }});
+  }
+
+  std::printf("%-22s %-22s %12s %14s %8s %8s\n", "workload", "shape",
+              "serial GF/s", "parallel GF/s", "speedup", "bitwise");
+  for (const Workload& w : workloads) {
+    Tensor serial_out;
+    double serial_s;
+    {
+      ScopedBackendThreads scoped(1);
+      serial_out = w.run();
+      serial_s = TimePerCall([&] { w.run(); });
+    }
+    Tensor parallel_out;
+    double parallel_s;
+    {
+      ScopedBackendThreads scoped(threads);
+      parallel_out = w.run();
+      parallel_s = TimePerCall([&] { w.run(); });
+    }
+    const double gf_serial = static_cast<double>(w.flops) / serial_s / 1e9;
+    const double gf_parallel = static_cast<double>(w.flops) / parallel_s / 1e9;
+    std::printf("%-22s %-22s %12.2f %14.2f %7.2fx %8s\n", w.name.c_str(),
+                w.shape.c_str(), gf_serial, gf_parallel,
+                serial_s / parallel_s,
+                BitwiseEqual(serial_out, parallel_out) ? "OK" : "DIVERGED");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark micro-suite (run with --benchmark* flags).
+// ---------------------------------------------------------------------------
 
 void BM_MatMul(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -104,3 +259,19 @@ BENCHMARK(BM_WeightOptimizerStep)->Arg(32)->Arg(64)->Arg(128);
 
 }  // namespace
 }  // namespace oodgnn
+
+int main(int argc, char** argv) {
+  bool gbench = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark", 0) == 0) gbench = true;
+  }
+  if (gbench) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+  oodgnn::Flags flags(argc, argv);
+  oodgnn::CompareBackends(flags.GetThreads(4));
+  return 0;
+}

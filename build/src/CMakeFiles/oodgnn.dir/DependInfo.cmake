@@ -47,7 +47,9 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/nn/module.cc" "src/CMakeFiles/oodgnn.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/nn/module.cc.o.d"
   "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/oodgnn.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/nn/optimizer.cc.o.d"
   "/root/repo/src/nn/serialize.cc" "src/CMakeFiles/oodgnn.dir/nn/serialize.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/nn/serialize.cc.o.d"
+  "/root/repo/src/tensor/backend.cc" "src/CMakeFiles/oodgnn.dir/tensor/backend.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/tensor/backend.cc.o.d"
   "/root/repo/src/tensor/gradcheck.cc" "src/CMakeFiles/oodgnn.dir/tensor/gradcheck.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/tensor/gradcheck.cc.o.d"
+  "/root/repo/src/tensor/kernels.cc" "src/CMakeFiles/oodgnn.dir/tensor/kernels.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/tensor/kernels.cc.o.d"
   "/root/repo/src/tensor/ops.cc" "src/CMakeFiles/oodgnn.dir/tensor/ops.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/tensor/ops.cc.o.d"
   "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/oodgnn.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/tensor/tensor.cc.o.d"
   "/root/repo/src/tensor/variable.cc" "src/CMakeFiles/oodgnn.dir/tensor/variable.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/tensor/variable.cc.o.d"
@@ -60,6 +62,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/rng.cc" "src/CMakeFiles/oodgnn.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/util/rng.cc.o.d"
   "/root/repo/src/util/stats.cc" "src/CMakeFiles/oodgnn.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/util/stats.cc.o.d"
   "/root/repo/src/util/table.cc" "src/CMakeFiles/oodgnn.dir/util/table.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/util/table.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/oodgnn.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/oodgnn.dir/util/thread_pool.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -244,11 +244,12 @@ src/CMakeFiles/oodgnn.dir/train/trainer.cc.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/nn/loss.h \
- /root/repo/src/nn/optimizer.h /root/repo/src/tensor/ops.h \
- /root/repo/src/train/metrics.h /root/repo/src/util/check.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/nn/loss.h \
+ /root/repo/src/nn/optimizer.h /root/repo/src/tensor/backend.h \
+ /root/repo/src/tensor/ops.h /root/repo/src/train/metrics.h \
+ /root/repo/src/util/check.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/logging.h \
  /root/repo/src/util/rng.h /usr/include/c++/12/random \
  /usr/include/c++/12/bits/random.h \

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/tensor/backend.h"
 #include "src/util/check.h"
 #include "src/util/rng.h"
 
@@ -45,17 +46,21 @@ Tensor RffFeatureMap::Transform(const Tensor& z) const {
   const int m = num_features();
   Tensor out(n, m);
   const float kSqrt2 = static_cast<float>(std::sqrt(2.0));
-  for (int r = 0; r < n; ++r) {
-    const float* zrow = z.row(r);
-    float* orow = out.row(r);
-    for (int j = 0; j < m; ++j) {
-      const float x = zrow[feature_source_dim_[static_cast<size_t>(j)]];
-      orow[j] = config_.linear_only
-                    ? x
-                    : kSqrt2 * std::cos(omega_[static_cast<size_t>(j)] * x +
-                                        phase_[static_cast<size_t>(j)]);
+  // Rows are independent, so the map partitions cleanly across the
+  // backend's workers (the cos() makes this the per-batch hot loop).
+  GetBackend().ForCost(n, 8ll * n * m, [&](int r0, int r1) {
+    for (int r = r0; r < r1; ++r) {
+      const float* zrow = z.row(r);
+      float* orow = out.row(r);
+      for (int j = 0; j < m; ++j) {
+        const float x = zrow[feature_source_dim_[static_cast<size_t>(j)]];
+        orow[j] = config_.linear_only
+                      ? x
+                      : kSqrt2 * std::cos(omega_[static_cast<size_t>(j)] * x +
+                                          phase_[static_cast<size_t>(j)]);
+      }
     }
-  }
+  });
   return out;
 }
 

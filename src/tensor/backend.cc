@@ -1,0 +1,283 @@
+#include "src/tensor/backend.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+
+#include "src/tensor/kernels.h"
+#include "src/util/check.h"
+#include "src/util/thread_pool.h"
+
+namespace oodgnn {
+namespace {
+
+/// Below this much estimated work, dispatching to the pool costs more
+/// than it saves; run inline instead. The cutoff does not affect
+/// results (any partition of a range is bitwise equivalent).
+constexpr std::int64_t kMinFlopsToParallelize = 32 * 1024;
+
+std::mutex g_backend_mu;
+std::unique_ptr<Backend> g_backend;  // guarded by g_backend_mu
+
+int ThreadsFromEnv() {
+  const char* env = std::getenv("OODGNN_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  return std::atoi(env);
+}
+
+}  // namespace
+
+void Backend::ForCost(int n, std::int64_t flops,
+                      const std::function<void(int, int)>& fn) const {
+  if (n <= 0) return;
+  if (num_threads() == 1 || flops < kMinFlopsToParallelize) {
+    fn(0, n);
+    return;
+  }
+  For(n, fn);
+}
+
+void Backend::MatMulAcc(const Tensor& a, const Tensor& b, Tensor* out) const {
+  OODGNN_CHECK_EQ(a.cols(), b.rows());
+  OODGNN_CHECK(out->rows() == a.rows() && out->cols() == b.cols());
+  const std::int64_t flops =
+      2ll * a.rows() * a.cols() * b.cols();
+  ForCost(out->rows(), flops, [&](int r0, int r1) {
+    kernels::MatMulAcc(a, b, out, r0, r1);
+  });
+}
+
+void Backend::MatMulTransAAcc(const Tensor& a, const Tensor& b,
+                              Tensor* out) const {
+  OODGNN_CHECK_EQ(a.rows(), b.rows());
+  OODGNN_CHECK(out->rows() == a.cols() && out->cols() == b.cols());
+  const std::int64_t flops =
+      2ll * a.rows() * a.cols() * b.cols();
+  ForCost(out->rows(), flops, [&](int r0, int r1) {
+    kernels::MatMulTransAAcc(a, b, out, r0, r1);
+  });
+}
+
+void Backend::MatMulTransBAcc(const Tensor& a, const Tensor& b,
+                              Tensor* out) const {
+  OODGNN_CHECK_EQ(a.cols(), b.cols());
+  OODGNN_CHECK(out->rows() == a.rows() && out->cols() == b.rows());
+  const std::int64_t flops =
+      2ll * a.rows() * a.cols() * b.rows();
+  ForCost(out->rows(), flops, [&](int r0, int r1) {
+    kernels::MatMulTransBAcc(a, b, out, r0, r1);
+  });
+}
+
+void Backend::Axpy(float alpha, const Tensor& x, Tensor* y) const {
+  OODGNN_CHECK(x.SameShape(*y));
+  ForCost(y->size(), y->size(), [&](int i0, int i1) {
+    kernels::Axpy(alpha, x, y, i0, i1);
+  });
+}
+
+void Backend::ScaleInPlace(float s, Tensor* y) const {
+  ForCost(y->size(), y->size(), [&](int i0, int i1) {
+    kernels::Scale(y, s, i0, i1);
+  });
+}
+
+void Backend::AddScalarAcc(float s, Tensor* y) const {
+  ForCost(y->size(), y->size(), [&](int i0, int i1) {
+    kernels::AddScalar(y, s, i0, i1);
+  });
+}
+
+void Backend::Hadamard(const Tensor& a, const Tensor& b, Tensor* out) const {
+  OODGNN_CHECK(a.SameShape(b) && a.SameShape(*out));
+  ForCost(out->size(), out->size(), [&](int i0, int i1) {
+    kernels::Hadamard(a, b, out, i0, i1);
+  });
+}
+
+void Backend::HadamardAcc(const Tensor& g, const Tensor& x, Tensor* y) const {
+  OODGNN_CHECK(g.SameShape(x) && g.SameShape(*y));
+  ForCost(y->size(), y->size(), [&](int i0, int i1) {
+    kernels::HadamardAcc(g, x, y, i0, i1);
+  });
+}
+
+void Backend::ColumnSumAcc(const Tensor& a, Tensor* out) const {
+  OODGNN_CHECK(out->rows() == 1 && out->cols() == a.cols());
+  ForCost(a.cols(), a.size(), [&](int c0, int c1) {
+    kernels::ColumnSumAcc(a, out, c0, c1);
+  });
+}
+
+void Backend::RowSumAcc(const Tensor& a, Tensor* out) const {
+  OODGNN_CHECK(out->rows() == a.rows() && out->cols() == 1);
+  ForCost(a.rows(), a.size(), [&](int r0, int r1) {
+    kernels::RowSumAcc(a, out, r0, r1);
+  });
+}
+
+void Backend::RowBroadcastAcc(const Tensor& row, Tensor* out) const {
+  OODGNN_CHECK(row.rows() == 1 && row.cols() == out->cols());
+  ForCost(out->rows(), out->size(), [&](int r0, int r1) {
+    kernels::RowBroadcastAcc(row, out, r0, r1);
+  });
+}
+
+void Backend::ColBroadcastAcc(const Tensor& col, Tensor* out) const {
+  OODGNN_CHECK(col.rows() == out->rows() && col.cols() == 1);
+  ForCost(out->rows(), out->size(), [&](int r0, int r1) {
+    kernels::ColBroadcastAcc(col, out, r0, r1);
+  });
+}
+
+void Backend::AddTransposedAcc(const Tensor& g, Tensor* out) const {
+  OODGNN_CHECK(g.rows() == out->cols() && g.cols() == out->rows());
+  ForCost(out->rows(), out->size(), [&](int r0, int r1) {
+    kernels::AddTransposedAcc(g, out, r0, r1);
+  });
+}
+
+void Backend::HadamardColumnSumAcc(const Tensor& x, const Tensor& y,
+                                   Tensor* out) const {
+  OODGNN_CHECK(x.SameShape(y));
+  OODGNN_CHECK(out->rows() == 1 && out->cols() == x.cols());
+  ForCost(x.cols(), 2ll * x.size(), [&](int c0, int c1) {
+    kernels::HadamardColumnSumAcc(x, y, out, c0, c1);
+  });
+}
+
+void Backend::HadamardRowSumAcc(const Tensor& x, const Tensor& y,
+                                Tensor* out) const {
+  OODGNN_CHECK(x.SameShape(y));
+  OODGNN_CHECK(out->rows() == x.rows() && out->cols() == 1);
+  ForCost(x.rows(), 2ll * x.size(), [&](int r0, int r1) {
+    kernels::HadamardRowSumAcc(x, y, out, r0, r1);
+  });
+}
+
+float Backend::Dot(const Tensor& a, const Tensor& b) const {
+  OODGNN_CHECK(a.SameShape(b));
+  return kernels::Dot(a, b, 0, a.size());
+}
+
+void Backend::SoftmaxRows(const Tensor& a, Tensor* out) const {
+  OODGNN_CHECK(a.SameShape(*out));
+  ForCost(a.rows(), 4ll * a.size(), [&](int r0, int r1) {
+    kernels::SoftmaxRows(a, out, r0, r1);
+  });
+}
+
+void Backend::SoftmaxRowsBackwardAcc(const Tensor& y, const Tensor& g,
+                                     Tensor* out) const {
+  OODGNN_CHECK(y.SameShape(g) && y.SameShape(*out));
+  ForCost(y.rows(), 4ll * y.size(), [&](int r0, int r1) {
+    kernels::SoftmaxRowsBackwardAcc(y, g, out, r0, r1);
+  });
+}
+
+void Backend::GatherRows(const Tensor& a, const std::vector<int>& index,
+                         Tensor* out) const {
+  OODGNN_CHECK(out->rows() == static_cast<int>(index.size()) &&
+               out->cols() == a.cols());
+  ForCost(out->rows(), out->size(), [&](int r0, int r1) {
+    kernels::GatherRows(a, index, out, r0, r1);
+  });
+}
+
+void Backend::GatherRowsAcc(const Tensor& g, const std::vector<int>& index,
+                            Tensor* out) const {
+  OODGNN_CHECK(out->rows() == static_cast<int>(index.size()) &&
+               out->cols() == g.cols());
+  ForCost(out->rows(), out->size(), [&](int r0, int r1) {
+    kernels::GatherRowsAcc(g, index, out, r0, r1);
+  });
+}
+
+void Backend::ScatterAddRowsAcc(const Tensor& a, const std::vector<int>& index,
+                                Tensor* out) const {
+  OODGNN_CHECK_EQ(a.rows(), static_cast<int>(index.size()));
+  OODGNN_CHECK_EQ(a.cols(), out->cols());
+  // Each chunk scans the whole index vector, so only large scatters pay
+  // off (the scan itself costs a.rows per chunk).
+  ForCost(out->rows(), static_cast<std::int64_t>(a.size()),
+          [&](int r0, int r1) {
+            kernels::ScatterAddRowsAcc(a, index, out, r0, r1);
+          });
+}
+
+void Backend::SegmentExtreme(const Tensor& a, const std::vector<int>& segment,
+                             bool is_max, Tensor* out,
+                             std::vector<int>* argrow) const {
+  OODGNN_CHECK_EQ(a.rows(), static_cast<int>(segment.size()));
+  OODGNN_CHECK_EQ(a.cols(), out->cols());
+  OODGNN_CHECK_EQ(static_cast<int>(argrow->size()), out->size());
+  ForCost(out->rows(), static_cast<std::int64_t>(a.size()),
+          [&](int s0, int s1) {
+            kernels::SegmentExtreme(a, segment, is_max, out, argrow, s0, s1);
+          });
+}
+
+void Backend::SegmentExtremeBackwardAcc(const Tensor& g,
+                                        const std::vector<int>& argrow,
+                                        Tensor* out) const {
+  OODGNN_CHECK_EQ(static_cast<int>(argrow.size()), g.size());
+  ForCost(g.rows(), static_cast<std::int64_t>(g.size()),
+          [&](int s0, int s1) {
+            kernels::SegmentExtremeBackwardAcc(g, argrow, out, s0, s1);
+          });
+}
+
+void Backend::CopyRowsTo(const Tensor& src, Tensor* dst,
+                         int dst_row_begin) const {
+  OODGNN_CHECK_EQ(src.cols(), dst->cols());
+  OODGNN_CHECK_LE(dst_row_begin + src.rows(), dst->rows());
+  ForCost(src.rows(), src.size(), [&](int r0, int r1) {
+    kernels::CopyRowsTo(src, dst, dst_row_begin, r0, r1);
+  });
+}
+
+void SerialBackend::For(int n, const std::function<void(int, int)>& fn) const {
+  if (n > 0) fn(0, n);
+}
+
+ParallelBackend::ParallelBackend(int num_threads)
+    : pool_(std::make_unique<ThreadPool>(num_threads)) {}
+
+ParallelBackend::~ParallelBackend() = default;
+
+int ParallelBackend::num_threads() const { return pool_->num_threads(); }
+
+void ParallelBackend::For(int n,
+                          const std::function<void(int, int)>& fn) const {
+  pool_->ParallelFor(n, fn);
+}
+
+std::unique_ptr<Backend> MakeBackend(int threads) {
+  if (threads <= 1) return std::make_unique<SerialBackend>();
+  return std::make_unique<ParallelBackend>(threads);
+}
+
+Backend& GetBackend() {
+  std::lock_guard<std::mutex> lock(g_backend_mu);
+  if (!g_backend) g_backend = MakeBackend(ThreadsFromEnv());
+  return *g_backend;
+}
+
+void SetBackend(std::unique_ptr<Backend> backend) {
+  OODGNN_CHECK(backend != nullptr);
+  std::lock_guard<std::mutex> lock(g_backend_mu);
+  g_backend = std::move(backend);
+}
+
+std::unique_ptr<Backend> ExchangeBackend(std::unique_ptr<Backend> backend) {
+  OODGNN_CHECK(backend != nullptr);
+  std::lock_guard<std::mutex> lock(g_backend_mu);
+  std::unique_ptr<Backend> previous = std::move(g_backend);
+  g_backend = std::move(backend);
+  if (!previous) previous = MakeBackend(ThreadsFromEnv());
+  return previous;
+}
+
+void SetBackendThreads(int threads) { SetBackend(MakeBackend(threads)); }
+
+}  // namespace oodgnn

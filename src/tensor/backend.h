@@ -1,0 +1,163 @@
+#ifndef OODGNN_TENSOR_BACKEND_H_
+#define OODGNN_TENSOR_BACKEND_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace oodgnn {
+
+/// Execution backend for the numeric kernels in src/tensor/kernels.h.
+/// A backend owns exactly one policy decision: how an index range
+/// [0, n) is partitioned into chunks and where those chunks run. All
+/// arithmetic lives in the kernels, which both backends drive through
+/// the same range functions — so every backend produces bitwise
+/// identical results (the determinism contract; see DESIGN.md §8).
+///
+/// The autograd ops (src/tensor/ops.cc) and the non-autograd hot paths
+/// (core/rff, core/hsic, core/dependence, train eval) call the active
+/// backend via GetBackend(). Adding a backend means subclassing and
+/// implementing For(); the dense wrappers below are inherited.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual const char* name() const = 0;
+  virtual int num_threads() const = 0;
+
+  /// Runs fn(begin, end) over a deterministic partition of [0, n) into
+  /// contiguous chunks. Chunk boundaries depend only on n and the
+  /// backend configuration, never on timing.
+  virtual void For(int n, const std::function<void(int, int)>& fn) const = 0;
+
+  /// Like For(), but runs the whole range inline when `flops` (an
+  /// estimate of the total work) is too small to amortize dispatch.
+  void ForCost(int n, std::int64_t flops,
+               const std::function<void(int, int)>& fn) const;
+
+  // --- dense kernel entry points (shape-checked, partitioned via For) ---
+
+  /// out += a[m,k] · b[k,n].
+  void MatMulAcc(const Tensor& a, const Tensor& b, Tensor* out) const;
+  /// out += aᵀ · b (out is [a.cols, b.cols]).
+  void MatMulTransAAcc(const Tensor& a, const Tensor& b, Tensor* out) const;
+  /// out += a · bᵀ (out is [a.rows, b.rows]).
+  void MatMulTransBAcc(const Tensor& a, const Tensor& b, Tensor* out) const;
+
+  /// y += alpha · x (flat element-wise).
+  void Axpy(float alpha, const Tensor& x, Tensor* y) const;
+  /// y *= s.
+  void ScaleInPlace(float s, Tensor* y) const;
+  /// y += s.
+  void AddScalarAcc(float s, Tensor* y) const;
+  /// out = a ⊙ b.
+  void Hadamard(const Tensor& a, const Tensor& b, Tensor* out) const;
+  /// y += g ⊙ x.
+  void HadamardAcc(const Tensor& g, const Tensor& x, Tensor* y) const;
+
+  /// out[1,n] += column sums of a[m,n].
+  void ColumnSumAcc(const Tensor& a, Tensor* out) const;
+  /// out[m,1] += row sums of a[m,n].
+  void RowSumAcc(const Tensor& a, Tensor* out) const;
+  /// out[r,:] += row[0,:] for every row.
+  void RowBroadcastAcc(const Tensor& row, Tensor* out) const;
+  /// out[r,:] += col[r,0] for every row.
+  void ColBroadcastAcc(const Tensor& col, Tensor* out) const;
+  /// out += gᵀ.
+  void AddTransposedAcc(const Tensor& g, Tensor* out) const;
+  /// out[1,n] += column-wise Σ_r x ⊙ y.
+  void HadamardColumnSumAcc(const Tensor& x, const Tensor& y,
+                            Tensor* out) const;
+  /// out[m,1] += row-wise Σ_c x ⊙ y.
+  void HadamardRowSumAcc(const Tensor& x, const Tensor& y, Tensor* out) const;
+  /// Σ_i a[i]·b[i]. Always runs serially: scalar reductions keep one
+  /// fixed association order on every backend (determinism contract).
+  float Dot(const Tensor& a, const Tensor& b) const;
+
+  /// Row-wise softmax.
+  void SoftmaxRows(const Tensor& a, Tensor* out) const;
+  /// Softmax backward: out += y ⊙ (g − rowdot(g, y)).
+  void SoftmaxRowsBackwardAcc(const Tensor& y, const Tensor& g,
+                              Tensor* out) const;
+
+  /// out[r,:] = a[index[r],:].
+  void GatherRows(const Tensor& a, const std::vector<int>& index,
+                  Tensor* out) const;
+  /// out[r,:] += g[index[r],:].
+  void GatherRowsAcc(const Tensor& g, const std::vector<int>& index,
+                     Tensor* out) const;
+  /// out[index[i],:] += a[i,:] (segment sum / scatter-add).
+  void ScatterAddRowsAcc(const Tensor& a, const std::vector<int>& index,
+                         Tensor* out) const;
+  /// Per-segment max/min with argmax rows recorded for the backward.
+  void SegmentExtreme(const Tensor& a, const std::vector<int>& segment,
+                      bool is_max, Tensor* out,
+                      std::vector<int>* argrow) const;
+  /// Routes g[s,c] back to the recorded argmax rows.
+  void SegmentExtremeBackwardAcc(const Tensor& g,
+                                 const std::vector<int>& argrow,
+                                 Tensor* out) const;
+
+  /// dst[dst_row_begin + r, :] = src[r, :] for every row of src.
+  void CopyRowsTo(const Tensor& src, Tensor* dst, int dst_row_begin) const;
+};
+
+/// Runs every range inline on the calling thread.
+class SerialBackend : public Backend {
+ public:
+  const char* name() const override { return "serial"; }
+  int num_threads() const override { return 1; }
+  void For(int n, const std::function<void(int, int)>& fn) const override;
+};
+
+class ThreadPool;
+
+/// Partitions ranges across a fixed worker pool (src/util/thread_pool).
+class ParallelBackend : public Backend {
+ public:
+  explicit ParallelBackend(int num_threads);
+  ~ParallelBackend() override;
+  const char* name() const override { return "parallel"; }
+  int num_threads() const override;
+  void For(int n, const std::function<void(int, int)>& fn) const override;
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+/// SerialBackend for threads <= 1, ParallelBackend otherwise.
+std::unique_ptr<Backend> MakeBackend(int threads);
+
+/// The process-wide backend used by ops and the core hot paths. Lazily
+/// initialized from the OODGNN_THREADS environment variable (default:
+/// serial). Not safe to swap while compute is in flight.
+Backend& GetBackend();
+
+/// Installs `backend` (non-null) as the process-wide backend.
+void SetBackend(std::unique_ptr<Backend> backend);
+
+/// Installs `backend` and returns the previous one.
+std::unique_ptr<Backend> ExchangeBackend(std::unique_ptr<Backend> backend);
+
+/// Convenience: SetBackend(MakeBackend(threads)).
+void SetBackendThreads(int threads);
+
+/// RAII backend swap for tests and benchmarks.
+class ScopedBackendThreads {
+ public:
+  explicit ScopedBackendThreads(int threads)
+      : previous_(ExchangeBackend(MakeBackend(threads))) {}
+  ~ScopedBackendThreads() { ExchangeBackend(std::move(previous_)); }
+  ScopedBackendThreads(const ScopedBackendThreads&) = delete;
+  ScopedBackendThreads& operator=(const ScopedBackendThreads&) = delete;
+
+ private:
+  std::unique_ptr<Backend> previous_;
+};
+
+}  // namespace oodgnn
+
+#endif  // OODGNN_TENSOR_BACKEND_H_

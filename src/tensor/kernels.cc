@@ -1,0 +1,290 @@
+#include "src/tensor/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace oodgnn {
+namespace kernels {
+namespace {
+
+// Cache-block sizes (floats). kBlockN keeps a strip of b and the
+// matching out-row segment L1-resident; kBlockK bounds the set of b rows
+// streamed per output strip so it stays in L2.
+constexpr int kBlockN = 256;
+constexpr int kBlockK = 64;
+// Output-row strip for the aᵀ·b variant: the strip of out rows revisited
+// per input row must stay cached.
+constexpr int kBlockP = 16;
+// b-row strip for the a·bᵀ variant: kBlockJ rows of b are reused across
+// every row of a.
+constexpr int kBlockJ = 32;
+
+}  // namespace
+
+void MatMulAcc(const Tensor& a, const Tensor& b, Tensor* out, int r0,
+               int r1) {
+  const int k = a.cols();
+  const int n = b.cols();
+  for (int j0 = 0; j0 < n; j0 += kBlockN) {
+    const int j1 = std::min(n, j0 + kBlockN);
+    for (int p0 = 0; p0 < k; p0 += kBlockK) {
+      const int p1 = std::min(k, p0 + kBlockK);
+      for (int i = r0; i < r1; ++i) {
+        const float* arow = a.row(i);
+        float* orow = out->row(i);
+        for (int p = p0; p < p1; ++p) {
+          const float av = arow[p];
+          if (av == 0.f) continue;
+          const float* brow = b.row(p);
+          for (int j = j0; j < j1; ++j) orow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void MatMulTransAAcc(const Tensor& a, const Tensor& b, Tensor* out, int r0,
+                     int r1) {
+  const int m = a.rows();
+  const int n = b.cols();
+  for (int p0 = r0; p0 < r1; p0 += kBlockP) {
+    const int p1 = std::min(r1, p0 + kBlockP);
+    for (int j0 = 0; j0 < n; j0 += kBlockN) {
+      const int j1 = std::min(n, j0 + kBlockN);
+      for (int i = 0; i < m; ++i) {
+        const float* arow = a.row(i);
+        const float* brow = b.row(i);
+        for (int p = p0; p < p1; ++p) {
+          const float av = arow[p];
+          if (av == 0.f) continue;
+          float* orow = out->row(p);
+          for (int j = j0; j < j1; ++j) orow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void MatMulTransBAcc(const Tensor& a, const Tensor& b, Tensor* out, int r0,
+                     int r1) {
+  const int k = a.cols();
+  const int n = b.rows();
+  for (int j0 = 0; j0 < n; j0 += kBlockJ) {
+    const int j1 = std::min(n, j0 + kBlockJ);
+    for (int i = r0; i < r1; ++i) {
+      const float* arow = a.row(i);
+      float* orow = out->row(i);
+      for (int j = j0; j < j1; ++j) {
+        const float* brow = b.row(j);
+        float acc = 0.f;
+        for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        orow[j] += acc;
+      }
+    }
+  }
+}
+
+void Axpy(float alpha, const Tensor& x, Tensor* y, int i0, int i1) {
+  for (int i = i0; i < i1; ++i) (*y)[i] += alpha * x[i];
+}
+
+void Scale(Tensor* y, float s, int i0, int i1) {
+  for (int i = i0; i < i1; ++i) (*y)[i] *= s;
+}
+
+void AddScalar(Tensor* y, float s, int i0, int i1) {
+  for (int i = i0; i < i1; ++i) (*y)[i] += s;
+}
+
+void Hadamard(const Tensor& a, const Tensor& b, Tensor* out, int i0, int i1) {
+  for (int i = i0; i < i1; ++i) (*out)[i] = a[i] * b[i];
+}
+
+void HadamardAcc(const Tensor& g, const Tensor& x, Tensor* y, int i0,
+                 int i1) {
+  for (int i = i0; i < i1; ++i) (*y)[i] += g[i] * x[i];
+}
+
+void ColumnSumAcc(const Tensor& a, Tensor* out, int c0, int c1) {
+  float* orow = out->row(0);
+  for (int r = 0; r < a.rows(); ++r) {
+    const float* arow = a.row(r);
+    for (int c = c0; c < c1; ++c) orow[c] += arow[c];
+  }
+}
+
+void RowSumAcc(const Tensor& a, Tensor* out, int r0, int r1) {
+  for (int r = r0; r < r1; ++r) {
+    const float* arow = a.row(r);
+    float acc = 0.f;
+    for (int c = 0; c < a.cols(); ++c) acc += arow[c];
+    out->at(r, 0) += acc;
+  }
+}
+
+void RowBroadcastAcc(const Tensor& row, Tensor* out, int r0, int r1) {
+  const float* src = row.row(0);
+  for (int r = r0; r < r1; ++r) {
+    float* orow = out->row(r);
+    for (int c = 0; c < out->cols(); ++c) orow[c] += src[c];
+  }
+}
+
+void ColBroadcastAcc(const Tensor& col, Tensor* out, int r0, int r1) {
+  for (int r = r0; r < r1; ++r) {
+    const float v = col.at(r, 0);
+    float* orow = out->row(r);
+    for (int c = 0; c < out->cols(); ++c) orow[c] += v;
+  }
+}
+
+void AddTransposedAcc(const Tensor& g, Tensor* out, int r0, int r1) {
+  for (int r = r0; r < r1; ++r) {
+    float* orow = out->row(r);
+    for (int c = 0; c < out->cols(); ++c) orow[c] += g.at(c, r);
+  }
+}
+
+void HadamardColumnSumAcc(const Tensor& x, const Tensor& y, Tensor* out,
+                          int c0, int c1) {
+  float* orow = out->row(0);
+  for (int r = 0; r < x.rows(); ++r) {
+    const float* xrow = x.row(r);
+    const float* yrow = y.row(r);
+    for (int c = c0; c < c1; ++c) orow[c] += xrow[c] * yrow[c];
+  }
+}
+
+void HadamardRowSumAcc(const Tensor& x, const Tensor& y, Tensor* out, int r0,
+                       int r1) {
+  for (int r = r0; r < r1; ++r) {
+    const float* xrow = x.row(r);
+    const float* yrow = y.row(r);
+    float acc = 0.f;
+    for (int c = 0; c < x.cols(); ++c) acc += xrow[c] * yrow[c];
+    out->at(r, 0) += acc;
+  }
+}
+
+float Dot(const Tensor& a, const Tensor& b, int i0, int i1) {
+  float acc = 0.f;
+  for (int i = i0; i < i1; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void SoftmaxRows(const Tensor& a, Tensor* out, int r0, int r1) {
+  const int cols = a.cols();
+  for (int r = r0; r < r1; ++r) {
+    const float* arow = a.row(r);
+    float* orow = out->row(r);
+    float mx = -std::numeric_limits<float>::infinity();
+    for (int c = 0; c < cols; ++c) mx = std::max(mx, arow[c]);
+    float total = 0.f;
+    for (int c = 0; c < cols; ++c) {
+      orow[c] = std::exp(arow[c] - mx);
+      total += orow[c];
+    }
+    for (int c = 0; c < cols; ++c) orow[c] /= total;
+  }
+}
+
+void SoftmaxRowsBackwardAcc(const Tensor& y, const Tensor& g, Tensor* out,
+                            int r0, int r1) {
+  const int cols = y.cols();
+  for (int r = r0; r < r1; ++r) {
+    const float* yrow = y.row(r);
+    const float* grow = g.row(r);
+    float dot = 0.f;
+    for (int c = 0; c < cols; ++c) dot += grow[c] * yrow[c];
+    float* orow = out->row(r);
+    for (int c = 0; c < cols; ++c) orow[c] += yrow[c] * (grow[c] - dot);
+  }
+}
+
+void GatherRows(const Tensor& a, const std::vector<int>& index, Tensor* out,
+                int r0, int r1) {
+  for (int r = r0; r < r1; ++r) {
+    const float* src = a.row(index[static_cast<size_t>(r)]);
+    std::copy(src, src + a.cols(), out->row(r));
+  }
+}
+
+void GatherRowsAcc(const Tensor& g, const std::vector<int>& index,
+                   Tensor* out, int r0, int r1) {
+  for (int r = r0; r < r1; ++r) {
+    const float* grow = g.row(index[static_cast<size_t>(r)]);
+    float* orow = out->row(r);
+    for (int c = 0; c < out->cols(); ++c) orow[c] += grow[c];
+  }
+}
+
+void ScatterAddRowsAcc(const Tensor& a, const std::vector<int>& index,
+                       Tensor* out, int out_r0, int out_r1) {
+  const int cols = a.cols();
+  for (int i = 0; i < a.rows(); ++i) {
+    const int dst = index[static_cast<size_t>(i)];
+    if (dst < out_r0 || dst >= out_r1) continue;
+    const float* src = a.row(i);
+    float* orow = out->row(dst);
+    for (int c = 0; c < cols; ++c) orow[c] += src[c];
+  }
+}
+
+void SegmentExtreme(const Tensor& a, const std::vector<int>& segment,
+                    bool is_max, Tensor* out, std::vector<int>* argrow,
+                    int s0, int s1) {
+  const int cols = a.cols();
+  const float init = is_max ? -std::numeric_limits<float>::infinity()
+                            : std::numeric_limits<float>::infinity();
+  for (int s = s0; s < s1; ++s) {
+    float* orow = out->row(s);
+    std::fill(orow, orow + cols, init);
+    std::fill(argrow->begin() + static_cast<size_t>(s) * cols,
+              argrow->begin() + static_cast<size_t>(s + 1) * cols, -1);
+  }
+  for (int r = 0; r < a.rows(); ++r) {
+    const int s = segment[static_cast<size_t>(r)];
+    if (s < s0 || s >= s1) continue;
+    const float* arow = a.row(r);
+    float* orow = out->row(s);
+    for (int c = 0; c < cols; ++c) {
+      const bool better = is_max ? arow[c] > orow[c] : arow[c] < orow[c];
+      if (better) {
+        orow[c] = arow[c];
+        (*argrow)[static_cast<size_t>(s) * cols + c] = r;
+      }
+    }
+  }
+  // Empty segments: replace ±inf sentinels with zeros.
+  for (int s = s0; s < s1; ++s) {
+    float* orow = out->row(s);
+    for (int c = 0; c < cols; ++c) {
+      if ((*argrow)[static_cast<size_t>(s) * cols + c] < 0) orow[c] = 0.f;
+    }
+  }
+}
+
+void SegmentExtremeBackwardAcc(const Tensor& g,
+                               const std::vector<int>& argrow, Tensor* out,
+                               int s0, int s1) {
+  const int cols = g.cols();
+  for (int s = s0; s < s1; ++s) {
+    const float* grow = g.row(s);
+    for (int c = 0; c < cols; ++c) {
+      const int r = argrow[static_cast<size_t>(s) * cols + c];
+      if (r >= 0) out->at(r, c) += grow[c];
+    }
+  }
+}
+
+void CopyRowsTo(const Tensor& src, Tensor* dst, int dst_row_begin, int r0,
+                int r1) {
+  for (int r = r0; r < r1; ++r) {
+    const float* s = src.row(r);
+    std::copy(s, s + src.cols(), dst->row(dst_row_begin + r));
+  }
+}
+
+}  // namespace kernels
+}  // namespace oodgnn

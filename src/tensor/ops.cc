@@ -2,78 +2,35 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 #include <memory>
 #include <utility>
 
+#include "src/tensor/backend.h"
 #include "src/util/check.h"
 #include "src/util/rng.h"
+
+// Thin autograd layer: every function here only validates shapes,
+// builds VariableNodes and wires backward closures. All arithmetic is
+// delegated to the active compute backend (src/tensor/backend.h), which
+// drives the pure kernels in src/tensor/kernels.cc — serially or across
+// a thread pool, with bitwise-identical results either way.
 
 namespace oodgnn {
 namespace {
 
 using NodePtr = std::shared_ptr<VariableNode>;
 
-/// out += a[m,k] · b[k,n]; plain ikj loop (cache-friendly row-major).
-void MatMulAcc(const Tensor& a, const Tensor& b, Tensor* out) {
-  const int m = a.rows();
-  const int k = a.cols();
-  const int n = b.cols();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a.row(i);
-    float* orow = out->row(i);
-    for (int p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.f) continue;
-      const float* brow = b.row(p);
-      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
-}
-
-/// out += aᵀ[k,m] · b is expressed as out[p,j] += Σ_i a[i,p]·b[i,j].
-void MatMulTransAAcc(const Tensor& a, const Tensor& b, Tensor* out) {
-  const int m = a.rows();
-  const int k = a.cols();
-  const int n = b.cols();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a.row(i);
-    const float* brow = b.row(i);
-    for (int p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.f) continue;
-      float* orow = out->row(p);
-      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
-  (void)m;
-}
-
-/// out += a[m,k] · bᵀ[k,n] where b is [n,k]: out[i,j] += dot(a[i,:], b[j,:]).
-void MatMulTransBAcc(const Tensor& a, const Tensor& b, Tensor* out) {
-  const int m = a.rows();
-  const int k = a.cols();
-  const int n = b.rows();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a.row(i);
-    float* orow = out->row(i);
-    for (int j = 0; j < n; ++j) {
-      const float* brow = b.row(j);
-      float acc = 0.f;
-      for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      orow[j] += acc;
-    }
-  }
-}
-
 /// Unary element-wise op helper: forward maps value, backward multiplies
-/// upstream grad by a locally computed derivative.
+/// upstream grad by a locally computed derivative. The map itself runs
+/// under the backend's partitioned loop.
 template <typename Fwd, typename Bwd>
 Variable UnaryOp(const Variable& a, Fwd&& fwd, Bwd&& dfn) {
   OODGNN_CHECK(a.defined());
   const Tensor& av = a.value();
   Tensor out(av.rows(), av.cols());
-  for (int i = 0; i < av.size(); ++i) out[i] = fwd(av[i]);
+  GetBackend().ForCost(av.size(), 2ll * av.size(), [&](int i0, int i1) {
+    for (int i = i0; i < i1; ++i) out[i] = fwd(av[i]);
+  });
   NodePtr pa = a.node();
   // The derivative receives (input, output) so implementations can use
   // whichever is cheaper.
@@ -81,9 +38,11 @@ Variable UnaryOp(const Variable& a, Fwd&& fwd, Bwd&& dfn) {
       std::move(out), {pa}, [pa, dfn](const VariableNode& self) {
         if (!pa->requires_grad) return;
         const Tensor& g = self.grad;
-        for (int i = 0; i < g.size(); ++i) {
-          pa->grad[i] += g[i] * dfn(pa->value[i], self.value[i]);
-        }
+        GetBackend().ForCost(g.size(), 2ll * g.size(), [&](int i0, int i1) {
+          for (int i = i0; i < i1; ++i) {
+            pa->grad[i] += g[i] * dfn(pa->value[i], self.value[i]);
+          }
+        });
       });
 }
 
@@ -93,16 +52,17 @@ Variable MatMul(const Variable& a, const Variable& b) {
   OODGNN_CHECK(a.defined() && b.defined());
   OODGNN_CHECK_EQ(a.cols(), b.rows()) << "MatMul shape mismatch";
   Tensor out(a.rows(), b.cols());
-  MatMulAcc(a.value(), b.value(), &out);
+  GetBackend().MatMulAcc(a.value(), b.value(), &out);
   NodePtr pa = a.node();
   NodePtr pb = b.node();
   return Variable::MakeOp(
       std::move(out), {pa, pb}, [pa, pb](const VariableNode& self) {
+        const Backend& be = GetBackend();
         if (pa->requires_grad) {
-          MatMulTransBAcc(self.grad, pb->value, &pa->grad);
+          be.MatMulTransBAcc(self.grad, pb->value, &pa->grad);
         }
         if (pb->requires_grad) {
-          MatMulTransAAcc(pa->value, self.grad, &pb->grad);
+          be.MatMulTransAAcc(pa->value, self.grad, &pb->grad);
         }
       });
 }
@@ -110,48 +70,42 @@ Variable MatMul(const Variable& a, const Variable& b) {
 Variable Add(const Variable& a, const Variable& b) {
   OODGNN_CHECK(a.value().SameShape(b.value()));
   Tensor out = a.value();
-  out.Add(b.value());
+  GetBackend().Axpy(1.f, b.value(), &out);
   NodePtr pa = a.node();
   NodePtr pb = b.node();
   return Variable::MakeOp(
       std::move(out), {pa, pb}, [pa, pb](const VariableNode& self) {
-        if (pa->requires_grad) pa->grad.Add(self.grad);
-        if (pb->requires_grad) pb->grad.Add(self.grad);
+        const Backend& be = GetBackend();
+        if (pa->requires_grad) be.Axpy(1.f, self.grad, &pa->grad);
+        if (pb->requires_grad) be.Axpy(1.f, self.grad, &pb->grad);
       });
 }
 
 Variable Sub(const Variable& a, const Variable& b) {
   OODGNN_CHECK(a.value().SameShape(b.value()));
   Tensor out = a.value();
-  for (int i = 0; i < out.size(); ++i) out[i] -= b.value()[i];
+  GetBackend().Axpy(-1.f, b.value(), &out);
   NodePtr pa = a.node();
   NodePtr pb = b.node();
   return Variable::MakeOp(
       std::move(out), {pa, pb}, [pa, pb](const VariableNode& self) {
-        if (pa->requires_grad) pa->grad.Add(self.grad);
-        if (pb->requires_grad) {
-          for (int i = 0; i < self.grad.size(); ++i) {
-            pb->grad[i] -= self.grad[i];
-          }
-        }
+        const Backend& be = GetBackend();
+        if (pa->requires_grad) be.Axpy(1.f, self.grad, &pa->grad);
+        if (pb->requires_grad) be.Axpy(-1.f, self.grad, &pb->grad);
       });
 }
 
 Variable Mul(const Variable& a, const Variable& b) {
   OODGNN_CHECK(a.value().SameShape(b.value()));
   Tensor out(a.rows(), a.cols());
-  for (int i = 0; i < out.size(); ++i) out[i] = a.value()[i] * b.value()[i];
+  GetBackend().Hadamard(a.value(), b.value(), &out);
   NodePtr pa = a.node();
   NodePtr pb = b.node();
   return Variable::MakeOp(
       std::move(out), {pa, pb}, [pa, pb](const VariableNode& self) {
-        const Tensor& g = self.grad;
-        if (pa->requires_grad) {
-          for (int i = 0; i < g.size(); ++i) pa->grad[i] += g[i] * pb->value[i];
-        }
-        if (pb->requires_grad) {
-          for (int i = 0; i < g.size(); ++i) pb->grad[i] += g[i] * pa->value[i];
-        }
+        const Backend& be = GetBackend();
+        if (pa->requires_grad) be.HadamardAcc(self.grad, pb->value, &pa->grad);
+        if (pb->requires_grad) be.HadamardAcc(self.grad, pa->value, &pb->grad);
       });
 }
 
@@ -159,53 +113,49 @@ Variable AddRowVec(const Variable& a, const Variable& b) {
   OODGNN_CHECK_EQ(b.rows(), 1);
   OODGNN_CHECK_EQ(b.cols(), a.cols());
   Tensor out = a.value();
-  for (int r = 0; r < out.rows(); ++r) {
-    float* orow = out.row(r);
-    const float* brow = b.value().row(0);
-    for (int c = 0; c < out.cols(); ++c) orow[c] += brow[c];
-  }
+  GetBackend().RowBroadcastAcc(b.value(), &out);
   NodePtr pa = a.node();
   NodePtr pb = b.node();
   return Variable::MakeOp(
       std::move(out), {pa, pb}, [pa, pb](const VariableNode& self) {
-        if (pa->requires_grad) pa->grad.Add(self.grad);
-        if (pb->requires_grad) {
-          for (int r = 0; r < self.grad.rows(); ++r) {
-            const float* grow = self.grad.row(r);
-            float* brow = pb->grad.row(0);
-            for (int c = 0; c < self.grad.cols(); ++c) brow[c] += grow[c];
-          }
-        }
+        const Backend& be = GetBackend();
+        if (pa->requires_grad) be.Axpy(1.f, self.grad, &pa->grad);
+        if (pb->requires_grad) be.ColumnSumAcc(self.grad, &pb->grad);
       });
 }
 
 Variable MulRowVec(const Variable& a, const Variable& b) {
   OODGNN_CHECK_EQ(b.rows(), 1);
   OODGNN_CHECK_EQ(b.cols(), a.cols());
+  const Tensor& av = a.value();
+  const Tensor& bv = b.value();
   Tensor out(a.rows(), a.cols());
-  for (int r = 0; r < out.rows(); ++r) {
-    for (int c = 0; c < out.cols(); ++c) {
-      out.at(r, c) = a.value().at(r, c) * b.value().at(0, c);
+  GetBackend().ForCost(out.rows(), out.size(), [&](int r0, int r1) {
+    const float* brow = bv.row(0);
+    for (int r = r0; r < r1; ++r) {
+      const float* arow = av.row(r);
+      float* orow = out.row(r);
+      for (int c = 0; c < out.cols(); ++c) orow[c] = arow[c] * brow[c];
     }
-  }
+  });
   NodePtr pa = a.node();
   NodePtr pb = b.node();
   return Variable::MakeOp(
       std::move(out), {pa, pb}, [pa, pb](const VariableNode& self) {
+        const Backend& be = GetBackend();
         const Tensor& g = self.grad;
         if (pa->requires_grad) {
-          for (int r = 0; r < g.rows(); ++r) {
-            for (int c = 0; c < g.cols(); ++c) {
-              pa->grad.at(r, c) += g.at(r, c) * pb->value.at(0, c);
+          be.ForCost(g.rows(), g.size(), [&](int r0, int r1) {
+            const float* brow = pb->value.row(0);
+            for (int r = r0; r < r1; ++r) {
+              const float* grow = g.row(r);
+              float* arow = pa->grad.row(r);
+              for (int c = 0; c < g.cols(); ++c) arow[c] += grow[c] * brow[c];
             }
-          }
+          });
         }
         if (pb->requires_grad) {
-          for (int r = 0; r < g.rows(); ++r) {
-            for (int c = 0; c < g.cols(); ++c) {
-              pb->grad.at(0, c) += g.at(r, c) * pa->value.at(r, c);
-            }
-          }
+          be.HadamardColumnSumAcc(g, pa->value, &pb->grad);
         }
       });
 }
@@ -213,31 +163,42 @@ Variable MulRowVec(const Variable& a, const Variable& b) {
 Variable DivRowVec(const Variable& a, const Variable& b) {
   OODGNN_CHECK_EQ(b.rows(), 1);
   OODGNN_CHECK_EQ(b.cols(), a.cols());
+  const Tensor& av = a.value();
+  const Tensor& bv = b.value();
   Tensor out(a.rows(), a.cols());
-  for (int r = 0; r < out.rows(); ++r) {
-    for (int c = 0; c < out.cols(); ++c) {
-      out.at(r, c) = a.value().at(r, c) / b.value().at(0, c);
+  GetBackend().ForCost(out.rows(), out.size(), [&](int r0, int r1) {
+    const float* brow = bv.row(0);
+    for (int r = r0; r < r1; ++r) {
+      const float* arow = av.row(r);
+      float* orow = out.row(r);
+      for (int c = 0; c < out.cols(); ++c) orow[c] = arow[c] / brow[c];
     }
-  }
+  });
   NodePtr pa = a.node();
   NodePtr pb = b.node();
   return Variable::MakeOp(
       std::move(out), {pa, pb}, [pa, pb](const VariableNode& self) {
+        const Backend& be = GetBackend();
         const Tensor& g = self.grad;
         if (pa->requires_grad) {
-          for (int r = 0; r < g.rows(); ++r) {
-            for (int c = 0; c < g.cols(); ++c) {
-              pa->grad.at(r, c) += g.at(r, c) / pb->value.at(0, c);
+          be.ForCost(g.rows(), g.size(), [&](int r0, int r1) {
+            const float* brow = pb->value.row(0);
+            for (int r = r0; r < r1; ++r) {
+              const float* grow = g.row(r);
+              float* arow = pa->grad.row(r);
+              for (int c = 0; c < g.cols(); ++c) arow[c] += grow[c] / brow[c];
             }
-          }
+          });
         }
         if (pb->requires_grad) {
-          for (int r = 0; r < g.rows(); ++r) {
-            for (int c = 0; c < g.cols(); ++c) {
-              const float bv = pb->value.at(0, c);
-              pb->grad.at(0, c) -=
-                  g.at(r, c) * self.value.at(r, c) / bv;
-            }
+          // d/db (a/b) = -y/b with y = a/b: column sums of g ⊙ y, scaled
+          // by -1/b per column.
+          Tensor colsum(1, g.cols());
+          be.HadamardColumnSumAcc(g, self.value, &colsum);
+          const float* brow = pb->value.row(0);
+          float* out_row = pb->grad.row(0);
+          for (int c = 0; c < g.cols(); ++c) {
+            out_row[c] -= colsum.at(0, c) / brow[c];
           }
         }
       });
@@ -246,66 +207,64 @@ Variable DivRowVec(const Variable& a, const Variable& b) {
 Variable MulColVec(const Variable& a, const Variable& w) {
   OODGNN_CHECK_EQ(w.cols(), 1);
   OODGNN_CHECK_EQ(w.rows(), a.rows());
+  const Tensor& av = a.value();
+  const Tensor& wv = w.value();
   Tensor out(a.rows(), a.cols());
-  for (int r = 0; r < out.rows(); ++r) {
-    const float wv = w.value().at(r, 0);
-    const float* arow = a.value().row(r);
-    float* orow = out.row(r);
-    for (int c = 0; c < out.cols(); ++c) orow[c] = arow[c] * wv;
-  }
+  GetBackend().ForCost(out.rows(), out.size(), [&](int r0, int r1) {
+    for (int r = r0; r < r1; ++r) {
+      const float s = wv.at(r, 0);
+      const float* arow = av.row(r);
+      float* orow = out.row(r);
+      for (int c = 0; c < out.cols(); ++c) orow[c] = arow[c] * s;
+    }
+  });
   NodePtr pa = a.node();
   NodePtr pw = w.node();
   return Variable::MakeOp(
       std::move(out), {pa, pw}, [pa, pw](const VariableNode& self) {
+        const Backend& be = GetBackend();
         const Tensor& g = self.grad;
-        for (int r = 0; r < g.rows(); ++r) {
-          const float* grow = g.row(r);
-          if (pa->requires_grad) {
-            const float wv = pw->value.at(r, 0);
-            float* arow = pa->grad.row(r);
-            for (int c = 0; c < g.cols(); ++c) arow[c] += grow[c] * wv;
-          }
-          if (pw->requires_grad) {
-            const float* arow = pa->value.row(r);
-            float acc = 0.f;
-            for (int c = 0; c < g.cols(); ++c) acc += grow[c] * arow[c];
-            pw->grad.at(r, 0) += acc;
-          }
+        if (pa->requires_grad) {
+          be.ForCost(g.rows(), g.size(), [&](int r0, int r1) {
+            for (int r = r0; r < r1; ++r) {
+              const float s = pw->value.at(r, 0);
+              const float* grow = g.row(r);
+              float* arow = pa->grad.row(r);
+              for (int c = 0; c < g.cols(); ++c) arow[c] += grow[c] * s;
+            }
+          });
+        }
+        if (pw->requires_grad) {
+          be.HadamardRowSumAcc(g, pa->value, &pw->grad);
         }
       });
 }
 
 Variable Scale(const Variable& a, float s) {
   Tensor out = a.value();
-  out.Scale(s);
+  GetBackend().ScaleInPlace(s, &out);
   NodePtr pa = a.node();
   return Variable::MakeOp(
       std::move(out), {pa}, [pa, s](const VariableNode& self) {
         if (!pa->requires_grad) return;
-        for (int i = 0; i < self.grad.size(); ++i) {
-          pa->grad[i] += self.grad[i] * s;
-        }
+        GetBackend().Axpy(s, self.grad, &pa->grad);
       });
 }
 
 Variable MulByScalarVar(const Variable& a, const Variable& s) {
   OODGNN_CHECK_EQ(s.value().size(), 1);
-  const float sv = s.value()[0];
   Tensor out = a.value();
-  out.Scale(sv);
+  GetBackend().ScaleInPlace(s.value()[0], &out);
   NodePtr pa = a.node();
   NodePtr ps = s.node();
   return Variable::MakeOp(
       std::move(out), {pa, ps}, [pa, ps](const VariableNode& self) {
-        const Tensor& g = self.grad;
+        const Backend& be = GetBackend();
         if (pa->requires_grad) {
-          const float sv = ps->value[0];
-          for (int i = 0; i < g.size(); ++i) pa->grad[i] += g[i] * sv;
+          be.Axpy(ps->value[0], self.grad, &pa->grad);
         }
         if (ps->requires_grad) {
-          float acc = 0.f;
-          for (int i = 0; i < g.size(); ++i) acc += g[i] * pa->value[i];
-          ps->grad[0] += acc;
+          ps->grad[0] += be.Dot(self.grad, pa->value);
         }
       });
 }
@@ -318,11 +277,12 @@ Variable Reciprocal(const Variable& a) {
 
 Variable AddScalar(const Variable& a, float s) {
   Tensor out = a.value();
-  for (int i = 0; i < out.size(); ++i) out[i] += s;
+  GetBackend().AddScalarAcc(s, &out);
   NodePtr pa = a.node();
   return Variable::MakeOp(std::move(out), {pa},
                           [pa](const VariableNode& self) {
-                            if (pa->requires_grad) pa->grad.Add(self.grad);
+                            if (!pa->requires_grad) return;
+                            GetBackend().Axpy(1.f, self.grad, &pa->grad);
                           });
 }
 
@@ -392,13 +352,13 @@ Variable AbsOp(const Variable& a) {
 }
 
 Variable Sum(const Variable& a) {
+  // Full-tensor scalar reduction: serial on every backend (contract).
   Tensor out(1, 1, a.value().Sum());
   NodePtr pa = a.node();
   return Variable::MakeOp(
       std::move(out), {pa}, [pa](const VariableNode& self) {
         if (!pa->requires_grad) return;
-        const float g = self.grad[0];
-        for (int i = 0; i < pa->grad.size(); ++i) pa->grad[i] += g;
+        GetBackend().AddScalarAcc(self.grad[0], &pa->grad);
       });
 }
 
@@ -409,39 +369,23 @@ Variable MeanAll(const Variable& a) {
 
 Variable SumRows(const Variable& a) {
   Tensor out(1, a.cols());
-  for (int r = 0; r < a.rows(); ++r) {
-    const float* arow = a.value().row(r);
-    for (int c = 0; c < a.cols(); ++c) out.at(0, c) += arow[c];
-  }
+  GetBackend().ColumnSumAcc(a.value(), &out);
   NodePtr pa = a.node();
   return Variable::MakeOp(
       std::move(out), {pa}, [pa](const VariableNode& self) {
         if (!pa->requires_grad) return;
-        for (int r = 0; r < pa->grad.rows(); ++r) {
-          float* grow = pa->grad.row(r);
-          const float* srow = self.grad.row(0);
-          for (int c = 0; c < pa->grad.cols(); ++c) grow[c] += srow[c];
-        }
+        GetBackend().RowBroadcastAcc(self.grad, &pa->grad);
       });
 }
 
 Variable SumCols(const Variable& a) {
   Tensor out(a.rows(), 1);
-  for (int r = 0; r < a.rows(); ++r) {
-    const float* arow = a.value().row(r);
-    float acc = 0.f;
-    for (int c = 0; c < a.cols(); ++c) acc += arow[c];
-    out.at(r, 0) = acc;
-  }
+  GetBackend().RowSumAcc(a.value(), &out);
   NodePtr pa = a.node();
   return Variable::MakeOp(
       std::move(out), {pa}, [pa](const VariableNode& self) {
         if (!pa->requires_grad) return;
-        for (int r = 0; r < pa->grad.rows(); ++r) {
-          const float g = self.grad.at(r, 0);
-          float* grow = pa->grad.row(r);
-          for (int c = 0; c < pa->grad.cols(); ++c) grow[c] += g;
-        }
+        GetBackend().ColBroadcastAcc(self.grad, &pa->grad);
       });
 }
 
@@ -456,86 +400,52 @@ Variable Transpose(const Variable& a) {
   return Variable::MakeOp(
       std::move(out), {pa}, [pa](const VariableNode& self) {
         if (!pa->requires_grad) return;
-        for (int r = 0; r < self.grad.rows(); ++r) {
-          for (int c = 0; c < self.grad.cols(); ++c) {
-            pa->grad.at(c, r) += self.grad.at(r, c);
-          }
-        }
+        GetBackend().AddTransposedAcc(self.grad, &pa->grad);
       });
 }
 
 Variable SoftmaxRows(const Variable& a) {
   Tensor out(a.rows(), a.cols());
-  for (int r = 0; r < a.rows(); ++r) {
-    const float* arow = a.value().row(r);
-    float* orow = out.row(r);
-    float mx = -std::numeric_limits<float>::infinity();
-    for (int c = 0; c < a.cols(); ++c) mx = std::max(mx, arow[c]);
-    float total = 0.f;
-    for (int c = 0; c < a.cols(); ++c) {
-      orow[c] = std::exp(arow[c] - mx);
-      total += orow[c];
-    }
-    for (int c = 0; c < a.cols(); ++c) orow[c] /= total;
-  }
+  GetBackend().SoftmaxRows(a.value(), &out);
   NodePtr pa = a.node();
   return Variable::MakeOp(
       std::move(out), {pa}, [pa](const VariableNode& self) {
         if (!pa->requires_grad) return;
-        for (int r = 0; r < self.grad.rows(); ++r) {
-          const float* srow = self.value.row(r);
-          const float* grow = self.grad.row(r);
-          float dot = 0.f;
-          for (int c = 0; c < self.grad.cols(); ++c) dot += grow[c] * srow[c];
-          float* arow = pa->grad.row(r);
-          for (int c = 0; c < self.grad.cols(); ++c) {
-            arow[c] += srow[c] * (grow[c] - dot);
-          }
-        }
+        GetBackend().SoftmaxRowsBackwardAcc(self.value, self.grad, &pa->grad);
       });
 }
 
 Variable RowGather(const Variable& a, const std::vector<int>& index) {
-  Tensor out(static_cast<int>(index.size()), a.cols());
-  for (size_t i = 0; i < index.size(); ++i) {
-    OODGNN_DCHECK(index[i] >= 0 && index[i] < a.rows());
-    const float* src = a.value().row(index[i]);
-    float* dst = out.row(static_cast<int>(i));
-    std::copy(src, src + a.cols(), dst);
+  for (int idx : index) {
+    OODGNN_DCHECK(idx >= 0 && idx < a.rows());
+    (void)idx;
   }
+  Tensor out(static_cast<int>(index.size()), a.cols());
+  GetBackend().GatherRows(a.value(), index, &out);
   NodePtr pa = a.node();
   return Variable::MakeOp(
       std::move(out), {pa},
       [pa, index](const VariableNode& self) {
         if (!pa->requires_grad) return;
-        for (size_t i = 0; i < index.size(); ++i) {
-          const float* grow = self.grad.row(static_cast<int>(i));
-          float* arow = pa->grad.row(index[i]);
-          for (int c = 0; c < self.grad.cols(); ++c) arow[c] += grow[c];
-        }
+        GetBackend().ScatterAddRowsAcc(self.grad, index, &pa->grad);
       });
 }
 
 Variable ScatterAddRows(const Variable& a, const std::vector<int>& index,
                         int out_rows) {
   OODGNN_CHECK_EQ(static_cast<int>(index.size()), a.rows());
-  Tensor out(out_rows, a.cols());
-  for (size_t i = 0; i < index.size(); ++i) {
-    OODGNN_DCHECK(index[i] >= 0 && index[i] < out_rows);
-    const float* src = a.value().row(static_cast<int>(i));
-    float* dst = out.row(index[i]);
-    for (int c = 0; c < a.cols(); ++c) dst[c] += src[c];
+  for (int idx : index) {
+    OODGNN_DCHECK(idx >= 0 && idx < out_rows);
+    (void)idx;
   }
+  Tensor out(out_rows, a.cols());
+  GetBackend().ScatterAddRowsAcc(a.value(), index, &out);
   NodePtr pa = a.node();
   return Variable::MakeOp(
       std::move(out), {pa},
       [pa, index](const VariableNode& self) {
         if (!pa->requires_grad) return;
-        for (size_t i = 0; i < index.size(); ++i) {
-          const float* grow = self.grad.row(index[i]);
-          float* arow = pa->grad.row(static_cast<int>(i));
-          for (int c = 0; c < self.grad.cols(); ++c) arow[c] += grow[c];
-        }
+        GetBackend().GatherRowsAcc(self.grad, index, &pa->grad);
       });
 }
 
@@ -563,44 +473,17 @@ namespace {
 Variable SegmentExtreme(const Variable& a, const std::vector<int>& segment,
                         int num_segments, bool is_max) {
   OODGNN_CHECK_EQ(static_cast<int>(segment.size()), a.rows());
-  const float init = is_max ? -std::numeric_limits<float>::infinity()
-                            : std::numeric_limits<float>::infinity();
-  Tensor out(num_segments, a.cols(), init);
-  // argmax[s*cols+c] = row index supplying the extreme, or -1 if empty.
-  auto arg = std::make_shared<std::vector<int>>(
+  Tensor out(num_segments, a.cols());
+  // argrow[s*cols+c] = row index supplying the extreme, or -1 if empty.
+  auto argrow = std::make_shared<std::vector<int>>(
       static_cast<size_t>(num_segments) * a.cols(), -1);
-  for (int r = 0; r < a.rows(); ++r) {
-    const int s = segment[static_cast<size_t>(r)];
-    const float* arow = a.value().row(r);
-    float* orow = out.row(s);
-    for (int c = 0; c < a.cols(); ++c) {
-      const bool better = is_max ? arow[c] > orow[c] : arow[c] < orow[c];
-      if (better) {
-        orow[c] = arow[c];
-        (*arg)[static_cast<size_t>(s) * a.cols() + c] = r;
-      }
-    }
-  }
-  // Empty segments: replace ±inf sentinels with zeros.
-  for (int s = 0; s < num_segments; ++s) {
-    float* orow = out.row(s);
-    for (int c = 0; c < a.cols(); ++c) {
-      if ((*arg)[static_cast<size_t>(s) * a.cols() + c] < 0) orow[c] = 0.f;
-    }
-  }
+  GetBackend().SegmentExtreme(a.value(), segment, is_max, &out, argrow.get());
   NodePtr pa = a.node();
   return Variable::MakeOp(
       std::move(out), {pa},
-      [pa, arg](const VariableNode& self) {
+      [pa, argrow](const VariableNode& self) {
         if (!pa->requires_grad) return;
-        const int cols = self.grad.cols();
-        for (int s = 0; s < self.grad.rows(); ++s) {
-          const float* grow = self.grad.row(s);
-          for (int c = 0; c < cols; ++c) {
-            const int r = (*arg)[static_cast<size_t>(s) * cols + c];
-            if (r >= 0) pa->grad.at(r, c) += grow[c];
-          }
-        }
+        GetBackend().SegmentExtremeBackwardAcc(self.grad, *argrow, &pa->grad);
       });
 }
 
@@ -625,13 +508,16 @@ Variable ConcatCols(const std::vector<Variable>& parts) {
     total_cols += p.cols();
   }
   Tensor out(rows, total_cols);
+  const Backend& be = GetBackend();
   int offset = 0;
   for (const Variable& p : parts) {
-    for (int r = 0; r < rows; ++r) {
-      const float* src = p.value().row(r);
-      float* dst = out.row(r) + offset;
-      std::copy(src, src + p.cols(), dst);
-    }
+    const Tensor& pv = p.value();
+    be.ForCost(rows, pv.size(), [&](int r0, int r1) {
+      for (int r = r0; r < r1; ++r) {
+        const float* src = pv.row(r);
+        std::copy(src, src + pv.cols(), out.row(r) + offset);
+      }
+    });
     offset += p.cols();
   }
   std::vector<NodePtr> nodes;
@@ -639,15 +525,19 @@ Variable ConcatCols(const std::vector<Variable>& parts) {
   for (const Variable& p : parts) nodes.push_back(p.node());
   return Variable::MakeOp(
       std::move(out), nodes, [nodes](const VariableNode& self) {
+        const Backend& be = GetBackend();
         int offset = 0;
         for (const NodePtr& node : nodes) {
           const int cols = node->value.cols();
           if (node->requires_grad) {
-            for (int r = 0; r < node->value.rows(); ++r) {
-              const float* grow = self.grad.row(r) + offset;
-              float* drow = node->grad.row(r);
-              for (int c = 0; c < cols; ++c) drow[c] += grow[c];
-            }
+            be.ForCost(node->value.rows(), node->value.size(),
+                       [&](int r0, int r1) {
+                         for (int r = r0; r < r1; ++r) {
+                           const float* grow = self.grad.row(r) + offset;
+                           float* drow = node->grad.row(r);
+                           for (int c = 0; c < cols; ++c) drow[c] += grow[c];
+                         }
+                       });
           }
           offset += cols;
         }
@@ -663,12 +553,10 @@ Variable ConcatRows(const std::vector<Variable>& parts) {
     total_rows += p.rows();
   }
   Tensor out(total_rows, cols);
+  const Backend& be = GetBackend();
   int offset = 0;
   for (const Variable& p : parts) {
-    for (int r = 0; r < p.rows(); ++r) {
-      const float* src = p.value().row(r);
-      std::copy(src, src + cols, out.row(offset + r));
-    }
+    be.CopyRowsTo(p.value(), &out, offset);
     offset += p.rows();
   }
   std::vector<NodePtr> nodes;
@@ -676,14 +564,18 @@ Variable ConcatRows(const std::vector<Variable>& parts) {
   for (const Variable& p : parts) nodes.push_back(p.node());
   return Variable::MakeOp(
       std::move(out), nodes, [nodes](const VariableNode& self) {
+        const Backend& be = GetBackend();
         int offset = 0;
         for (const NodePtr& node : nodes) {
           if (node->requires_grad) {
-            for (int r = 0; r < node->value.rows(); ++r) {
-              const float* grow = self.grad.row(offset + r);
-              float* drow = node->grad.row(r);
-              for (int c = 0; c < self.grad.cols(); ++c) drow[c] += grow[c];
-            }
+            const int part_rows = node->value.rows();
+            be.ForCost(part_rows, node->value.size(), [&](int r0, int r1) {
+              for (int r = r0; r < r1; ++r) {
+                const float* grow = self.grad.row(offset + r);
+                float* drow = node->grad.row(r);
+                for (int c = 0; c < self.grad.cols(); ++c) drow[c] += grow[c];
+              }
+            });
           }
           offset += node->value.rows();
         }
@@ -693,19 +585,25 @@ Variable ConcatRows(const std::vector<Variable>& parts) {
 Variable SliceRows(const Variable& a, int start, int len) {
   OODGNN_CHECK(start >= 0 && len >= 0 && start + len <= a.rows());
   Tensor out(len, a.cols());
-  for (int r = 0; r < len; ++r) {
-    const float* src = a.value().row(start + r);
-    std::copy(src, src + a.cols(), out.row(r));
-  }
+  const Tensor& av = a.value();
+  GetBackend().ForCost(len, out.size(), [&](int r0, int r1) {
+    for (int r = r0; r < r1; ++r) {
+      const float* src = av.row(start + r);
+      std::copy(src, src + av.cols(), out.row(r));
+    }
+  });
   NodePtr pa = a.node();
   return Variable::MakeOp(
       std::move(out), {pa}, [pa, start](const VariableNode& self) {
         if (!pa->requires_grad) return;
-        for (int r = 0; r < self.grad.rows(); ++r) {
-          const float* grow = self.grad.row(r);
-          float* drow = pa->grad.row(start + r);
-          for (int c = 0; c < self.grad.cols(); ++c) drow[c] += grow[c];
-        }
+        const Tensor& g = self.grad;
+        GetBackend().ForCost(g.rows(), g.size(), [&](int r0, int r1) {
+          for (int r = r0; r < r1; ++r) {
+            const float* grow = g.row(r);
+            float* drow = pa->grad.row(start + r);
+            for (int c = 0; c < g.cols(); ++c) drow[c] += grow[c];
+          }
+        });
       });
 }
 
@@ -714,18 +612,18 @@ Variable Dropout(const Variable& a, float p, Rng* rng, bool training) {
   if (!training || p == 0.f) return a;
   auto mask = std::make_shared<Tensor>(a.rows(), a.cols());
   const float keep_scale = 1.f / (1.f - p);
+  // Mask generation consumes the rng stream and must stay serial so the
+  // draw order is independent of the backend.
   for (int i = 0; i < mask->size(); ++i) {
     (*mask)[i] = rng->Bernoulli(p) ? 0.f : keep_scale;
   }
   Tensor out(a.rows(), a.cols());
-  for (int i = 0; i < out.size(); ++i) out[i] = a.value()[i] * (*mask)[i];
+  GetBackend().Hadamard(a.value(), *mask, &out);
   NodePtr pa = a.node();
   return Variable::MakeOp(
       std::move(out), {pa}, [pa, mask](const VariableNode& self) {
         if (!pa->requires_grad) return;
-        for (int i = 0; i < self.grad.size(); ++i) {
-          pa->grad[i] += self.grad[i] * (*mask)[i];
-        }
+        GetBackend().HadamardAcc(self.grad, *mask, &pa->grad);
       });
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "src/tensor/backend.h"
 #include "src/util/check.h"
 
 namespace oodgnn {
@@ -94,6 +95,9 @@ BenchOptions BenchOptions::FromFlags(const Flags& flags) {
   options.train.encoder.num_layers =
       flags.GetInt("layers", options.train.encoder.num_layers);
   options.train.verbose = flags.GetBool("verbose", false);
+  // Shared --threads handling: every benchmark binary picks its compute
+  // backend here (serial for 1, pooled workers otherwise).
+  SetBackendThreads(flags.GetThreads(1));
   return options;
 }
 

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <utility>
 
 #include "src/gnn/pna_conv.h"
 #include "src/graph/batch.h"
 #include "src/nn/loss.h"
 #include "src/nn/optimizer.h"
+#include "src/tensor/backend.h"
 #include "src/tensor/ops.h"
 #include "src/train/metrics.h"
 #include "src/util/check.h"
@@ -51,9 +53,8 @@ Tensor PredictSplit(GraphPredictionModel* model, const GraphDataset& dataset,
         std::min(indices.size(), begin + static_cast<size_t>(batch_size));
     GraphBatch batch = MakeBatch(dataset.graphs, indices, begin, end);
     Variable logits = model->Predict(batch, /*training=*/false, rng);
+    GetBackend().CopyRowsTo(logits.value(), &all_logits, row);
     for (int r = 0; r < logits.rows(); ++r) {
-      const float* src = logits.value().row(r);
-      std::copy(src, src + logits.cols(), all_logits.row(row + r));
       if (dataset.task_type == TaskType::kMulticlass) {
         labels->push_back(batch.class_labels[static_cast<size_t>(r)]);
       } else {
@@ -129,6 +130,28 @@ TrainResult TrainAndEvaluate(Method method, const GraphDataset& dataset,
   double best_valid = higher_better ? -1e30 : 1e30;
 
   std::vector<size_t> order = dataset.train_idx;
+
+  // Mini-batch row ranges over the shuffled order. A trailing batch
+  // with fewer than 2 graphs carries no pairwise dependence signal, so
+  // instead of silently dropping it every epoch it is folded into the
+  // previous batch (the weight bank already ignores off-size batches).
+  std::vector<std::pair<size_t, size_t>> batch_ranges;
+  for (size_t begin = 0; begin < order.size();
+       begin += static_cast<size_t>(config.batch_size)) {
+    batch_ranges.emplace_back(
+        begin,
+        std::min(order.size(), begin + static_cast<size_t>(config.batch_size)));
+  }
+  if (batch_ranges.size() > 1 &&
+      batch_ranges.back().second - batch_ranges.back().first < 2) {
+    batch_ranges[batch_ranges.size() - 2].second = batch_ranges.back().second;
+    batch_ranges.pop_back();
+    OODGNN_LOG(Info) << dataset.name
+                     << ": trailing mini-batch of 1 graph folded into the "
+                        "previous batch (batch_size="
+                     << config.batch_size << ")";
+  }
+
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     rng.Shuffle(&order);
     double epoch_loss = 0.0;
@@ -136,11 +159,16 @@ TrainResult TrainAndEvaluate(Method method, const GraphDataset& dataset,
     int num_batches = 0;
     const bool final_epoch = epoch + 1 == config.epochs;
 
-    for (size_t begin = 0; begin < order.size();
-         begin += static_cast<size_t>(config.batch_size)) {
-      const size_t end = std::min(
-          order.size(), begin + static_cast<size_t>(config.batch_size));
-      if (end - begin < 2) continue;  // Degenerate trailing batch.
+    for (const auto& [begin, end] : batch_ranges) {
+      if (end - begin < 2) {
+        // Unfoldable: the whole training split is a single graph.
+        if (epoch == 0) {
+          OODGNN_LOG(Warning)
+              << dataset.name << ": skipping mini-batch of "
+              << end - begin << " graph(s); need at least 2 to train";
+        }
+        continue;
+      }
       GraphBatch batch = MakeBatch(dataset.graphs, order, begin, end);
 
       // Algorithm 1 line 3: forward to representations.

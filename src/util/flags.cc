@@ -54,4 +54,11 @@ bool Flags::GetBool(const std::string& name, bool fallback) const {
   return it->second != "false" && it->second != "0";
 }
 
+int Flags::GetThreads(int fallback) const {
+  if (Has("threads")) return GetInt("threads", fallback);
+  const char* env = std::getenv("OODGNN_THREADS");
+  if (env != nullptr && *env != '\0') return std::atoi(env);
+  return fallback;
+}
+
 }  // namespace oodgnn

@@ -26,6 +26,12 @@ class Flags {
   double GetDouble(const std::string& name, double fallback) const;
   bool GetBool(const std::string& name, bool fallback) const;
 
+  /// Worker-thread count for the compute backend: the `--threads` flag
+  /// if given, else the OODGNN_THREADS environment variable, else
+  /// `fallback`. Pass the result to SetBackendThreads()
+  /// (src/tensor/backend.h); values <= 1 select the serial backend.
+  int GetThreads(int fallback = 1) const;
+
   const std::vector<std::string>& positional() const { return positional_; }
 
  private:

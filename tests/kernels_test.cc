@@ -1,0 +1,482 @@
+// Tests for the kernel/backend layer: every kernel is compared against
+// a naive reference, and — the determinism contract — produces bitwise
+// identical results under the serial backend and the parallel backend
+// at 2 and 8 threads. A gradcheck run under ParallelBackend proves the
+// backward pass is deterministic too.
+
+#include <cstring>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/tensor/backend.h"
+#include "src/tensor/gradcheck.h"
+#include "src/tensor/kernels.h"
+#include "src/tensor/ops.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+
+namespace oodgnn {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+Tensor RandomTensor(int rows, int cols, uint64_t seed) {
+  Rng rng(seed);
+  Tensor t = Tensor::RandomNormal(rows, cols, &rng);
+  // A sprinkle of exact zeros exercises the matmul zero-skip fast path.
+  for (int i = 0; i < t.size(); i += 7) t[i] = 0.f;
+  return t;
+}
+
+bool BitwiseEqual(const Tensor& a, const Tensor& b) {
+  return a.SameShape(b) &&
+         std::memcmp(a.data(), b.data(),
+                     sizeof(float) * static_cast<size_t>(a.size())) == 0;
+}
+
+/// Runs `op` (which must produce its result into a fresh Tensor) under
+/// every thread count and asserts all results are bitwise identical to
+/// the serial one and AllClose to `reference`.
+void ExpectDeterministic(const std::function<Tensor()>& op,
+                         const Tensor& reference, float tol = 1e-4f) {
+  Tensor serial;
+  {
+    ScopedBackendThreads scoped(1);
+    serial = op();
+  }
+  EXPECT_TRUE(AllClose(serial, reference, tol));
+  for (int threads : kThreadCounts) {
+    ScopedBackendThreads scoped(threads);
+    Tensor got = op();
+    EXPECT_TRUE(BitwiseEqual(serial, got))
+        << "backend with " << threads << " threads diverged bitwise";
+  }
+}
+
+TEST(ThreadPoolTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<int> hits(103, 0);
+  pool.ParallelFor(103, [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) ++hits[static_cast<size_t>(i)];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, NestedCallsRunInline) {
+  ThreadPool pool(4);
+  std::vector<int> hits(64, 0);
+  pool.ParallelFor(8, [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) {
+      // Nested use from a worker (or from the caller's chunk) must not
+      // deadlock; it runs the inner range inline.
+      pool.ParallelFor(8, [&](int b2, int e2) {
+        for (int j = b2; j < e2; ++j) ++hits[static_cast<size_t>(i * 8 + j)];
+      });
+    }
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, StaticChunksAreContiguousAndComplete) {
+  const auto [b0, e0] = ThreadPool::Chunk(10, 3, 0);
+  const auto [b1, e1] = ThreadPool::Chunk(10, 3, 1);
+  const auto [b2, e2] = ThreadPool::Chunk(10, 3, 2);
+  EXPECT_EQ(b0, 0);
+  EXPECT_EQ(e0, b1);
+  EXPECT_EQ(e1, b2);
+  EXPECT_EQ(e2, 10);
+}
+
+TEST(KernelsTest, MatMulMatchesNaiveBitwiseAcrossThreads) {
+  const Tensor a = RandomTensor(37, 29, 1);
+  const Tensor b = RandomTensor(29, 43, 2);
+  // Naive ikj reference with ascending-k accumulation per output cell —
+  // the same per-element order the blocked kernel commits to.
+  Tensor reference(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int p = 0; p < a.cols(); ++p) {
+      for (int j = 0; j < b.cols(); ++j) {
+        reference.at(i, j) += a.at(i, p) * b.at(p, j);
+      }
+    }
+  }
+  ExpectDeterministic(
+      [&] {
+        Tensor out(a.rows(), b.cols());
+        GetBackend().MatMulAcc(a, b, &out);
+        return out;
+      },
+      reference);
+}
+
+TEST(KernelsTest, MatMulTransAMatchesNaiveBitwiseAcrossThreads) {
+  const Tensor a = RandomTensor(31, 17, 3);
+  const Tensor b = RandomTensor(31, 23, 4);
+  Tensor reference(a.cols(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int p = 0; p < a.cols(); ++p) {
+      for (int j = 0; j < b.cols(); ++j) {
+        reference.at(p, j) += a.at(i, p) * b.at(i, j);
+      }
+    }
+  }
+  ExpectDeterministic(
+      [&] {
+        Tensor out(a.cols(), b.cols());
+        GetBackend().MatMulTransAAcc(a, b, &out);
+        return out;
+      },
+      reference);
+}
+
+TEST(KernelsTest, MatMulTransBMatchesNaiveBitwiseAcrossThreads) {
+  const Tensor a = RandomTensor(19, 41, 5);
+  const Tensor b = RandomTensor(27, 41, 6);
+  Tensor reference(a.rows(), b.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < b.rows(); ++j) {
+      float acc = 0.f;
+      for (int p = 0; p < a.cols(); ++p) acc += a.at(i, p) * b.at(j, p);
+      reference.at(i, j) = acc;
+    }
+  }
+  ExpectDeterministic(
+      [&] {
+        Tensor out(a.rows(), b.rows());
+        GetBackend().MatMulTransBAcc(a, b, &out);
+        return out;
+      },
+      reference);
+}
+
+TEST(KernelsTest, ElementwiseKernelsAcrossThreads) {
+  const Tensor x = RandomTensor(23, 31, 7);
+  const Tensor g = RandomTensor(23, 31, 8);
+  ExpectDeterministic(
+      [&] {
+        Tensor y = x;
+        GetBackend().Axpy(2.5f, g, &y);
+        GetBackend().ScaleInPlace(0.5f, &y);
+        GetBackend().AddScalarAcc(-1.f, &y);
+        Tensor out(x.rows(), x.cols());
+        GetBackend().Hadamard(y, g, &out);
+        GetBackend().HadamardAcc(x, g, &out);
+        return out;
+      },
+      [&] {
+        Tensor y = x;
+        for (int i = 0; i < y.size(); ++i) {
+          y[i] = (y[i] + 2.5f * g[i]) * 0.5f - 1.f;
+        }
+        Tensor out(x.rows(), x.cols());
+        for (int i = 0; i < out.size(); ++i) out[i] = y[i] * g[i] + x[i] * g[i];
+        return out;
+      }());
+}
+
+TEST(KernelsTest, ReductionsAndBroadcastsAcrossThreads) {
+  const Tensor a = RandomTensor(29, 37, 9);
+  Tensor colsum_ref(1, a.cols());
+  Tensor rowsum_ref(a.rows(), 1);
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = 0; c < a.cols(); ++c) {
+      colsum_ref.at(0, c) += a.at(r, c);
+      rowsum_ref.at(r, 0) += a.at(r, c);
+    }
+  }
+  ExpectDeterministic(
+      [&] {
+        Tensor out(1, a.cols());
+        GetBackend().ColumnSumAcc(a, &out);
+        return out;
+      },
+      colsum_ref);
+  ExpectDeterministic(
+      [&] {
+        Tensor out(a.rows(), 1);
+        GetBackend().RowSumAcc(a, &out);
+        return out;
+      },
+      rowsum_ref);
+  ExpectDeterministic(
+      [&] {
+        Tensor out(a.rows(), a.cols());
+        GetBackend().RowBroadcastAcc(colsum_ref, &out);
+        GetBackend().ColBroadcastAcc(rowsum_ref, &out);
+        GetBackend().AddTransposedAcc(a.Transposed(), &out);
+        return out;
+      },
+      [&] {
+        Tensor out(a.rows(), a.cols());
+        for (int r = 0; r < a.rows(); ++r) {
+          for (int c = 0; c < a.cols(); ++c) {
+            out.at(r, c) =
+                colsum_ref.at(0, c) + rowsum_ref.at(r, 0) + a.at(r, c);
+          }
+        }
+        return out;
+      }());
+}
+
+TEST(KernelsTest, WeightedReductionsAcrossThreads) {
+  const Tensor x = RandomTensor(21, 33, 10);
+  const Tensor y = RandomTensor(21, 33, 11);
+  Tensor col_ref(1, x.cols());
+  Tensor row_ref(x.rows(), 1);
+  for (int r = 0; r < x.rows(); ++r) {
+    for (int c = 0; c < x.cols(); ++c) {
+      col_ref.at(0, c) += x.at(r, c) * y.at(r, c);
+      row_ref.at(r, 0) += x.at(r, c) * y.at(r, c);
+    }
+  }
+  ExpectDeterministic(
+      [&] {
+        Tensor out(1, x.cols());
+        GetBackend().HadamardColumnSumAcc(x, y, &out);
+        return out;
+      },
+      col_ref);
+  ExpectDeterministic(
+      [&] {
+        Tensor out(x.rows(), 1);
+        GetBackend().HadamardRowSumAcc(x, y, &out);
+        return out;
+      },
+      row_ref);
+}
+
+TEST(KernelsTest, SoftmaxRowsAcrossThreads) {
+  const Tensor a = RandomTensor(33, 13, 12);
+  const Tensor g = RandomTensor(33, 13, 13);
+  Tensor y_serial(a.rows(), a.cols());
+  {
+    ScopedBackendThreads scoped(1);
+    GetBackend().SoftmaxRows(a, &y_serial);
+  }
+  for (int r = 0; r < a.rows(); ++r) {
+    float total = 0.f;
+    for (int c = 0; c < a.cols(); ++c) total += y_serial.at(r, c);
+    EXPECT_NEAR(total, 1.f, 1e-5f);
+  }
+  ExpectDeterministic(
+      [&] {
+        Tensor y(a.rows(), a.cols());
+        GetBackend().SoftmaxRows(a, &y);
+        Tensor out(a.rows(), a.cols());
+        GetBackend().SoftmaxRowsBackwardAcc(y, g, &out);
+        return out;
+      },
+      [&] {
+        Tensor out(a.rows(), a.cols());
+        for (int r = 0; r < a.rows(); ++r) {
+          float dot = 0.f;
+          for (int c = 0; c < a.cols(); ++c) {
+            dot += g.at(r, c) * y_serial.at(r, c);
+          }
+          for (int c = 0; c < a.cols(); ++c) {
+            out.at(r, c) = y_serial.at(r, c) * (g.at(r, c) - dot);
+          }
+        }
+        return out;
+      }());
+}
+
+TEST(KernelsTest, GatherScatterSegmentAcrossThreads) {
+  Rng rng(14);
+  const int nodes = 41;
+  const int dim = 19;
+  const Tensor h = RandomTensor(nodes, dim, 15);
+  std::vector<int> index(97);
+  for (int& v : index) {
+    v = static_cast<int>(rng.UniformInt(0, nodes - 1));
+  }
+  // Gather.
+  Tensor gather_ref(static_cast<int>(index.size()), dim);
+  for (size_t i = 0; i < index.size(); ++i) {
+    for (int c = 0; c < dim; ++c) {
+      gather_ref.at(static_cast<int>(i), c) = h.at(index[i], c);
+    }
+  }
+  ExpectDeterministic(
+      [&] {
+        Tensor out(static_cast<int>(index.size()), dim);
+        GetBackend().GatherRows(h, index, &out);
+        return out;
+      },
+      gather_ref);
+  // Scatter-add (segment sum) and its adjoint.
+  Tensor scatter_ref(nodes, dim);
+  for (size_t i = 0; i < index.size(); ++i) {
+    for (int c = 0; c < dim; ++c) {
+      scatter_ref.at(index[i], c) += gather_ref.at(static_cast<int>(i), c);
+    }
+  }
+  ExpectDeterministic(
+      [&] {
+        Tensor out(nodes, dim);
+        GetBackend().ScatterAddRowsAcc(gather_ref, index, &out);
+        return out;
+      },
+      scatter_ref);
+  ExpectDeterministic(
+      [&] {
+        Tensor out(static_cast<int>(index.size()), dim);
+        GetBackend().GatherRowsAcc(scatter_ref, index, &out);
+        return out;
+      },
+      [&] {
+        Tensor out(static_cast<int>(index.size()), dim);
+        for (size_t i = 0; i < index.size(); ++i) {
+          for (int c = 0; c < dim; ++c) {
+            out.at(static_cast<int>(i), c) = scatter_ref.at(index[i], c);
+          }
+        }
+        return out;
+      }());
+}
+
+TEST(KernelsTest, SegmentExtremeAcrossThreads) {
+  Rng rng(16);
+  const int rows = 53;
+  const int dim = 11;
+  const int num_segments = 9;  // Segment 8 stays empty.
+  const Tensor a = RandomTensor(rows, dim, 17);
+  std::vector<int> segment(static_cast<size_t>(rows));
+  for (int& s : segment) {
+    s = static_cast<int>(rng.UniformInt(0, num_segments - 2));
+  }
+  for (bool is_max : {true, false}) {
+    Tensor ref(num_segments, dim);
+    std::vector<int> arg_ref(static_cast<size_t>(num_segments) * dim, -1);
+    for (int r = 0; r < rows; ++r) {
+      const int s = segment[static_cast<size_t>(r)];
+      for (int c = 0; c < dim; ++c) {
+        const size_t cell = static_cast<size_t>(s) * dim + c;
+        const bool better =
+            arg_ref[cell] < 0 ||
+            (is_max ? a.at(r, c) > ref.at(s, c) : a.at(r, c) < ref.at(s, c));
+        if (better) {
+          ref.at(s, c) = a.at(r, c);
+          arg_ref[cell] = r;
+        }
+      }
+    }
+    ExpectDeterministic(
+        [&] {
+          Tensor out(num_segments, dim);
+          std::vector<int> arg(static_cast<size_t>(num_segments) * dim, -1);
+          GetBackend().SegmentExtreme(a, segment, is_max, &out, &arg);
+          EXPECT_EQ(arg, arg_ref);
+          return out;
+        },
+        ref);
+    // Backward routes each upstream cell to its recorded argmax row.
+    const Tensor g = RandomTensor(num_segments, dim, 18);
+    ExpectDeterministic(
+        [&] {
+          Tensor out(rows, dim);
+          GetBackend().SegmentExtremeBackwardAcc(g, arg_ref, &out);
+          return out;
+        },
+        [&] {
+          Tensor out(rows, dim);
+          for (int s = 0; s < num_segments; ++s) {
+            for (int c = 0; c < dim; ++c) {
+              const int r = arg_ref[static_cast<size_t>(s) * dim + c];
+              if (r >= 0) out.at(r, c) += g.at(s, c);
+            }
+          }
+          return out;
+        }());
+  }
+}
+
+TEST(KernelsTest, CopyRowsToAcrossThreads) {
+  const Tensor src = RandomTensor(17, 21, 19);
+  ExpectDeterministic(
+      [&] {
+        Tensor dst(40, 21);
+        GetBackend().CopyRowsTo(src, &dst, 5);
+        return dst;
+      },
+      [&] {
+        Tensor dst(40, 21);
+        for (int r = 0; r < src.rows(); ++r) {
+          for (int c = 0; c < src.cols(); ++c) {
+            dst.at(5 + r, c) = src.at(r, c);
+          }
+        }
+        return dst;
+      }());
+}
+
+// ---------------------------------------------------------------------------
+// Backward determinism through the autograd layer.
+// ---------------------------------------------------------------------------
+
+/// A message-passing-shaped composite: gather → matmul → relu → scatter
+/// → softmax → weighted sum. Exercises every hot backward kernel.
+Variable CompositeLoss(const Variable& h, const Variable& w,
+                       const std::vector<int>& src,
+                       const std::vector<int>& dst, int nodes) {
+  Variable messages = RowGather(h, src);
+  Variable mixed = Relu(MatMul(messages, w));
+  Variable aggregated = ScatterAddRows(mixed, dst, nodes);
+  Variable scores = SoftmaxRows(aggregated);
+  return Sum(Square(scores));
+}
+
+TEST(KernelsTest, GradcheckPassesUnderParallelBackend) {
+  ScopedBackendThreads scoped(8);
+  Rng rng(20);
+  const int nodes = 12;
+  const int dim = 6;
+  Variable h = Variable::Param(Tensor::RandomNormal(nodes, dim, &rng));
+  Variable w = Variable::Param(Tensor::RandomNormal(dim, dim, &rng));
+  std::vector<int> src(30);
+  std::vector<int> dst(30);
+  for (size_t e = 0; e < src.size(); ++e) {
+    src[e] = static_cast<int>(rng.UniformInt(0, nodes - 1));
+    dst[e] = static_cast<int>(rng.UniformInt(0, nodes - 1));
+  }
+  GradCheckResult result = CheckGradients(
+      {h, w}, [&] { return CompositeLoss(h, w, src, dst, nodes); });
+  EXPECT_LT(result.max_relative_error, 5e-2)
+      << "worst leaf " << result.worst_leaf << " element "
+      << result.worst_element;
+}
+
+TEST(KernelsTest, BackwardGradientsBitwiseIdenticalAcrossThreads) {
+  Rng rng(21);
+  const int nodes = 40;
+  const int dim = 24;
+  const Tensor h0 = Tensor::RandomNormal(nodes, dim, &rng);
+  const Tensor w0 = Tensor::RandomNormal(dim, dim, &rng);
+  std::vector<int> src(160);
+  std::vector<int> dst(160);
+  for (size_t e = 0; e < src.size(); ++e) {
+    src[e] = static_cast<int>(rng.UniformInt(0, nodes - 1));
+    dst[e] = static_cast<int>(rng.UniformInt(0, nodes - 1));
+  }
+  auto run = [&](int threads) {
+    ScopedBackendThreads scoped(threads);
+    Variable h = Variable::Param(h0);
+    Variable w = Variable::Param(w0);
+    Variable loss = CompositeLoss(h, w, src, dst, nodes);
+    loss.Backward();
+    return std::make_pair(h.grad(), w.grad());
+  };
+  const auto [h_serial, w_serial] = run(1);
+  for (int threads : kThreadCounts) {
+    const auto [h_grad, w_grad] = run(threads);
+    EXPECT_TRUE(BitwiseEqual(h_serial, h_grad))
+        << "h grad diverged at " << threads << " threads";
+    EXPECT_TRUE(BitwiseEqual(w_serial, w_grad))
+        << "w grad diverged at " << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace oodgnn

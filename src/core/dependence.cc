@@ -3,12 +3,14 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/obs/trace.h"
 #include "src/tensor/backend.h"
 #include "src/util/check.h"
 
 namespace oodgnn {
 
 Tensor PairwiseDependenceMatrix(const Tensor& z, const RffFeatureMap& rff) {
+  OODGNN_TRACE_SCOPE("core/dependence_matrix");
   OODGNN_CHECK_EQ(z.cols(), rff.input_dim());
   const int n = z.rows();
   OODGNN_CHECK_GT(n, 1);

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/trace.h"
 #include "src/tensor/backend.h"
 #include "src/util/check.h"
 
@@ -73,6 +74,7 @@ double MedianBandwidth(const Tensor& x) {
 }
 
 double ExactHsic(const Tensor& x, const Tensor& y, double bandwidth) {
+  OODGNN_TRACE_SCOPE("core/hsic_exact");
   OODGNN_CHECK_EQ(x.cols(), 1);
   OODGNN_CHECK_EQ(y.cols(), 1);
   OODGNN_CHECK_EQ(x.rows(), y.rows());
@@ -106,6 +108,7 @@ double ExactHsic(const Tensor& x, const Tensor& y, double bandwidth) {
 }
 
 double ExactPairwiseHsic(const Tensor& z, double bandwidth) {
+  OODGNN_TRACE_SCOPE("core/hsic_pairwise");
   const int d = z.cols();
   const int n = z.rows();
   // Materialize the dimension-pair list, score every pair independently

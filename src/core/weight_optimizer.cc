@@ -4,6 +4,7 @@
 
 #include "src/core/decorrelation.h"
 #include "src/nn/optimizer.h"
+#include "src/obs/trace.h"
 #include "src/tensor/ops.h"
 #include "src/util/check.h"
 
@@ -12,6 +13,7 @@ namespace oodgnn {
 WeightOptimizerResult GraphWeightOptimizer::Optimize(
     const Tensor& local_z, const RffFeatureMap& rff,
     const GlobalWeightBank* bank) const {
+  OODGNN_TRACE_SCOPE("core/weight_optimize");
   const int local_n = local_z.rows();
   OODGNN_CHECK_GT(local_n, 1);
   OODGNN_CHECK_EQ(local_z.cols(), rff.input_dim());

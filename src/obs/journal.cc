@@ -1,0 +1,81 @@
+#include "src/obs/journal.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace oodgnn {
+namespace obs {
+namespace {
+
+std::mutex g_journal_mu;
+std::unique_ptr<RunJournal> g_journal;       // guarded by g_journal_mu
+std::atomic<bool> g_journal_open{false};     // fast-path mirror
+bool g_env_checked = false;                  // guarded by g_journal_mu
+
+/// Installs `journal` (may be null) as the global instance.
+void InstallJournal(std::unique_ptr<RunJournal> journal) {
+  std::lock_guard<std::mutex> lock(g_journal_mu);
+  g_env_checked = true;
+  g_journal = std::move(journal);
+  g_journal_open.store(g_journal != nullptr, std::memory_order_release);
+}
+
+}  // namespace
+
+RunJournal::RunJournal(std::string path)
+    : path_(std::move(path)), file_(std::fopen(path_.c_str(), "w")) {
+  if (file_ == nullptr) {
+    OODGNN_LOG(Warning) << "cannot open run journal '" << path_
+                        << "'; journal records will be dropped";
+  }
+}
+
+RunJournal::~RunJournal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = nullptr;
+}
+
+void RunJournal::WriteLine(const std::string& json_object) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  std::fwrite(json_object.data(), 1, json_object.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+}
+
+RunJournal* GlobalJournal() {
+  if (!g_journal_open.load(std::memory_order_acquire)) {
+    // Lazily honor OODGNN_TRACE_JSON so library users (tests, custom
+    // binaries) get a journal without going through BenchOptions.
+    std::lock_guard<std::mutex> lock(g_journal_mu);
+    if (!g_env_checked) {
+      g_env_checked = true;
+      const char* env = std::getenv("OODGNN_TRACE_JSON");
+      if (env != nullptr && *env != '\0') {
+        g_journal = std::make_unique<RunJournal>(env);
+        g_journal_open.store(true, std::memory_order_release);
+      }
+    }
+    if (!g_journal_open.load(std::memory_order_relaxed)) return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(g_journal_mu);
+  return g_journal.get();
+}
+
+void OpenGlobalJournal(const std::string& path) {
+  if (path.empty()) {
+    CloseGlobalJournal();
+    return;
+  }
+  InstallJournal(std::make_unique<RunJournal>(path));
+}
+
+void CloseGlobalJournal() { InstallJournal(nullptr); }
+
+}  // namespace obs
+}  // namespace oodgnn

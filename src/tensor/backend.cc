@@ -1,12 +1,16 @@
 #include "src/tensor/backend.h"
 
+#include <array>
 #include <cstdlib>
 #include <mutex>
 #include <utility>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/tensor/kernels.h"
 #include "src/util/check.h"
 #include "src/util/thread_pool.h"
+#include "src/util/timer.h"
 
 namespace oodgnn {
 namespace {
@@ -25,12 +29,170 @@ int ThreadsFromEnv() {
   return std::atoi(env);
 }
 
+// --- per-kernel perf counters (the ggml perf_runs/perf_time_us idea) ---
+//
+// Every dense entry point below opens a KernelScope naming its op.
+// While profiling is off (the common case) the scope is a single
+// relaxed atomic load; while it is on, each call records dispatch
+// count, output elements processed, wall microseconds, and whether the
+// range went to the worker pool — into the global metrics registry
+// under "kernel/<op>/{calls,elems,us,parallel_calls}".
+
+enum class KernelOp : int {
+  kMatMul = 0,
+  kMatMulTransA,
+  kMatMulTransB,
+  kAxpy,
+  kScale,
+  kAddScalar,
+  kHadamard,
+  kHadamardAcc,
+  kColumnSum,
+  kRowSum,
+  kRowBroadcast,
+  kColBroadcast,
+  kAddTransposed,
+  kHadamardColumnSum,
+  kHadamardRowSum,
+  kDot,
+  kSoftmaxRows,
+  kSoftmaxRowsBackward,
+  kGatherRows,
+  kGatherRowsAcc,
+  kScatterAddRows,
+  kSegmentExtreme,
+  kSegmentExtremeBackward,
+  kCopyRows,
+  kNumOps,
+};
+
+constexpr int kNumKernelOps = static_cast<int>(KernelOp::kNumOps);
+
+const char* KernelOpName(KernelOp op) {
+  switch (op) {
+    case KernelOp::kMatMul:
+      return "matmul";
+    case KernelOp::kMatMulTransA:
+      return "matmul_ta";
+    case KernelOp::kMatMulTransB:
+      return "matmul_tb";
+    case KernelOp::kAxpy:
+      return "axpy";
+    case KernelOp::kScale:
+      return "scale";
+    case KernelOp::kAddScalar:
+      return "add_scalar";
+    case KernelOp::kHadamard:
+      return "hadamard";
+    case KernelOp::kHadamardAcc:
+      return "hadamard_acc";
+    case KernelOp::kColumnSum:
+      return "column_sum";
+    case KernelOp::kRowSum:
+      return "row_sum";
+    case KernelOp::kRowBroadcast:
+      return "row_broadcast";
+    case KernelOp::kColBroadcast:
+      return "col_broadcast";
+    case KernelOp::kAddTransposed:
+      return "add_transposed";
+    case KernelOp::kHadamardColumnSum:
+      return "hadamard_column_sum";
+    case KernelOp::kHadamardRowSum:
+      return "hadamard_row_sum";
+    case KernelOp::kDot:
+      return "dot";
+    case KernelOp::kSoftmaxRows:
+      return "softmax_rows";
+    case KernelOp::kSoftmaxRowsBackward:
+      return "softmax_rows_backward";
+    case KernelOp::kGatherRows:
+      return "gather_rows";
+    case KernelOp::kGatherRowsAcc:
+      return "gather_rows_acc";
+    case KernelOp::kScatterAddRows:
+      return "scatter_add_rows";
+    case KernelOp::kSegmentExtreme:
+      return "segment_extreme";
+    case KernelOp::kSegmentExtremeBackward:
+      return "segment_extreme_backward";
+    case KernelOp::kCopyRows:
+      return "copy_rows";
+    case KernelOp::kNumOps:
+      break;
+  }
+  return "?";
+}
+
+struct OpCounters {
+  obs::Counter* calls;
+  obs::Counter* elems;
+  obs::Counter* us;
+  obs::Counter* parallel_calls;
+};
+
+/// Counters for `op`, registered on first instrumented call — so the
+/// registry stays empty while profiling is disabled.
+OpCounters& CountersFor(KernelOp op) {
+  static std::array<OpCounters, kNumKernelOps>* table = [] {
+    auto* t = new std::array<OpCounters, kNumKernelOps>();
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    for (int i = 0; i < kNumKernelOps; ++i) {
+      const std::string prefix =
+          std::string("kernel/") + KernelOpName(static_cast<KernelOp>(i));
+      (*t)[static_cast<size_t>(i)] = {
+          &registry.GetCounter(prefix + "/calls"),
+          &registry.GetCounter(prefix + "/elems"),
+          &registry.GetCounter(prefix + "/us"),
+          &registry.GetCounter(prefix + "/parallel_calls"),
+      };
+    }
+    return t;
+  }();
+  return (*table)[static_cast<size_t>(static_cast<int>(op))];
+}
+
+class KernelScope {
+ public:
+  KernelScope(KernelOp op, std::int64_t elems, bool parallel)
+      : active_(obs::ProfilingEnabled()) {
+    if (!active_) return;
+    op_ = op;
+    elems_ = elems;
+    parallel_ = parallel;
+    start_us_ = NowMicros();
+  }
+
+  ~KernelScope() {
+    if (!active_) return;
+    const OpCounters& counters = CountersFor(op_);
+    counters.calls->Increment();
+    counters.elems->Add(elems_);
+    counters.us->Add(NowMicros() - start_us_);
+    if (parallel_) counters.parallel_calls->Increment();
+  }
+
+  KernelScope(const KernelScope&) = delete;
+  KernelScope& operator=(const KernelScope&) = delete;
+
+ private:
+  bool active_;
+  KernelOp op_ = KernelOp::kMatMul;
+  std::int64_t elems_ = 0;
+  bool parallel_ = false;
+  std::int64_t start_us_ = 0;
+};
+
 }  // namespace
+
+bool Backend::WouldParallelize(int n, std::int64_t flops) const {
+  return n > 0 && num_threads() != 1 && flops >= kMinFlopsToParallelize;
+}
 
 void Backend::ForCost(int n, std::int64_t flops,
                       const std::function<void(int, int)>& fn) const {
   if (n <= 0) return;
-  if (num_threads() == 1 || flops < kMinFlopsToParallelize) {
+  if (!WouldParallelize(n, flops)) {
     fn(0, n);
     return;
   }
@@ -42,6 +204,8 @@ void Backend::MatMulAcc(const Tensor& a, const Tensor& b, Tensor* out) const {
   OODGNN_CHECK(out->rows() == a.rows() && out->cols() == b.cols());
   const std::int64_t flops =
       2ll * a.rows() * a.cols() * b.cols();
+  KernelScope scope(KernelOp::kMatMul, out->size(),
+                    WouldParallelize(out->rows(), flops));
   ForCost(out->rows(), flops, [&](int r0, int r1) {
     kernels::MatMulAcc(a, b, out, r0, r1);
   });
@@ -53,6 +217,8 @@ void Backend::MatMulTransAAcc(const Tensor& a, const Tensor& b,
   OODGNN_CHECK(out->rows() == a.cols() && out->cols() == b.cols());
   const std::int64_t flops =
       2ll * a.rows() * a.cols() * b.cols();
+  KernelScope scope(KernelOp::kMatMulTransA, out->size(),
+                    WouldParallelize(out->rows(), flops));
   ForCost(out->rows(), flops, [&](int r0, int r1) {
     kernels::MatMulTransAAcc(a, b, out, r0, r1);
   });
@@ -64,6 +230,8 @@ void Backend::MatMulTransBAcc(const Tensor& a, const Tensor& b,
   OODGNN_CHECK(out->rows() == a.rows() && out->cols() == b.rows());
   const std::int64_t flops =
       2ll * a.rows() * a.cols() * b.rows();
+  KernelScope scope(KernelOp::kMatMulTransB, out->size(),
+                    WouldParallelize(out->rows(), flops));
   ForCost(out->rows(), flops, [&](int r0, int r1) {
     kernels::MatMulTransBAcc(a, b, out, r0, r1);
   });
@@ -71,18 +239,24 @@ void Backend::MatMulTransBAcc(const Tensor& a, const Tensor& b,
 
 void Backend::Axpy(float alpha, const Tensor& x, Tensor* y) const {
   OODGNN_CHECK(x.SameShape(*y));
+  KernelScope scope(KernelOp::kAxpy, y->size(),
+                    WouldParallelize(y->size(), y->size()));
   ForCost(y->size(), y->size(), [&](int i0, int i1) {
     kernels::Axpy(alpha, x, y, i0, i1);
   });
 }
 
 void Backend::ScaleInPlace(float s, Tensor* y) const {
+  KernelScope scope(KernelOp::kScale, y->size(),
+                    WouldParallelize(y->size(), y->size()));
   ForCost(y->size(), y->size(), [&](int i0, int i1) {
     kernels::Scale(y, s, i0, i1);
   });
 }
 
 void Backend::AddScalarAcc(float s, Tensor* y) const {
+  KernelScope scope(KernelOp::kAddScalar, y->size(),
+                    WouldParallelize(y->size(), y->size()));
   ForCost(y->size(), y->size(), [&](int i0, int i1) {
     kernels::AddScalar(y, s, i0, i1);
   });
@@ -90,6 +264,8 @@ void Backend::AddScalarAcc(float s, Tensor* y) const {
 
 void Backend::Hadamard(const Tensor& a, const Tensor& b, Tensor* out) const {
   OODGNN_CHECK(a.SameShape(b) && a.SameShape(*out));
+  KernelScope scope(KernelOp::kHadamard, out->size(),
+                    WouldParallelize(out->size(), out->size()));
   ForCost(out->size(), out->size(), [&](int i0, int i1) {
     kernels::Hadamard(a, b, out, i0, i1);
   });
@@ -97,6 +273,8 @@ void Backend::Hadamard(const Tensor& a, const Tensor& b, Tensor* out) const {
 
 void Backend::HadamardAcc(const Tensor& g, const Tensor& x, Tensor* y) const {
   OODGNN_CHECK(g.SameShape(x) && g.SameShape(*y));
+  KernelScope scope(KernelOp::kHadamardAcc, y->size(),
+                    WouldParallelize(y->size(), y->size()));
   ForCost(y->size(), y->size(), [&](int i0, int i1) {
     kernels::HadamardAcc(g, x, y, i0, i1);
   });
@@ -104,6 +282,8 @@ void Backend::HadamardAcc(const Tensor& g, const Tensor& x, Tensor* y) const {
 
 void Backend::ColumnSumAcc(const Tensor& a, Tensor* out) const {
   OODGNN_CHECK(out->rows() == 1 && out->cols() == a.cols());
+  KernelScope scope(KernelOp::kColumnSum, a.size(),
+                    WouldParallelize(a.cols(), a.size()));
   ForCost(a.cols(), a.size(), [&](int c0, int c1) {
     kernels::ColumnSumAcc(a, out, c0, c1);
   });
@@ -111,6 +291,8 @@ void Backend::ColumnSumAcc(const Tensor& a, Tensor* out) const {
 
 void Backend::RowSumAcc(const Tensor& a, Tensor* out) const {
   OODGNN_CHECK(out->rows() == a.rows() && out->cols() == 1);
+  KernelScope scope(KernelOp::kRowSum, a.size(),
+                    WouldParallelize(a.rows(), a.size()));
   ForCost(a.rows(), a.size(), [&](int r0, int r1) {
     kernels::RowSumAcc(a, out, r0, r1);
   });
@@ -118,6 +300,8 @@ void Backend::RowSumAcc(const Tensor& a, Tensor* out) const {
 
 void Backend::RowBroadcastAcc(const Tensor& row, Tensor* out) const {
   OODGNN_CHECK(row.rows() == 1 && row.cols() == out->cols());
+  KernelScope scope(KernelOp::kRowBroadcast, out->size(),
+                    WouldParallelize(out->rows(), out->size()));
   ForCost(out->rows(), out->size(), [&](int r0, int r1) {
     kernels::RowBroadcastAcc(row, out, r0, r1);
   });
@@ -125,6 +309,8 @@ void Backend::RowBroadcastAcc(const Tensor& row, Tensor* out) const {
 
 void Backend::ColBroadcastAcc(const Tensor& col, Tensor* out) const {
   OODGNN_CHECK(col.rows() == out->rows() && col.cols() == 1);
+  KernelScope scope(KernelOp::kColBroadcast, out->size(),
+                    WouldParallelize(out->rows(), out->size()));
   ForCost(out->rows(), out->size(), [&](int r0, int r1) {
     kernels::ColBroadcastAcc(col, out, r0, r1);
   });
@@ -132,6 +318,8 @@ void Backend::ColBroadcastAcc(const Tensor& col, Tensor* out) const {
 
 void Backend::AddTransposedAcc(const Tensor& g, Tensor* out) const {
   OODGNN_CHECK(g.rows() == out->cols() && g.cols() == out->rows());
+  KernelScope scope(KernelOp::kAddTransposed, out->size(),
+                    WouldParallelize(out->rows(), out->size()));
   ForCost(out->rows(), out->size(), [&](int r0, int r1) {
     kernels::AddTransposedAcc(g, out, r0, r1);
   });
@@ -141,6 +329,8 @@ void Backend::HadamardColumnSumAcc(const Tensor& x, const Tensor& y,
                                    Tensor* out) const {
   OODGNN_CHECK(x.SameShape(y));
   OODGNN_CHECK(out->rows() == 1 && out->cols() == x.cols());
+  KernelScope scope(KernelOp::kHadamardColumnSum, x.size(),
+                    WouldParallelize(x.cols(), 2ll * x.size()));
   ForCost(x.cols(), 2ll * x.size(), [&](int c0, int c1) {
     kernels::HadamardColumnSumAcc(x, y, out, c0, c1);
   });
@@ -150,6 +340,8 @@ void Backend::HadamardRowSumAcc(const Tensor& x, const Tensor& y,
                                 Tensor* out) const {
   OODGNN_CHECK(x.SameShape(y));
   OODGNN_CHECK(out->rows() == x.rows() && out->cols() == 1);
+  KernelScope scope(KernelOp::kHadamardRowSum, x.size(),
+                    WouldParallelize(x.rows(), 2ll * x.size()));
   ForCost(x.rows(), 2ll * x.size(), [&](int r0, int r1) {
     kernels::HadamardRowSumAcc(x, y, out, r0, r1);
   });
@@ -157,11 +349,14 @@ void Backend::HadamardRowSumAcc(const Tensor& x, const Tensor& y,
 
 float Backend::Dot(const Tensor& a, const Tensor& b) const {
   OODGNN_CHECK(a.SameShape(b));
+  KernelScope scope(KernelOp::kDot, a.size(), /*parallel=*/false);
   return kernels::Dot(a, b, 0, a.size());
 }
 
 void Backend::SoftmaxRows(const Tensor& a, Tensor* out) const {
   OODGNN_CHECK(a.SameShape(*out));
+  KernelScope scope(KernelOp::kSoftmaxRows, out->size(),
+                    WouldParallelize(a.rows(), 4ll * a.size()));
   ForCost(a.rows(), 4ll * a.size(), [&](int r0, int r1) {
     kernels::SoftmaxRows(a, out, r0, r1);
   });
@@ -170,6 +365,8 @@ void Backend::SoftmaxRows(const Tensor& a, Tensor* out) const {
 void Backend::SoftmaxRowsBackwardAcc(const Tensor& y, const Tensor& g,
                                      Tensor* out) const {
   OODGNN_CHECK(y.SameShape(g) && y.SameShape(*out));
+  KernelScope scope(KernelOp::kSoftmaxRowsBackward, out->size(),
+                    WouldParallelize(y.rows(), 4ll * y.size()));
   ForCost(y.rows(), 4ll * y.size(), [&](int r0, int r1) {
     kernels::SoftmaxRowsBackwardAcc(y, g, out, r0, r1);
   });
@@ -179,6 +376,8 @@ void Backend::GatherRows(const Tensor& a, const std::vector<int>& index,
                          Tensor* out) const {
   OODGNN_CHECK(out->rows() == static_cast<int>(index.size()) &&
                out->cols() == a.cols());
+  KernelScope scope(KernelOp::kGatherRows, out->size(),
+                    WouldParallelize(out->rows(), out->size()));
   ForCost(out->rows(), out->size(), [&](int r0, int r1) {
     kernels::GatherRows(a, index, out, r0, r1);
   });
@@ -188,6 +387,8 @@ void Backend::GatherRowsAcc(const Tensor& g, const std::vector<int>& index,
                             Tensor* out) const {
   OODGNN_CHECK(out->rows() == static_cast<int>(index.size()) &&
                out->cols() == g.cols());
+  KernelScope scope(KernelOp::kGatherRowsAcc, out->size(),
+                    WouldParallelize(out->rows(), out->size()));
   ForCost(out->rows(), out->size(), [&](int r0, int r1) {
     kernels::GatherRowsAcc(g, index, out, r0, r1);
   });
@@ -199,6 +400,9 @@ void Backend::ScatterAddRowsAcc(const Tensor& a, const std::vector<int>& index,
   OODGNN_CHECK_EQ(a.cols(), out->cols());
   // Each chunk scans the whole index vector, so only large scatters pay
   // off (the scan itself costs a.rows per chunk).
+  KernelScope scope(
+      KernelOp::kScatterAddRows, a.size(),
+      WouldParallelize(out->rows(), static_cast<std::int64_t>(a.size())));
   ForCost(out->rows(), static_cast<std::int64_t>(a.size()),
           [&](int r0, int r1) {
             kernels::ScatterAddRowsAcc(a, index, out, r0, r1);
@@ -211,6 +415,9 @@ void Backend::SegmentExtreme(const Tensor& a, const std::vector<int>& segment,
   OODGNN_CHECK_EQ(a.rows(), static_cast<int>(segment.size()));
   OODGNN_CHECK_EQ(a.cols(), out->cols());
   OODGNN_CHECK_EQ(static_cast<int>(argrow->size()), out->size());
+  KernelScope scope(
+      KernelOp::kSegmentExtreme, a.size(),
+      WouldParallelize(out->rows(), static_cast<std::int64_t>(a.size())));
   ForCost(out->rows(), static_cast<std::int64_t>(a.size()),
           [&](int s0, int s1) {
             kernels::SegmentExtreme(a, segment, is_max, out, argrow, s0, s1);
@@ -221,6 +428,9 @@ void Backend::SegmentExtremeBackwardAcc(const Tensor& g,
                                         const std::vector<int>& argrow,
                                         Tensor* out) const {
   OODGNN_CHECK_EQ(static_cast<int>(argrow.size()), g.size());
+  KernelScope scope(
+      KernelOp::kSegmentExtremeBackward, g.size(),
+      WouldParallelize(g.rows(), static_cast<std::int64_t>(g.size())));
   ForCost(g.rows(), static_cast<std::int64_t>(g.size()),
           [&](int s0, int s1) {
             kernels::SegmentExtremeBackwardAcc(g, argrow, out, s0, s1);
@@ -231,6 +441,8 @@ void Backend::CopyRowsTo(const Tensor& src, Tensor* dst,
                          int dst_row_begin) const {
   OODGNN_CHECK_EQ(src.cols(), dst->cols());
   OODGNN_CHECK_LE(dst_row_begin + src.rows(), dst->rows());
+  KernelScope scope(KernelOp::kCopyRows, src.size(),
+                    WouldParallelize(src.rows(), src.size()));
   ForCost(src.rows(), src.size(), [&](int r0, int r1) {
     kernels::CopyRowsTo(src, dst, dst_row_begin, r0, r1);
   });

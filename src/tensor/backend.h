@@ -38,6 +38,12 @@ class Backend {
   void ForCost(int n, std::int64_t flops,
                const std::function<void(int, int)>& fn) const;
 
+  /// True when ForCost(n, flops, …) would dispatch to For() rather
+  /// than run inline. Exposed so the per-kernel perf counters can
+  /// record the serial-vs-parallel split without re-deriving the
+  /// dispatch policy.
+  bool WouldParallelize(int n, std::int64_t flops) const;
+
   // --- dense kernel entry points (shape-checked, partitioned via For) ---
 
   /// out += a[m,k] · b[k,n].

@@ -2,11 +2,41 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
 
+#include "src/obs/journal.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/tensor/backend.h"
 #include "src/util/check.h"
 
 namespace oodgnn {
+namespace {
+
+void PrintProfileReport() {
+  const std::vector<obs::PhaseStats> phases = obs::TraceSnapshot();
+  if (!phases.empty()) {
+    std::printf("\n=== Profile: phases (--profile) ===\n%s",
+                obs::RenderProfile(phases).c_str());
+  }
+  const obs::MetricsSnapshot metrics =
+      obs::MetricsRegistry::Global().GetSnapshot();
+  if (!metrics.empty()) {
+    std::printf("\n=== Profile: kernel counters ===\n%s",
+                metrics.ToTableString().c_str());
+  }
+  std::fflush(stdout);
+}
+
+/// Prints the aggregate phase/kernel tables once, when the binary
+/// exits — every benchmark gets a final profile report for free.
+void RegisterProfileReportAtExit() {
+  static std::once_flag once;
+  std::call_once(once, [] { std::atexit(PrintProfileReport); });
+}
+
+}  // namespace
 
 MethodScores RunSeeds(Method method, const GraphDataset& dataset,
                       const TrainConfig& base_config, int num_seeds) {
@@ -98,6 +128,14 @@ BenchOptions BenchOptions::FromFlags(const Flags& flags) {
   // Shared --threads handling: every benchmark binary picks its compute
   // backend here (serial for 1, pooled workers otherwise).
   SetBackendThreads(flags.GetThreads(1));
+  // Shared observability handling: --profile turns on the tracer and
+  // the per-kernel counters (also reachable via OODGNN_PROFILE) and
+  // schedules the final profile tables; --trace-json=<path> opens the
+  // JSONL run journal the trainer writes per-epoch records to.
+  if (flags.GetBool("profile", false)) obs::SetProfilingEnabled(true);
+  if (obs::ProfilingEnabled()) RegisterProfileReportAtExit();
+  const std::string trace_json = flags.GetString("trace-json", "");
+  if (!trace_json.empty()) obs::OpenGlobalJournal(trace_json);
   return options;
 }
 

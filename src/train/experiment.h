@@ -33,7 +33,9 @@ std::string FormatCell(const std::vector<double>& values, bool percent);
 /// Shared command-line handling for the table/figure benchmark
 /// binaries: `--full` switches to paper-scale settings, `--seeds`,
 /// `--epochs`, `--scale`, `--hidden`, `--layers`, `--batch` override
-/// individual knobs.
+/// individual knobs. Observability: `--profile` enables the tracer and
+/// per-kernel counters (src/obs) and prints aggregate profile tables at
+/// exit; `--trace-json=<path>` writes the per-epoch JSONL run journal.
 struct BenchOptions {
   int seeds = 2;
   double data_scale = 1.0;

@@ -2,19 +2,26 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "src/gnn/pna_conv.h"
 #include "src/graph/batch.h"
 #include "src/nn/loss.h"
 #include "src/nn/optimizer.h"
+#include "src/obs/journal.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/tensor/backend.h"
 #include "src/tensor/ops.h"
 #include "src/train/metrics.h"
 #include "src/util/check.h"
 #include "src/util/logging.h"
 #include "src/util/rng.h"
+#include "src/util/stats.h"
 #include "src/util/timer.h"
 
 namespace oodgnn {
@@ -69,6 +76,62 @@ Tensor PredictSplit(GraphPredictionModel* model, const GraphDataset& dataset,
   return all_logits;
 }
 
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Cumulative totals of the backend's per-kernel perf counters
+/// ("kernel/<op>/…" in the global metrics registry; all zero unless
+/// profiling is enabled).
+struct KernelTotals {
+  std::int64_t calls = 0;
+  std::int64_t elems = 0;
+  std::int64_t us = 0;
+  std::int64_t parallel_calls = 0;
+};
+
+KernelTotals SumKernelCounters() {
+  KernelTotals totals;
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::Global().GetSnapshot();
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name.rfind("kernel/", 0) != 0) continue;
+    if (EndsWith(name, "/parallel_calls")) {
+      totals.parallel_calls += value;
+    } else if (EndsWith(name, "/calls")) {
+      totals.calls += value;
+    } else if (EndsWith(name, "/elems")) {
+      totals.elems += value;
+    } else if (EndsWith(name, "/us")) {
+      totals.us += value;
+    }
+  }
+  return totals;
+}
+
+/// Inclusive microseconds per phase, for per-epoch deltas.
+std::map<std::string, std::int64_t> PhaseTotalsUs() {
+  std::map<std::string, std::int64_t> totals;
+  for (const obs::PhaseStats& stats : obs::TraceSnapshot()) {
+    totals[stats.name] = stats.total_us;
+  }
+  return totals;
+}
+
+/// {"phase":delta_ms,...} between two PhaseTotalsUs() snapshots.
+std::string PhaseDeltaJson(const std::map<std::string, std::int64_t>& before,
+                           const std::map<std::string, std::int64_t>& after) {
+  obs::JsonObjectWriter phases;
+  for (const auto& [name, total_us] : after) {
+    auto it = before.find(name);
+    const std::int64_t delta_us =
+        total_us - (it == before.end() ? 0 : it->second);
+    if (delta_us > 0) phases.Put(name, static_cast<double>(delta_us) / 1e3);
+  }
+  return phases.Build();
+}
+
 }  // namespace
 
 bool HigherIsBetter(TaskType type) {
@@ -78,6 +141,7 @@ bool HigherIsBetter(TaskType type) {
 double EvaluateSplit(GraphPredictionModel* model, const GraphDataset& dataset,
                      const std::vector<size_t>& indices, int batch_size,
                      Rng* rng) {
+  OODGNN_TRACE_SCOPE("train/eval");
   OODGNN_CHECK(!indices.empty());
   std::vector<int> labels;
   Tensor targets;
@@ -152,34 +216,49 @@ TrainResult TrainAndEvaluate(Method method, const GraphDataset& dataset,
                      << config.batch_size << ")";
   }
 
+  obs::RunJournal* journal = obs::GlobalJournal();
+
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    Timer epoch_timer;
+    std::map<std::string, std::int64_t> phase_before;
+    if (journal != nullptr && obs::ProfilingEnabled()) {
+      phase_before = PhaseTotalsUs();
+    }
     rng.Shuffle(&order);
     double epoch_loss = 0.0;
     double epoch_decor = 0.0;
     int num_batches = 0;
+    std::int64_t epoch_examples = 0;
+    std::vector<double> epoch_weights;
     const bool final_epoch = epoch + 1 == config.epochs;
 
     for (const auto& [begin, end] : batch_ranges) {
       if (end - begin < 2) {
         // Unfoldable: the whole training split is a single graph.
-        if (epoch == 0) {
-          OODGNN_LOG(Warning)
-              << dataset.name << ": skipping mini-batch of "
-              << end - begin << " graph(s); need at least 2 to train";
-        }
+        OODGNN_LOG_EVERY_N(Warning, 50)
+            << dataset.name << ": skipping mini-batch of "
+            << end - begin << " graph(s); need at least 2 to train";
         continue;
       }
       GraphBatch batch = MakeBatch(dataset.graphs, order, begin, end);
 
       // Algorithm 1 line 3: forward to representations.
-      Variable z = model.Encode(batch, /*training=*/true, &rng);
+      Variable z = [&] {
+        OODGNN_TRACE_SCOPE("train/encode");
+        return model.Encode(batch, /*training=*/true, &rng);
+      }();
 
       // Lines 4–8: learn the sample weights on detached representations
       // (after a short warmup during which the encoder settles).
       std::vector<float> weights;
       if (reweighter && epoch >= config.ood.warmup_epochs) {
+        OODGNN_TRACE_SCOPE("train/reweight");
         weights = reweighter->ComputeWeights(z.value());
         epoch_decor += reweighter->last_decorrelation_loss();
+        if (journal != nullptr) {
+          epoch_weights.insert(epoch_weights.end(), weights.begin(),
+                               weights.end());
+        }
         if (final_epoch) {
           result.final_weights.insert(result.final_weights.end(),
                                       weights.begin(), weights.end());
@@ -190,14 +269,17 @@ TrainResult TrainAndEvaluate(Method method, const GraphDataset& dataset,
       }
 
       // Line 9: weighted prediction loss, backprop, update Φ and R.
-      Variable logits = model.Classify(z, /*training=*/true);
-      Variable loss =
-          PredictionLoss(logits, batch, dataset.task_type, weights);
-      optimizer.ZeroGrad();
-      loss.Backward();
-      optimizer.Step();
-
-      epoch_loss += static_cast<double>(loss.value()[0]);
+      {
+        OODGNN_TRACE_SCOPE("train/loss_step");
+        Variable logits = model.Classify(z, /*training=*/true);
+        Variable loss =
+            PredictionLoss(logits, batch, dataset.task_type, weights);
+        optimizer.ZeroGrad();
+        loss.Backward();
+        optimizer.Step();
+        epoch_loss += static_cast<double>(loss.value()[0]);
+      }
+      epoch_examples += static_cast<std::int64_t>(end - begin);
       ++num_batches;
     }
     if (num_batches == 0) continue;
@@ -205,6 +287,7 @@ TrainResult TrainAndEvaluate(Method method, const GraphDataset& dataset,
     if (reweighter) {
       result.epoch_decorrelation_losses.push_back(epoch_decor / num_batches);
     }
+    const double train_phase_seconds = epoch_timer.ElapsedSeconds();
 
     // Model selection on the validation split (falls back to train).
     const std::vector<size_t>& valid_split =
@@ -227,15 +310,93 @@ TrainResult TrainAndEvaluate(Method method, const GraphDataset& dataset,
             &model, dataset, dataset.test2_idx, config.batch_size, &rng);
       }
     }
+    const double epoch_seconds = epoch_timer.ElapsedSeconds();
+    const double examples_per_sec =
+        train_phase_seconds > 0.0
+            ? static_cast<double>(epoch_examples) / train_phase_seconds
+            : 0.0;
     if (config.verbose) {
       OODGNN_LOG(Info) << dataset.name << " [" << MethodName(method)
                        << "] epoch " << epoch + 1 << "/" << config.epochs
                        << " loss=" << result.epoch_losses.back()
-                       << " valid=" << valid_metric;
+                       << " valid=" << valid_metric << " time="
+                       << epoch_seconds << "s (" << examples_per_sec
+                       << " ex/s)";
+    }
+    if (journal != nullptr) {
+      obs::JsonObjectWriter record;
+      record.Put("event", "epoch")
+          .Put("dataset", dataset.name)
+          .Put("method", MethodName(method))
+          .Put("seed", static_cast<std::int64_t>(config.seed))
+          .Put("epoch", epoch + 1)
+          .Put("epochs", config.epochs)
+          .Put("train_loss", result.epoch_losses.back())
+          .Put("valid_metric", valid_metric)
+          .Put("improved", improved)
+          .Put("epoch_seconds", epoch_seconds)
+          .Put("examples_per_sec", examples_per_sec);
+      if (reweighter) {
+        record.Put("decorrelation_loss",
+                   result.epoch_decorrelation_losses.back());
+      }
+      if (!epoch_weights.empty()) {
+        // Weight-distribution stats (the Fig. 4 signal, per epoch).
+        const auto [min_it, max_it] =
+            std::minmax_element(epoch_weights.begin(), epoch_weights.end());
+        record.Put("weight_mean", Mean(epoch_weights))
+            .Put("weight_std", StdDev(epoch_weights))
+            .Put("weight_min", *min_it)
+            .Put("weight_max", *max_it);
+      }
+      if (obs::ProfilingEnabled()) {
+        const KernelTotals kernels = SumKernelCounters();
+        record.Put("kernel_calls", kernels.calls)
+            .Put("kernel_elems", kernels.elems)
+            .Put("kernel_us", kernels.us)
+            .Put("kernel_parallel_calls", kernels.parallel_calls)
+            .PutRaw("phase_ms", PhaseDeltaJson(phase_before, PhaseTotalsUs()));
+      }
+      journal->WriteLine(record.Build());
     }
   }
 
   result.train_seconds = timer.ElapsedSeconds();
+
+  if (journal != nullptr) {
+    // Final run record: best-epoch metrics plus, when profiling, the
+    // whole run's phase aggregate and backend counters.
+    obs::JsonObjectWriter record;
+    record.Put("event", "run_summary")
+        .Put("dataset", dataset.name)
+        .Put("method", MethodName(method))
+        .Put("seed", static_cast<std::int64_t>(config.seed))
+        .Put("train_metric", result.train_metric)
+        .Put("valid_metric", result.valid_metric)
+        .Put("test_metric", result.test_metric)
+        .Put("test2_metric", result.test2_metric)
+        .Put("num_parameters", result.num_parameters)
+        .Put("train_seconds", result.train_seconds);
+    if (obs::ProfilingEnabled()) {
+      obs::JsonObjectWriter phases;
+      for (const obs::PhaseStats& s : obs::TraceSnapshot()) {
+        phases.PutRaw(s.name,
+                      obs::JsonObjectWriter()
+                          .Put("count", s.count)
+                          .Put("total_ms", static_cast<double>(s.total_us) / 1e3)
+                          .Put("self_ms",
+                               static_cast<double>(s.self_us()) / 1e3)
+                          .Build());
+      }
+      const KernelTotals kernels = SumKernelCounters();
+      record.PutRaw("phases", phases.Build())
+          .Put("kernel_calls", kernels.calls)
+          .Put("kernel_elems", kernels.elems)
+          .Put("kernel_us", kernels.us)
+          .Put("kernel_parallel_calls", kernels.parallel_calls);
+    }
+    journal->WriteLine(record.Build());
+  }
   return result;
 }
 

@@ -1,12 +1,55 @@
 #include "src/util/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace oodgnn {
 namespace {
 
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+constexpr int kUninitializedLevel = -1;
+
+/// Parses OODGNN_LOG_LEVEL ("debug"/"info"/"warning"/"warn"/"error",
+/// case-insensitive, or 0–3). Returns kInfo when unset or unparseable.
+int LevelFromEnv() {
+  const char* env = std::getenv("OODGNN_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') {
+    return static_cast<int>(LogLevel::kInfo);
+  }
+  if (std::isdigit(static_cast<unsigned char>(env[0]))) {
+    const int v = std::atoi(env);
+    if (v >= 0 && v <= static_cast<int>(LogLevel::kError)) return v;
+    return static_cast<int>(LogLevel::kInfo);
+  }
+  std::string name;
+  for (const char* p = env; *p != '\0'; ++p) {
+    name.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (name == "debug") return static_cast<int>(LogLevel::kDebug);
+  if (name == "info") return static_cast<int>(LogLevel::kInfo);
+  if (name == "warning" || name == "warn") {
+    return static_cast<int>(LogLevel::kWarning);
+  }
+  if (name == "error") return static_cast<int>(LogLevel::kError);
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+std::atomic<int> g_min_level{kUninitializedLevel};
+
+/// Lazily resolves the env default so the variable is honored no matter
+/// how early the first log statement runs (a racing first read computes
+/// the same value twice, which is benign).
+int MinLevel() {
+  int level = g_min_level.load(std::memory_order_relaxed);
+  if (level == kUninitializedLevel) {
+    level = LevelFromEnv();
+    g_min_level.store(level, std::memory_order_relaxed);
+  }
+  return level;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -28,9 +71,7 @@ void SetLogLevel(LogLevel level) {
   g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
-LogLevel GetLogLevel() {
-  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
-}
+LogLevel GetLogLevel() { return static_cast<LogLevel>(MinLevel()); }
 
 namespace internal_logging {
 
@@ -41,10 +82,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (static_cast<int>(level_) <
-      g_min_level.load(std::memory_order_relaxed)) {
-    return;
-  }
+  if (static_cast<int>(level_) < MinLevel()) return;
   std::fprintf(stderr, "[oodgnn %s] %s\n", LevelName(level_),
                stream_.str().c_str());
 }

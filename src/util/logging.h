@@ -1,6 +1,7 @@
 #ifndef OODGNN_UTIL_LOGGING_H_
 #define OODGNN_UTIL_LOGGING_H_
 
+#include <atomic>
 #include <sstream>
 #include <string>
 
@@ -10,7 +11,9 @@ namespace oodgnn {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 /// Sets the minimum severity that is printed to stderr. Messages below
-/// this level are dropped. Default: kInfo.
+/// this level are dropped. Default: kInfo, or the OODGNN_LOG_LEVEL
+/// environment variable if set (accepts "debug"/"info"/"warning"/
+/// "error" or the numeric values 0–3; unknown values are ignored).
 void SetLogLevel(LogLevel level);
 
 /// Returns the current minimum severity.
@@ -44,5 +47,21 @@ class LogMessage {
 #define OODGNN_LOG(level)                                       \
   ::oodgnn::internal_logging::LogMessage(                       \
       ::oodgnn::LogLevel::k##level, __FILE__, __LINE__)
+
+#define OODGNN_LOGGING_CONCAT_IMPL(a, b) a##b
+#define OODGNN_LOGGING_CONCAT(a, b) OODGNN_LOGGING_CONCAT_IMPL(a, b)
+
+/// Emits the message on the 1st, (n+1)th, (2n+1)th, … execution of this
+/// call site (a per-site atomic counter), so per-batch warnings cannot
+/// flood stderr. Expands to a declaration plus an if — use it as a full
+/// statement inside a braced block, never as the body of an unbraced if.
+#define OODGNN_LOG_EVERY_N(level, n)                                       \
+  static ::std::atomic<long> OODGNN_LOGGING_CONCAT(oodgnn_log_occurrences_, \
+                                                   __LINE__){0};            \
+  if (OODGNN_LOGGING_CONCAT(oodgnn_log_occurrences_, __LINE__)              \
+              .fetch_add(1, ::std::memory_order_relaxed) %                  \
+          (n) ==                                                            \
+      0)                                                                    \
+  OODGNN_LOG(level)
 
 #endif  // OODGNN_UTIL_LOGGING_H_

@@ -36,7 +36,9 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: run_benchmark --dataset NAME --method NAME [--epochs N]\n"
         "       [--seeds N] [--hidden D] [--layers L] [--scale F]\n"
-        "       [--batch N] [--lr F] [--verbose]\n"
+        "       [--batch N] [--lr F] [--threads N] [--verbose]\n"
+        "       [--profile] [--trace-json=PATH]\n"
+        "       [--checkpoint-every=N] [--checkpoint-dir=DIR] [--resume]\n"
         "datasets:");
     for (const std::string& name : oodgnn::AllDatasetNames()) {
       std::printf(" %s", name.c_str());
@@ -50,8 +52,15 @@ int main(int argc, char** argv) {
   const oodgnn::Method method =
       MethodFromName(flags.GetString("method", "OOD-GNN"));
 
+  // Shared flag handling (threads, profiling, journal, checkpointing).
+  oodgnn::BenchOptions options = oodgnn::BenchOptions::FromFlags(flags);
+  // Keep this binary's historical default (the EncoderConfig default)
+  // rather than the table binaries' 0.3.
+  options.train.encoder.dropout =
+      static_cast<float>(flags.GetDouble("dropout", 0.5));
+
   oodgnn::GraphDataset dataset = oodgnn::MakeDatasetByName(
-      dataset_name, flags.GetDouble("scale", 1.0),
+      dataset_name, options.data_scale,
       static_cast<uint64_t>(flags.GetInt("seed", 17)));
   std::printf("%s: %zu graphs (%zu train / %zu valid / %zu test), %s\n",
               dataset.name.c_str(), dataset.graphs.size(),
@@ -59,17 +68,9 @@ int main(int argc, char** argv) {
               dataset.test_idx.size(),
               oodgnn::TaskTypeName(dataset.task_type));
 
-  oodgnn::TrainConfig config;
-  config.epochs = flags.GetInt("epochs", 20);
-  config.batch_size = flags.GetInt("batch", 64);
-  config.lr = static_cast<float>(flags.GetDouble("lr", 1e-3));
-  config.encoder.hidden_dim = flags.GetInt("hidden", 32);
-  config.encoder.num_layers = flags.GetInt("layers", 3);
-  config.verbose = flags.GetBool("verbose", false);
-
-  const int seeds = flags.GetInt("seeds", 2);
+  const int seeds = options.seeds;
   oodgnn::MethodScores scores =
-      oodgnn::RunSeeds(method, dataset, config, seeds);
+      oodgnn::RunSeeds(method, dataset, options.train, seeds);
 
   const bool percent = dataset.task_type != oodgnn::TaskType::kRegression;
   std::printf("\n%s on %s over %d seed(s):\n",

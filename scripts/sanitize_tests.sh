@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Builds the project under a sanitizer and runs the hardened-surface
+# suites (ctest label "sanitize": serialize_test, kernels_test,
+# checkpoint_test — the untrusted-byte parsers and the parallel
+# kernels).
+#
+# Usage: scripts/sanitize_tests.sh [address|undefined|thread]
+set -euo pipefail
+
+SANITIZER="${1:-address}"
+BUILD_DIR="build-${SANITIZER}"
+
+cmake -B "${BUILD_DIR}" -S . -DOODGNN_SANITIZE="${SANITIZER}"
+cmake --build "${BUILD_DIR}" -j
+ctest --test-dir "${BUILD_DIR}" -L sanitize --output-on-failure -j

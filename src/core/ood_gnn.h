@@ -52,6 +52,10 @@ class OodGnnReweighter {
   double last_decorrelation_loss() const { return last_loss_; }
 
   const GlobalWeightBank& bank() const { return bank_; }
+
+  /// Mutable bank access for checkpoint restore (GlobalWeightBank::
+  /// RestoreGroups); training code must not mutate the bank directly.
+  GlobalWeightBank* mutable_bank() { return &bank_; }
   const RffFeatureMap& rff() const { return rff_; }
   const OodGnnConfig& config() const { return config_; }
 

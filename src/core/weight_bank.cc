@@ -71,6 +71,26 @@ Tensor GlobalWeightBank::StackedW() const {
   return out;
 }
 
+bool GlobalWeightBank::RestoreGroups(std::vector<Tensor> z,
+                                     std::vector<Tensor> w,
+                                     bool initialized) {
+  if (z.size() != gammas_.size() || w.size() != gammas_.size()) return false;
+  for (size_t k = 0; k < gammas_.size(); ++k) {
+    if (initialized) {
+      if (z[k].rows() != batch_size_ || z[k].cols() != dim_ ||
+          w[k].rows() != batch_size_ || w[k].cols() != 1) {
+        return false;
+      }
+    } else if (!z[k].empty() || !w[k].empty()) {
+      return false;
+    }
+  }
+  z_groups_ = std::move(z);
+  w_groups_ = std::move(w);
+  initialized_ = initialized;
+  return true;
+}
+
 void GlobalWeightBank::Update(const Tensor& local_z, const Tensor& local_w) {
   OODGNN_CHECK_EQ(local_z.cols(), dim_);
   OODGNN_CHECK_EQ(local_w.cols(), 1);

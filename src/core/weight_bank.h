@@ -35,6 +35,21 @@ class GlobalWeightBank {
   const Tensor& z(int group) const;
   const Tensor& w(int group) const;
 
+  /// Per-group momentum coefficients (size K).
+  const std::vector<float>& gammas() const { return gammas_; }
+
+  /// Raw group snapshots for checkpointing. Entries are empty tensors
+  /// until the first Update seeds the bank.
+  const std::vector<Tensor>& z_groups() const { return z_groups_; }
+  const std::vector<Tensor>& w_groups() const { return w_groups_; }
+
+  /// Restores groups captured by a checkpoint. When `initialized`, each
+  /// z must be [batch_size, dim] and each w [batch_size, 1] with exactly
+  /// K groups; otherwise all groups must be empty. Returns false
+  /// (leaving the bank untouched) on any mismatch.
+  bool RestoreGroups(std::vector<Tensor> z, std::vector<Tensor> w,
+                     bool initialized);
+
   /// Stacks all K groups: Z [K·B, d] and W [K·B, 1]. Empty tensors when
   /// uninitialized.
   Tensor StackedZ() const;

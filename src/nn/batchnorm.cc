@@ -13,6 +13,8 @@ BatchNorm1d::BatchNorm1d(int num_features, float momentum, float eps)
       running_var_(1, num_features, 1.f) {
   gamma_ = RegisterParameter(Tensor(1, num_features, 1.f));
   beta_ = RegisterParameter(Tensor(1, num_features));
+  RegisterBuffer(&running_mean_);
+  RegisterBuffer(&running_var_);
 }
 
 Variable BatchNorm1d::Forward(const Variable& x, bool training) {

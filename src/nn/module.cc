@@ -13,6 +13,15 @@ std::vector<Variable> Module::Parameters() const {
   return all;
 }
 
+std::vector<Tensor*> Module::Buffers() const {
+  std::vector<Tensor*> all = buffers_;
+  for (const Module* child : children_) {
+    std::vector<Tensor*> sub = child->Buffers();
+    all.insert(all.end(), sub.begin(), sub.end());
+  }
+  return all;
+}
+
 void Module::ZeroGrad() {
   for (Variable param : Parameters()) param.ZeroGrad();
 }
@@ -27,6 +36,11 @@ Variable Module::RegisterParameter(Tensor init) {
   Variable param = Variable::Param(std::move(init));
   params_.push_back(param);
   return param;
+}
+
+void Module::RegisterBuffer(Tensor* buffer) {
+  OODGNN_CHECK(buffer != nullptr);
+  buffers_.push_back(buffer);
 }
 
 void Module::RegisterModule(Module* child) {

@@ -24,6 +24,13 @@ class Module {
   /// All parameters of this module and its registered children.
   std::vector<Variable> Parameters() const;
 
+  /// All non-trainable state tensors (e.g. batch-norm running
+  /// statistics) of this module and its registered children, in a
+  /// stable registration order. Buffers evolve during training without
+  /// receiving gradients, so checkpoints must carry them alongside the
+  /// parameters for evaluation to reproduce exactly.
+  std::vector<Tensor*> Buffers() const;
+
   /// Zeroes gradients of all parameters.
   void ZeroGrad();
 
@@ -34,11 +41,16 @@ class Module {
   /// Wraps `init` as a trainable leaf, registers and returns it.
   Variable RegisterParameter(Tensor init);
 
+  /// Registers a non-trainable state tensor owned by the subclass
+  /// (non-owning; the tensor must outlive this module).
+  void RegisterBuffer(Tensor* buffer);
+
   /// Registers a child module (non-owning; the child must outlive this).
   void RegisterModule(Module* child);
 
  private:
   std::vector<Variable> params_;
+  std::vector<Tensor*> buffers_;
   std::vector<Module*> children_;
 };
 

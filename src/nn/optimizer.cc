@@ -5,6 +5,20 @@
 #include "src/util/check.h"
 
 namespace oodgnn {
+namespace {
+
+/// Shape-checked copy of checkpointed slot tensors into an optimizer's
+/// live slots. Leaves `dst` untouched and returns false on mismatch.
+bool RestoreSlots(const std::vector<Tensor>& src, std::vector<Tensor>* dst) {
+  if (src.size() != dst->size()) return false;
+  for (size_t i = 0; i < src.size(); ++i) {
+    if (!src[i].SameShape((*dst)[i])) return false;
+  }
+  for (size_t i = 0; i < src.size(); ++i) (*dst)[i] = src[i];
+  return true;
+}
+
+}  // namespace
 
 Optimizer::Optimizer(std::vector<Variable> params)
     : params_(std::move(params)) {
@@ -45,6 +59,17 @@ void Sgd::Step() {
   }
 }
 
+OptimizerState Sgd::GetState() const {
+  OptimizerState state;
+  state.slots = velocity_;
+  return state;
+}
+
+bool Sgd::SetState(const OptimizerState& state) {
+  if (state.step_count != 0) return false;
+  return RestoreSlots(state.slots, &velocity_);
+}
+
 Adam::Adam(std::vector<Variable> params, float lr, float beta1, float beta2,
            float eps, float weight_decay)
     : Optimizer(std::move(params)),
@@ -79,6 +104,33 @@ void Adam::Step() {
       value[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
     }
   }
+}
+
+OptimizerState Adam::GetState() const {
+  OptimizerState state;
+  state.step_count = step_count_;
+  state.slots.reserve(m_.size() + v_.size());
+  state.slots.insert(state.slots.end(), m_.begin(), m_.end());
+  state.slots.insert(state.slots.end(), v_.begin(), v_.end());
+  return state;
+}
+
+bool Adam::SetState(const OptimizerState& state) {
+  if (state.step_count < 0 || state.slots.size() != m_.size() + v_.size()) {
+    return false;
+  }
+  std::vector<Tensor> m(state.slots.begin(),
+                        state.slots.begin() + static_cast<long>(m_.size()));
+  std::vector<Tensor> v(state.slots.begin() + static_cast<long>(m_.size()),
+                        state.slots.end());
+  std::vector<Tensor> m_backup = m_;
+  if (!RestoreSlots(m, &m_)) return false;
+  if (!RestoreSlots(v, &v_)) {
+    m_ = std::move(m_backup);
+    return false;
+  }
+  step_count_ = state.step_count;
+  return true;
 }
 
 }  // namespace oodgnn

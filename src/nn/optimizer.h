@@ -1,11 +1,22 @@
 #ifndef OODGNN_NN_OPTIMIZER_H_
 #define OODGNN_NN_OPTIMIZER_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "src/tensor/variable.h"
 
 namespace oodgnn {
+
+/// Snapshot of an optimizer's internal slot state for checkpointing.
+/// `slots` is a flat list of per-parameter moment tensors whose layout
+/// is defined by the concrete optimizer (SGD: velocity; Adam: first
+/// moments then second moments). Restoring into a differently shaped
+/// optimizer fails rather than silently corrupting the run.
+struct OptimizerState {
+  int64_t step_count = 0;
+  std::vector<Tensor> slots;
+};
 
 /// Base class for first-order optimizers over a fixed parameter list.
 class Optimizer {
@@ -22,6 +33,17 @@ class Optimizer {
 
   /// Clears parameter gradients (call between steps).
   void ZeroGrad();
+
+  /// Copies the internal slot state (for checkpointing). Stateless
+  /// optimizers return an empty state.
+  virtual OptimizerState GetState() const { return {}; }
+
+  /// Restores a state captured by GetState on an identically
+  /// constructed optimizer. Returns false (without modifying anything)
+  /// when the slot count or any slot shape disagrees.
+  virtual bool SetState(const OptimizerState& state) {
+    return state.slots.empty() && state.step_count == 0;
+  }
 
   /// Changes the learning rate.
   void set_learning_rate(float lr) { lr_ = lr; }
@@ -41,6 +63,9 @@ class Sgd : public Optimizer {
 
   void Step() override;
 
+  OptimizerState GetState() const override;
+  bool SetState(const OptimizerState& state) override;
+
  private:
   float momentum_;
   float weight_decay_;
@@ -55,6 +80,9 @@ class Adam : public Optimizer {
        float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.f);
 
   void Step() override;
+
+  OptimizerState GetState() const override;
+  bool SetState(const OptimizerState& state) override;
 
  private:
   float beta1_;

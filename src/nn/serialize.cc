@@ -2,10 +2,13 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <limits>
 #include <memory>
 
 #include "src/nn/module.h"
 #include "src/util/check.h"
+#include "src/util/file.h"
 #include "src/util/logging.h"
 
 namespace oodgnn {
@@ -25,11 +28,105 @@ bool WriteU32(std::FILE* file, uint32_t value) {
   return std::fwrite(&value, sizeof(value), 1, file) == 1;
 }
 
-bool ReadU32(std::FILE* file, uint32_t* value) {
-  return std::fread(value, sizeof(*value), 1, file) == 1;
+}  // namespace
+
+uint64_t Fnv1a64(const void* data, size_t size) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint64_t hash = 14695981039346656037ull;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ull;
+  }
+  return hash;
 }
 
-}  // namespace
+void BinaryPayloadWriter::Append(const void* data, size_t size) {
+  payload_.append(static_cast<const char*>(data), size);
+}
+
+void BinaryPayloadWriter::PutString(const std::string& value) {
+  PutU64(value.size());
+  Append(value.data(), value.size());
+}
+
+void BinaryPayloadWriter::PutTensor(const Tensor& value) {
+  PutU32(static_cast<uint32_t>(value.rows()));
+  PutU32(static_cast<uint32_t>(value.cols()));
+  Append(value.data(), static_cast<size_t>(value.size()) * sizeof(float));
+}
+
+void BinaryPayloadWriter::PutF32Vector(const std::vector<float>& values) {
+  PutU64(values.size());
+  Append(values.data(), values.size() * sizeof(float));
+}
+
+void BinaryPayloadWriter::PutF64Vector(const std::vector<double>& values) {
+  PutU64(values.size());
+  Append(values.data(), values.size() * sizeof(double));
+}
+
+void BinaryPayloadWriter::PutU64Vector(const std::vector<uint64_t>& values) {
+  PutU64(values.size());
+  Append(values.data(), values.size() * sizeof(uint64_t));
+}
+
+bool BinaryPayloadReader::Fetch(void* out, size_t size) {
+  if (size > remaining()) return false;
+  std::memcpy(out, data_ + pos_, size);
+  pos_ += size;
+  return true;
+}
+
+bool BinaryPayloadReader::GetString(std::string* value) {
+  uint64_t length = 0;
+  if (!GetU64(&length) || length > remaining()) return false;
+  value->assign(reinterpret_cast<const char*>(data_ + pos_),
+                static_cast<size_t>(length));
+  pos_ += static_cast<size_t>(length);
+  return true;
+}
+
+bool BinaryPayloadReader::GetTensor(Tensor* value) {
+  uint32_t rows = 0;
+  uint32_t cols = 0;
+  if (!GetU32(&rows) || !GetU32(&cols)) return false;
+  const uint64_t elements = static_cast<uint64_t>(rows) * cols;
+  // The element count must both fit the Tensor's int index space and be
+  // backed by actual payload bytes before anything is allocated.
+  if (rows > static_cast<uint32_t>(std::numeric_limits<int>::max()) ||
+      cols > static_cast<uint32_t>(std::numeric_limits<int>::max()) ||
+      elements > static_cast<uint64_t>(std::numeric_limits<int>::max()) ||
+      elements * sizeof(float) > remaining()) {
+    return false;
+  }
+  Tensor result(static_cast<int>(rows), static_cast<int>(cols));
+  if (!Fetch(result.data(), static_cast<size_t>(elements) * sizeof(float))) {
+    return false;
+  }
+  *value = std::move(result);
+  return true;
+}
+
+bool BinaryPayloadReader::GetF32Vector(std::vector<float>* values) {
+  uint64_t count = 0;
+  if (!GetU64(&count) || count > remaining() / sizeof(float)) return false;
+  values->resize(static_cast<size_t>(count));
+  return Fetch(values->data(), static_cast<size_t>(count) * sizeof(float));
+}
+
+bool BinaryPayloadReader::GetF64Vector(std::vector<double>* values) {
+  uint64_t count = 0;
+  if (!GetU64(&count) || count > remaining() / sizeof(double)) return false;
+  values->resize(static_cast<size_t>(count));
+  return Fetch(values->data(), static_cast<size_t>(count) * sizeof(double));
+}
+
+bool BinaryPayloadReader::GetU64Vector(std::vector<uint64_t>* values) {
+  uint64_t count = 0;
+  if (!GetU64(&count) || count > remaining() / sizeof(uint64_t)) return false;
+  values->resize(static_cast<size_t>(count));
+  return Fetch(values->data(), static_cast<size_t>(count) * sizeof(uint64_t));
+}
 
 bool SaveParameters(const std::string& path,
                     const std::vector<Variable>& parameters) {
@@ -64,16 +161,18 @@ bool SaveParameters(const std::string& path, const Module& module) {
 
 bool LoadParameters(const std::string& path,
                     std::vector<Variable> parameters) {
-  FilePtr file(std::fopen(path.c_str(), "rb"));
-  if (!file) {
+  std::string bytes;
+  if (!ReadFileToString(path, &bytes)) {
     OODGNN_LOG(Error) << "cannot open " << path << " for reading";
     return false;
   }
+  BinaryPayloadReader reader(bytes.data(), bytes.size());
   uint32_t magic = 0;
   uint32_t version = 0;
   uint32_t count = 0;
-  if (!ReadU32(file.get(), &magic) || !ReadU32(file.get(), &version) ||
-      !ReadU32(file.get(), &count)) {
+  if (!reader.GetU32(&magic) || !reader.GetU32(&version) ||
+      !reader.GetU32(&count)) {
+    OODGNN_LOG(Error) << path << ": truncated checkpoint header";
     return false;
   }
   if (magic != kMagic) {
@@ -85,25 +184,41 @@ bool LoadParameters(const std::string& path,
                       << version;
     return false;
   }
-  OODGNN_CHECK_EQ(count, parameters.size())
-      << "checkpoint has " << count << " tensors, module expects "
-      << parameters.size();
-  for (Variable& param : parameters) {
-    uint32_t rows = 0;
-    uint32_t cols = 0;
-    if (!ReadU32(file.get(), &rows) || !ReadU32(file.get(), &cols)) {
+  // Each tensor record is at least its 8-byte shape header, so a
+  // header-declared count larger than the file can back is rejected
+  // before any allocation.
+  if (count != parameters.size() ||
+      static_cast<uint64_t>(count) * 8 > reader.remaining()) {
+    OODGNN_LOG(Error) << path << ": checkpoint declares " << count
+                      << " tensors, module expects " << parameters.size()
+                      << " (" << reader.remaining() << " payload bytes)";
+    return false;
+  }
+  // Stage everything first so a file that fails halfway leaves the
+  // module untouched.
+  std::vector<Tensor> staged(parameters.size());
+  for (size_t i = 0; i < parameters.size(); ++i) {
+    if (!reader.GetTensor(&staged[i])) {
+      OODGNN_LOG(Error) << path << ": tensor " << i
+                        << " is truncated or oversized";
       return false;
     }
-    Tensor& value = param.mutable_value();
-    OODGNN_CHECK(static_cast<int>(rows) == value.rows() &&
-                 static_cast<int>(cols) == value.cols())
-        << "checkpoint tensor is " << rows << "x" << cols
-        << " but the parameter is " << value.rows() << "x" << value.cols();
-    const size_t elements = static_cast<size_t>(value.size());
-    if (std::fread(value.data(), sizeof(float), elements, file.get()) !=
-        elements) {
+    const Tensor& expected = parameters[i].value();
+    if (!staged[i].SameShape(expected)) {
+      OODGNN_LOG(Error) << path << ": checkpoint tensor " << i << " is "
+                        << staged[i].rows() << "x" << staged[i].cols()
+                        << " but the parameter is " << expected.rows() << "x"
+                        << expected.cols();
       return false;
     }
+  }
+  if (!reader.AtEnd()) {
+    OODGNN_LOG(Error) << path << ": " << reader.remaining()
+                      << " trailing bytes after the last tensor";
+    return false;
+  }
+  for (size_t i = 0; i < parameters.size(); ++i) {
+    parameters[i].mutable_value() = std::move(staged[i]);
   }
   return true;
 }

@@ -1,0 +1,346 @@
+#include "src/train/checkpoint.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "src/nn/serialize.h"
+#include "src/util/file.h"
+#include "src/util/logging.h"
+
+namespace oodgnn {
+namespace {
+
+constexpr uint32_t kStateMagic = 0x4F4F4443;  // "OODC"
+constexpr uint32_t kStateVersion = 1;
+// magic + version + payload size + checksum.
+constexpr size_t kHeaderBytes = 4 + 4 + 8 + 8;
+
+struct FileCloser {
+  void operator()(std::FILE* file) const {
+    if (file) std::fclose(file);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+std::string BuildPayload(const TrainState& state) {
+  BinaryPayloadWriter writer;
+  writer.PutString(state.dataset_name);
+  writer.PutU32(state.method);
+  writer.PutU64(state.seed);
+  writer.PutU32(state.epochs);
+  writer.PutU32(state.batch_size);
+  writer.PutU32(state.next_epoch);
+  writer.PutString(state.rng_state);
+  writer.PutU64Vector(state.order);
+  writer.PutU32(static_cast<uint32_t>(state.params.size()));
+  for (const Tensor& param : state.params) writer.PutTensor(param);
+  writer.PutI64(state.optimizer.step_count);
+  writer.PutU32(static_cast<uint32_t>(state.optimizer.slots.size()));
+  for (const Tensor& slot : state.optimizer.slots) writer.PutTensor(slot);
+  writer.PutU32(static_cast<uint32_t>(state.buffers.size()));
+  for (const Tensor& buffer : state.buffers) writer.PutTensor(buffer);
+  writer.PutU8(state.has_bank ? 1 : 0);
+  if (state.has_bank) {
+    writer.PutU8(state.bank_initialized ? 1 : 0);
+    writer.PutF32Vector(state.bank_gammas);
+    for (const Tensor& z : state.bank_z) writer.PutTensor(z);
+    for (const Tensor& w : state.bank_w) writer.PutTensor(w);
+  }
+  writer.PutF64(state.best_valid);
+  writer.PutF64(state.train_metric);
+  writer.PutF64(state.valid_metric);
+  writer.PutF64(state.test_metric);
+  writer.PutF64(state.test2_metric);
+  writer.PutF64Vector(state.epoch_losses);
+  writer.PutF64Vector(state.epoch_decorrelation_losses);
+  writer.PutF32Vector(state.final_weights);
+  writer.PutU64Vector(state.final_weight_graphs);
+  return writer.payload();
+}
+
+bool ParsePayload(const std::string& path, BinaryPayloadReader* reader,
+                  TrainState* state) {
+  uint32_t param_count = 0;
+  uint32_t slot_count = 0;
+  uint8_t has_bank = 0;
+  if (!reader->GetString(&state->dataset_name) ||
+      !reader->GetU32(&state->method) || !reader->GetU64(&state->seed) ||
+      !reader->GetU32(&state->epochs) ||
+      !reader->GetU32(&state->batch_size) ||
+      !reader->GetU32(&state->next_epoch) ||
+      !reader->GetString(&state->rng_state) ||
+      !reader->GetU64Vector(&state->order) || !reader->GetU32(&param_count)) {
+    OODGNN_LOG(Error) << path << ": truncated checkpoint preamble";
+    return false;
+  }
+  if (state->next_epoch > state->epochs) {
+    OODGNN_LOG(Error) << path << ": next_epoch " << state->next_epoch
+                      << " exceeds declared horizon " << state->epochs;
+    return false;
+  }
+  // Every tensor record needs at least its 8-byte shape header; reject
+  // inflated counts before reserving anything.
+  if (static_cast<uint64_t>(param_count) * 8 > reader->remaining()) {
+    OODGNN_LOG(Error) << path << ": parameter count " << param_count
+                      << " exceeds the remaining payload";
+    return false;
+  }
+  state->params.resize(param_count);
+  for (Tensor& param : state->params) {
+    if (!reader->GetTensor(&param)) {
+      OODGNN_LOG(Error) << path << ": truncated or oversized parameter";
+      return false;
+    }
+  }
+  if (!reader->GetI64(&state->optimizer.step_count) ||
+      state->optimizer.step_count < 0 || !reader->GetU32(&slot_count) ||
+      static_cast<uint64_t>(slot_count) * 8 > reader->remaining()) {
+    OODGNN_LOG(Error) << path << ": malformed optimizer section";
+    return false;
+  }
+  state->optimizer.slots.resize(slot_count);
+  for (Tensor& slot : state->optimizer.slots) {
+    if (!reader->GetTensor(&slot)) {
+      OODGNN_LOG(Error) << path << ": truncated or oversized optimizer slot";
+      return false;
+    }
+  }
+  uint32_t buffer_count = 0;
+  if (!reader->GetU32(&buffer_count) ||
+      static_cast<uint64_t>(buffer_count) * 8 > reader->remaining()) {
+    OODGNN_LOG(Error) << path << ": malformed buffer section";
+    return false;
+  }
+  state->buffers.resize(buffer_count);
+  for (Tensor& buffer : state->buffers) {
+    if (!reader->GetTensor(&buffer)) {
+      OODGNN_LOG(Error) << path << ": truncated or oversized buffer";
+      return false;
+    }
+  }
+  if (!reader->GetU8(&has_bank) || has_bank > 1) {
+    OODGNN_LOG(Error) << path << ": malformed bank flag";
+    return false;
+  }
+  state->has_bank = has_bank == 1;
+  if (state->has_bank) {
+    uint8_t initialized = 0;
+    if (!reader->GetU8(&initialized) || initialized > 1 ||
+        !reader->GetF32Vector(&state->bank_gammas)) {
+      OODGNN_LOG(Error) << path << ": malformed bank header";
+      return false;
+    }
+    state->bank_initialized = initialized == 1;
+    const size_t groups = state->bank_gammas.size();
+    if (groups * 16 > reader->remaining()) {
+      OODGNN_LOG(Error) << path << ": bank group count " << groups
+                        << " exceeds the remaining payload";
+      return false;
+    }
+    state->bank_z.resize(groups);
+    state->bank_w.resize(groups);
+    for (Tensor& z : state->bank_z) {
+      if (!reader->GetTensor(&z)) {
+        OODGNN_LOG(Error) << path << ": truncated bank representations";
+        return false;
+      }
+    }
+    for (Tensor& w : state->bank_w) {
+      if (!reader->GetTensor(&w)) {
+        OODGNN_LOG(Error) << path << ": truncated bank weights";
+        return false;
+      }
+    }
+  }
+  if (!reader->GetF64(&state->best_valid) ||
+      !reader->GetF64(&state->train_metric) ||
+      !reader->GetF64(&state->valid_metric) ||
+      !reader->GetF64(&state->test_metric) ||
+      !reader->GetF64(&state->test2_metric) ||
+      !reader->GetF64Vector(&state->epoch_losses) ||
+      !reader->GetF64Vector(&state->epoch_decorrelation_losses) ||
+      !reader->GetF32Vector(&state->final_weights) ||
+      !reader->GetU64Vector(&state->final_weight_graphs)) {
+    OODGNN_LOG(Error) << path << ": truncated bookkeeping section";
+    return false;
+  }
+  if (!reader->AtEnd()) {
+    OODGNN_LOG(Error) << path << ": " << reader->remaining()
+                      << " trailing payload bytes";
+    return false;
+  }
+  return true;
+}
+
+/// Best-effort fsync of the directory containing `path` so the rename
+/// itself is durable.
+void SyncParentDirectory(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+bool CrashInWriteRequested() {
+  const char* value = std::getenv("OODGNN_CRASH_IN_WRITE");
+  return value != nullptr && value[0] != '\0' &&
+         std::strcmp(value, "0") != 0;
+}
+
+}  // namespace
+
+std::string CheckpointPath(const std::string& dir,
+                           const std::string& dataset_name,
+                           const std::string& method_name, uint64_t seed) {
+  std::string path = dir.empty() ? "." : dir;
+  path += '/';
+  path += dataset_name.empty() ? "run" : dataset_name;
+  path += '_';
+  path += method_name;
+  path += "_seed";
+  path += std::to_string(seed);
+  path += ".ckpt";
+  return path;
+}
+
+bool EnsureDirectory(const std::string& path) {
+  if (path.empty() || path == ".") return true;
+  std::string prefix;
+  size_t begin = 0;
+  while (begin <= path.size()) {
+    size_t end = path.find('/', begin);
+    if (end == std::string::npos) end = path.size();
+    prefix = path.substr(0, end);
+    begin = end + 1;
+    if (prefix.empty() || prefix == ".") continue;
+    struct stat info;
+    if (::stat(prefix.c_str(), &info) == 0) {
+      if (!S_ISDIR(info.st_mode)) {
+        OODGNN_LOG(Error) << prefix << " exists and is not a directory";
+        return false;
+      }
+      continue;
+    }
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      OODGNN_LOG(Error) << "cannot create directory " << prefix;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SaveTrainState(const std::string& path, const TrainState& state) {
+  const std::string payload = BuildPayload(state);
+  BinaryPayloadWriter header;
+  header.PutU32(kStateMagic);
+  header.PutU32(kStateVersion);
+  header.PutU64(payload.size());
+  header.PutU64(Fnv1a64(payload.data(), payload.size()));
+
+  const std::string tmp_path = path + ".tmp";
+  FilePtr file(std::fopen(tmp_path.c_str(), "wb"));
+  if (!file) {
+    OODGNN_LOG(Error) << "cannot open " << tmp_path << " for writing";
+    return false;
+  }
+  if (std::fwrite(header.payload().data(), 1, header.payload().size(),
+                  file.get()) != header.payload().size()) {
+    return false;
+  }
+  if (CrashInWriteRequested()) {
+    // Fault injection: die with only the header and half the payload in
+    // the temp file. The durable snapshot at `path` must survive.
+    std::fwrite(payload.data(), 1, payload.size() / 2, file.get());
+    std::fflush(file.get());
+    CrashNow("SaveTrainState(OODGNN_CRASH_IN_WRITE)");
+  }
+  if (!payload.empty() &&
+      std::fwrite(payload.data(), 1, payload.size(), file.get()) !=
+          payload.size()) {
+    return false;
+  }
+  if (std::fflush(file.get()) != 0 || ::fsync(::fileno(file.get())) != 0) {
+    OODGNN_LOG(Error) << "cannot flush " << tmp_path;
+    return false;
+  }
+  file.reset();
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    OODGNN_LOG(Error) << "cannot rename " << tmp_path << " to " << path;
+    return false;
+  }
+  SyncParentDirectory(path);
+  return true;
+}
+
+bool LoadTrainState(const std::string& path, TrainState* state) {
+  std::string bytes;
+  if (!ReadFileToString(path, &bytes)) {
+    OODGNN_LOG(Error) << "cannot open " << path << " for reading";
+    return false;
+  }
+  if (bytes.size() < kHeaderBytes) {
+    OODGNN_LOG(Error) << path << ": file smaller than the checkpoint header";
+    return false;
+  }
+  BinaryPayloadReader header(bytes.data(), kHeaderBytes);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint64_t payload_size = 0;
+  uint64_t checksum = 0;
+  header.GetU32(&magic);
+  header.GetU32(&version);
+  header.GetU64(&payload_size);
+  header.GetU64(&checksum);
+  if (magic != kStateMagic) {
+    OODGNN_LOG(Error) << path << " is not an oodgnn training checkpoint";
+    return false;
+  }
+  if (version != kStateVersion) {
+    OODGNN_LOG(Error) << path << ": unsupported training checkpoint version "
+                      << version;
+    return false;
+  }
+  // The declared payload must exactly match the bytes on disk — both
+  // truncation and an oversized header are rejected before any of the
+  // payload is interpreted (or allocated against).
+  if (payload_size != bytes.size() - kHeaderBytes) {
+    OODGNN_LOG(Error) << path << ": header declares " << payload_size
+                      << " payload bytes but the file holds "
+                      << bytes.size() - kHeaderBytes;
+    return false;
+  }
+  const char* payload = bytes.data() + kHeaderBytes;
+  if (Fnv1a64(payload, static_cast<size_t>(payload_size)) != checksum) {
+    OODGNN_LOG(Error) << path << ": checksum mismatch (corrupted checkpoint)";
+    return false;
+  }
+  TrainState parsed;
+  BinaryPayloadReader reader(payload, static_cast<size_t>(payload_size));
+  if (!ParsePayload(path, &reader, &parsed)) return false;
+  *state = std::move(parsed);
+  return true;
+}
+
+bool CrashAfterEpochRequested(int completed_epoch) {
+  const char* value = std::getenv("OODGNN_CRASH_AFTER_EPOCH");
+  return value != nullptr && std::atoi(value) == completed_epoch;
+}
+
+void CrashNow(const char* where) {
+  std::fprintf(stderr, "[oodgnn] injected crash: %s\n", where);
+  std::fflush(nullptr);
+  ::_exit(kCrashExitCode);
+}
+
+}  // namespace oodgnn

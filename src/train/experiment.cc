@@ -125,6 +125,13 @@ BenchOptions BenchOptions::FromFlags(const Flags& flags) {
   options.train.encoder.num_layers =
       flags.GetInt("layers", options.train.encoder.num_layers);
   options.train.verbose = flags.GetBool("verbose", false);
+  // Fault tolerance: periodic full-state snapshots plus auto-resume
+  // (src/train/checkpoint.h). Snapshot files are keyed by (dataset,
+  // method, seed), so multi-seed sweeps resume per run.
+  options.train.checkpoint_every = flags.GetInt("checkpoint-every", 0);
+  options.train.checkpoint_dir =
+      flags.GetString("checkpoint-dir", options.train.checkpoint_dir);
+  options.train.resume = flags.GetBool("resume", false);
   // Shared --threads handling: every benchmark binary picks its compute
   // backend here (serial for 1, pooled workers otherwise).
   SetBackendThreads(flags.GetThreads(1));

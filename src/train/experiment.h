@@ -36,6 +36,10 @@ std::string FormatCell(const std::vector<double>& values, bool percent);
 /// individual knobs. Observability: `--profile` enables the tracer and
 /// per-kernel counters (src/obs) and prints aggregate profile tables at
 /// exit; `--trace-json=<path>` writes the per-epoch JSONL run journal.
+/// Fault tolerance: `--checkpoint-every=N` snapshots the full training
+/// state every N epochs into `--checkpoint-dir` (default "checkpoints")
+/// and `--resume` restores a compatible snapshot before training
+/// (src/train/checkpoint.h).
 struct BenchOptions {
   int seeds = 2;
   double data_scale = 1.0;

@@ -17,8 +17,10 @@
 #include "src/obs/trace.h"
 #include "src/tensor/backend.h"
 #include "src/tensor/ops.h"
+#include "src/train/checkpoint.h"
 #include "src/train/metrics.h"
 #include "src/util/check.h"
+#include "src/util/file.h"
 #include "src/util/logging.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
@@ -132,6 +134,163 @@ std::string PhaseDeltaJson(const std::map<std::string, std::int64_t>& before,
   return phases.Build();
 }
 
+/// Everything the checkpoint subsystem snapshots, gathered in one place
+/// so capture and restore cannot drift apart.
+struct RunState {
+  Method method;
+  const GraphDataset* dataset;
+  const TrainConfig* config;
+  GraphPredictionModel* model;
+  Adam* optimizer;
+  OodGnnReweighter* reweighter;  // null for baselines
+  Rng* rng;
+  std::vector<size_t>* order;
+  double* best_valid;
+  TrainResult* result;
+};
+
+TrainState CaptureState(const RunState& run, int next_epoch) {
+  TrainState state;
+  state.dataset_name = run.dataset->name;
+  state.method = static_cast<uint32_t>(run.method);
+  state.seed = run.config->seed;
+  state.epochs = static_cast<uint32_t>(run.config->epochs);
+  state.batch_size = static_cast<uint32_t>(run.config->batch_size);
+  state.next_epoch = static_cast<uint32_t>(next_epoch);
+  state.rng_state = run.rng->SaveState();
+  state.order.assign(run.order->begin(), run.order->end());
+  for (const Variable& param : run.model->Parameters()) {
+    state.params.push_back(param.value());
+  }
+  state.optimizer = run.optimizer->GetState();
+  for (const Tensor* buffer : run.model->Buffers()) {
+    state.buffers.push_back(*buffer);
+  }
+  if (run.reweighter != nullptr) {
+    const GlobalWeightBank& bank = run.reweighter->bank();
+    state.has_bank = true;
+    state.bank_initialized = bank.initialized();
+    state.bank_gammas = bank.gammas();
+    state.bank_z = bank.z_groups();
+    state.bank_w = bank.w_groups();
+  }
+  state.best_valid = *run.best_valid;
+  state.train_metric = run.result->train_metric;
+  state.valid_metric = run.result->valid_metric;
+  state.test_metric = run.result->test_metric;
+  state.test2_metric = run.result->test2_metric;
+  state.epoch_losses = run.result->epoch_losses;
+  state.epoch_decorrelation_losses = run.result->epoch_decorrelation_losses;
+  state.final_weights = run.result->final_weights;
+  state.final_weight_graphs.assign(run.result->final_weight_graphs.begin(),
+                                   run.result->final_weight_graphs.end());
+  return state;
+}
+
+/// Applies a loaded snapshot to freshly constructed training objects.
+/// Every structural property is validated against the live run before
+/// anything is mutated; a false return means "ignore the checkpoint and
+/// start fresh" and leaves the run untouched.
+bool RestoreFromState(const TrainState& state, const RunState& run) {
+  if (state.dataset_name != run.dataset->name ||
+      state.method != static_cast<uint32_t>(run.method) ||
+      state.seed != run.config->seed ||
+      state.epochs != static_cast<uint32_t>(run.config->epochs) ||
+      state.batch_size != static_cast<uint32_t>(run.config->batch_size)) {
+    OODGNN_LOG(Warning) << "checkpoint was written by a different run "
+                        << "(dataset/method/seed/epochs/batch mismatch)";
+    return false;
+  }
+  // The saved order must be a permutation of this dataset's train split.
+  if (state.order.size() != run.order->size()) return false;
+  {
+    std::vector<uint64_t> saved = state.order;
+    std::vector<uint64_t> expected(run.order->begin(), run.order->end());
+    std::sort(saved.begin(), saved.end());
+    std::sort(expected.begin(), expected.end());
+    if (saved != expected) {
+      OODGNN_LOG(Warning)
+          << "checkpoint train order does not match the dataset split";
+      return false;
+    }
+  }
+  std::vector<Variable> params = run.model->Parameters();
+  if (state.params.size() != params.size()) return false;
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (!state.params[i].SameShape(params[i].value())) {
+      OODGNN_LOG(Warning) << "checkpoint parameter " << i
+                          << " has a mismatched shape";
+      return false;
+    }
+  }
+  std::vector<Tensor*> buffers = run.model->Buffers();
+  if (state.buffers.size() != buffers.size()) {
+    OODGNN_LOG(Warning) << "checkpoint buffer count does not match the model";
+    return false;
+  }
+  for (size_t i = 0; i < buffers.size(); ++i) {
+    if (!state.buffers[i].SameShape(*buffers[i])) {
+      OODGNN_LOG(Warning) << "checkpoint buffer " << i
+                          << " has a mismatched shape";
+      return false;
+    }
+  }
+  if (state.has_bank != (run.reweighter != nullptr)) return false;
+  // Adam keeps one first- and one second-moment tensor per parameter;
+  // validate the slot layout here so the mutation phase below cannot
+  // fail halfway and leave the fresh-start fallback corrupted.
+  if (state.optimizer.slots.size() != 2 * params.size()) {
+    OODGNN_LOG(Warning) << "checkpoint optimizer state is incompatible";
+    return false;
+  }
+  for (size_t i = 0; i < state.optimizer.slots.size(); ++i) {
+    if (!state.optimizer.slots[i].SameShape(
+            params[i % params.size()].value())) {
+      OODGNN_LOG(Warning) << "checkpoint optimizer slot " << i
+                          << " has a mismatched shape";
+      return false;
+    }
+  }
+  if (run.reweighter != nullptr &&
+      state.bank_gammas != run.reweighter->bank().gammas()) {
+    OODGNN_LOG(Warning) << "checkpoint weight bank is incompatible";
+    return false;
+  }
+  Rng restored_rng(0);
+  if (!restored_rng.LoadState(state.rng_state)) {
+    OODGNN_LOG(Warning) << "checkpoint RNG state is malformed";
+    return false;
+  }
+
+  // Validation passed — apply everything.
+  if (run.reweighter != nullptr &&
+      !run.reweighter->mutable_bank()->RestoreGroups(
+          state.bank_z, state.bank_w, state.bank_initialized)) {
+    OODGNN_LOG(Warning) << "checkpoint weight bank is incompatible";
+    return false;
+  }
+  OODGNN_CHECK(run.optimizer->SetState(state.optimizer));
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i].mutable_value() = state.params[i];
+  }
+  for (size_t i = 0; i < buffers.size(); ++i) {
+    *buffers[i] = state.buffers[i];
+  }
+  *run.rng = restored_rng;
+  run.order->assign(state.order.begin(), state.order.end());
+  *run.best_valid = state.best_valid;
+  run.result->train_metric = state.train_metric;
+  run.result->valid_metric = state.valid_metric;
+  run.result->test_metric = state.test_metric;
+  run.result->test2_metric = state.test2_metric;
+  run.result->epoch_losses = state.epoch_losses;
+  run.result->epoch_decorrelation_losses = state.epoch_decorrelation_losses;
+  run.result->final_weights = state.final_weights;
+  run.result->final_weight_graphs.assign(state.final_weight_graphs.begin(),
+                                         state.final_weight_graphs.end());
+  return true;
+}
+
 }  // namespace
 
 bool HigherIsBetter(TaskType type) {
@@ -195,6 +354,49 @@ TrainResult TrainAndEvaluate(Method method, const GraphDataset& dataset,
 
   std::vector<size_t> order = dataset.train_idx;
 
+  obs::RunJournal* journal = obs::GlobalJournal();
+
+  // Fault tolerance: resolve the snapshot file for this (dataset,
+  // method, seed) run, restore an existing snapshot when resuming, and
+  // make sure the checkpoint directory exists before the first save.
+  const RunState run{method,      &dataset,         &config, &model,
+                     &optimizer,  reweighter.get(), &rng,    &order,
+                     &best_valid, &result};
+  std::string checkpoint_path;
+  if (config.checkpoint_every > 0 || config.resume) {
+    checkpoint_path = CheckpointPath(config.checkpoint_dir, dataset.name,
+                                     MethodName(method), config.seed);
+  }
+  int start_epoch = 0;
+  if (config.resume && FileExists(checkpoint_path)) {
+    TrainState state;
+    if (LoadTrainState(checkpoint_path, &state) &&
+        RestoreFromState(state, run)) {
+      start_epoch = static_cast<int>(state.next_epoch);
+      OODGNN_LOG(Info) << dataset.name << " [" << MethodName(method)
+                       << "]: resumed from " << checkpoint_path
+                       << " after epoch " << start_epoch << "/"
+                       << config.epochs;
+      if (journal != nullptr) {
+        journal->WriteLine(obs::JsonObjectWriter()
+                               .Put("event", "resume")
+                               .Put("dataset", dataset.name)
+                               .Put("method", MethodName(method))
+                               .Put("seed",
+                                    static_cast<std::int64_t>(config.seed))
+                               .Put("restored_epoch", start_epoch)
+                               .Put("epochs", config.epochs)
+                               .Put("checkpoint", checkpoint_path)
+                               .Build());
+      }
+    } else {
+      OODGNN_LOG(Warning) << dataset.name << " [" << MethodName(method)
+                          << "]: cannot resume from " << checkpoint_path
+                          << "; starting fresh";
+    }
+  }
+  if (config.checkpoint_every > 0) EnsureDirectory(config.checkpoint_dir);
+
   // Mini-batch row ranges over the shuffled order. A trailing batch
   // with fewer than 2 graphs carries no pairwise dependence signal, so
   // instead of silently dropping it every epoch it is folded into the
@@ -216,9 +418,7 @@ TrainResult TrainAndEvaluate(Method method, const GraphDataset& dataset,
                      << config.batch_size << ")";
   }
 
-  obs::RunJournal* journal = obs::GlobalJournal();
-
-  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < config.epochs; ++epoch) {
     Timer epoch_timer;
     std::map<std::string, std::int64_t> phase_before;
     if (journal != nullptr && obs::ProfilingEnabled()) {
@@ -358,6 +558,18 @@ TrainResult TrainAndEvaluate(Method method, const GraphDataset& dataset,
             .PutRaw("phase_ms", PhaseDeltaJson(phase_before, PhaseTotalsUs()));
       }
       journal->WriteLine(record.Build());
+    }
+    if (config.checkpoint_every > 0 &&
+        (epoch + 1) % config.checkpoint_every == 0) {
+      if (!SaveTrainState(checkpoint_path, CaptureState(run, epoch + 1))) {
+        OODGNN_LOG(Warning) << "failed to write checkpoint "
+                            << checkpoint_path;
+      }
+    }
+    // Fault injection: simulate the process dying right after this
+    // epoch (and its scheduled checkpoint, if any) completed.
+    if (CrashAfterEpochRequested(epoch + 1)) {
+      CrashNow("OODGNN_CRASH_AFTER_EPOCH");
     }
   }
 

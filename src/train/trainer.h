@@ -2,6 +2,7 @@
 #define OODGNN_TRAIN_TRAINER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/core/ood_gnn.h"
@@ -18,6 +19,18 @@ struct TrainConfig {
   float weight_decay = 0.f;
   uint64_t seed = 0;
   bool verbose = false;
+
+  /// Fault tolerance (src/train/checkpoint.h). With checkpoint_every
+  /// > 0, a full TrainState snapshot is written atomically to
+  /// checkpoint_dir after every checkpoint_every-th epoch. With resume,
+  /// an existing compatible snapshot is restored first and training
+  /// continues bitwise-identically to an uninterrupted run; an absent,
+  /// corrupted, or incompatible snapshot logs a warning and starts
+  /// fresh. Snapshots are keyed by (dataset, method, seed), so repeated
+  /// seeds get independent files.
+  int checkpoint_every = 0;
+  std::string checkpoint_dir = "checkpoints";
+  bool resume = false;
 
   /// Encoder hyper-parameters. feature_dim and pna_delta are filled in
   /// automatically from the dataset.

@@ -1,6 +1,7 @@
 #include "src/util/rng.h"
 
 #include <numeric>
+#include <sstream>
 
 #include "src/util/check.h"
 
@@ -48,5 +49,20 @@ std::vector<size_t> Rng::Permutation(size_t n) {
 }
 
 Rng Rng::Fork() { return Rng(engine_()); }
+
+std::string Rng::SaveState() const {
+  std::ostringstream out;
+  out << engine_;
+  return out.str();
+}
+
+bool Rng::LoadState(const std::string& state) {
+  std::istringstream in(state);
+  std::mt19937_64 restored;
+  in >> restored;
+  if (in.fail()) return false;
+  engine_ = restored;
+  return true;
+}
 
 }  // namespace oodgnn

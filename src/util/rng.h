@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 namespace oodgnn {
@@ -47,6 +48,15 @@ class Rng {
   /// Derives an independent child generator. The child's seed depends on
   /// the parent state, so repeated forks yield distinct streams.
   Rng Fork();
+
+  /// Serializes the engine state as text (the <random> stream format:
+  /// whitespace-separated decimal words). Restoring it reproduces the
+  /// exact output sequence, so checkpointed runs resume bit-identically.
+  std::string SaveState() const;
+
+  /// Restores a state produced by SaveState. Returns false (leaving the
+  /// engine untouched) if the string is not a valid serialized state.
+  bool LoadState(const std::string& state);
 
   /// Direct access for interoperating with <random> distributions.
   std::mt19937_64& engine() { return engine_; }

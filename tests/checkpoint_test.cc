@@ -1,0 +1,429 @@
+#include "src/train/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/graph/graph.h"
+#include "src/nn/serialize.h"
+#include "src/obs/journal.h"
+#include "src/train/trainer.h"
+#include "src/util/file.h"
+#include "src/util/rng.h"
+
+namespace oodgnn {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+/// Trivially separable dataset: label = 1 iff the graph has edges.
+/// Construction is deterministic and independent of any global state,
+/// so every (re-)invocation — including a death-test child process —
+/// sees the identical dataset.
+GraphDataset EasyDataset(int per_class) {
+  GraphDataset ds;
+  ds.name = "easy";
+  ds.num_tasks = 2;
+  ds.feature_dim = 2;
+  Rng rng(5);
+  for (int i = 0; i < 2 * per_class; ++i) {
+    const int label = i % 2;
+    const int n = static_cast<int>(rng.UniformInt(4, 8));
+    Graph g(n, 2);
+    for (int v = 0; v < n; ++v) g.x.at(v, 0) = 1.f;
+    if (label == 1) {
+      for (int v = 0; v + 1 < n; ++v) g.AddUndirectedEdge(v, v + 1);
+    }
+    g.label = label;
+    const size_t idx = ds.graphs.size();
+    if (i < per_class) {
+      ds.train_idx.push_back(idx);
+    } else if (i < per_class * 3 / 2) {
+      ds.valid_idx.push_back(idx);
+    } else {
+      ds.test_idx.push_back(idx);
+    }
+    ds.graphs.push_back(std::move(g));
+  }
+  return ds;
+}
+
+TrainConfig FastConfig(const std::string& checkpoint_dir) {
+  TrainConfig config;
+  config.epochs = 6;
+  config.batch_size = 6;
+  config.lr = 5e-3f;
+  config.seed = 21;
+  config.encoder.hidden_dim = 8;
+  config.encoder.num_layers = 2;
+  config.encoder.dropout = 0.f;
+  config.ood.weights.epochs_reweight = 3;
+  config.checkpoint_every = 3;
+  config.checkpoint_dir = checkpoint_dir;
+  return config;
+}
+
+/// A populated state with distinctive values in every field.
+TrainState ExampleState() {
+  TrainState state;
+  state.dataset_name = "easy";
+  state.method = 2;
+  state.seed = 21;
+  state.epochs = 6;
+  state.batch_size = 6;
+  state.next_epoch = 3;
+  state.rng_state = Rng(99).SaveState();
+  state.order = {3, 1, 4, 1, 5, 9, 2, 6};
+  state.params = {Tensor::RowVector({1.f, 2.f, 3.f}),
+                  Tensor::ColVector({4.f, 5.f})};
+  state.optimizer.step_count = 17;
+  state.optimizer.slots = {Tensor(1, 3, 0.25f), Tensor(2, 1, -0.5f),
+                           Tensor(1, 3, 0.75f), Tensor(2, 1, 1.5f)};
+  state.buffers = {Tensor(1, 3, 0.05f), Tensor(1, 3, 0.95f)};
+  state.has_bank = true;
+  state.bank_initialized = true;
+  state.bank_gammas = {0.9f, 0.63f};
+  state.bank_z = {Tensor(4, 2, 0.1f), Tensor(4, 2, 0.2f)};
+  state.bank_w = {Tensor(4, 1, 1.f), Tensor(4, 1, 0.8f)};
+  state.best_valid = 0.875;
+  state.train_metric = 0.9;
+  state.valid_metric = 0.875;
+  state.test_metric = 0.85;
+  state.test2_metric = -1.0;
+  state.epoch_losses = {0.7, 0.5, 0.4};
+  state.epoch_decorrelation_losses = {0.02, 0.015, 0.012};
+  state.final_weights = {1.1f, 0.9f};
+  state.final_weight_graphs = {7, 3};
+  return state;
+}
+
+void ExpectStatesEqual(const TrainState& a, const TrainState& b) {
+  EXPECT_EQ(a.dataset_name, b.dataset_name);
+  EXPECT_EQ(a.method, b.method);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.epochs, b.epochs);
+  EXPECT_EQ(a.batch_size, b.batch_size);
+  EXPECT_EQ(a.next_epoch, b.next_epoch);
+  EXPECT_EQ(a.rng_state, b.rng_state);
+  EXPECT_EQ(a.order, b.order);
+  ASSERT_EQ(a.params.size(), b.params.size());
+  for (size_t i = 0; i < a.params.size(); ++i) {
+    EXPECT_TRUE(AllClose(a.params[i], b.params[i], 0.f));
+  }
+  EXPECT_EQ(a.optimizer.step_count, b.optimizer.step_count);
+  ASSERT_EQ(a.optimizer.slots.size(), b.optimizer.slots.size());
+  for (size_t i = 0; i < a.optimizer.slots.size(); ++i) {
+    EXPECT_TRUE(AllClose(a.optimizer.slots[i], b.optimizer.slots[i], 0.f));
+  }
+  ASSERT_EQ(a.buffers.size(), b.buffers.size());
+  for (size_t i = 0; i < a.buffers.size(); ++i) {
+    EXPECT_TRUE(AllClose(a.buffers[i], b.buffers[i], 0.f));
+  }
+  EXPECT_EQ(a.has_bank, b.has_bank);
+  EXPECT_EQ(a.bank_initialized, b.bank_initialized);
+  EXPECT_EQ(a.bank_gammas, b.bank_gammas);
+  ASSERT_EQ(a.bank_z.size(), b.bank_z.size());
+  for (size_t i = 0; i < a.bank_z.size(); ++i) {
+    EXPECT_TRUE(AllClose(a.bank_z[i], b.bank_z[i], 0.f));
+    EXPECT_TRUE(AllClose(a.bank_w[i], b.bank_w[i], 0.f));
+  }
+  EXPECT_EQ(a.best_valid, b.best_valid);
+  EXPECT_EQ(a.train_metric, b.train_metric);
+  EXPECT_EQ(a.valid_metric, b.valid_metric);
+  EXPECT_EQ(a.test_metric, b.test_metric);
+  EXPECT_EQ(a.test2_metric, b.test2_metric);
+  EXPECT_EQ(a.epoch_losses, b.epoch_losses);
+  EXPECT_EQ(a.epoch_decorrelation_losses, b.epoch_decorrelation_losses);
+  EXPECT_EQ(a.final_weights, b.final_weights);
+  EXPECT_EQ(a.final_weight_graphs, b.final_weight_graphs);
+}
+
+void ExpectResultsBitwiseEqual(const TrainResult& a, const TrainResult& b) {
+  EXPECT_EQ(a.train_metric, b.train_metric);
+  EXPECT_EQ(a.valid_metric, b.valid_metric);
+  EXPECT_EQ(a.test_metric, b.test_metric);
+  EXPECT_EQ(a.test2_metric, b.test2_metric);
+  EXPECT_EQ(a.epoch_losses, b.epoch_losses);
+  EXPECT_EQ(a.epoch_decorrelation_losses, b.epoch_decorrelation_losses);
+  EXPECT_EQ(a.final_weights, b.final_weights);
+  EXPECT_EQ(a.final_weight_graphs, b.final_weight_graphs);
+  EXPECT_EQ(a.num_parameters, b.num_parameters);
+}
+
+TEST(CheckpointTest, StateRoundTripIsExact) {
+  const std::string path = TempPath("roundtrip.ckpt");
+  const TrainState saved = ExampleState();
+  ASSERT_TRUE(SaveTrainState(path, saved));
+  TrainState loaded;
+  ASSERT_TRUE(LoadTrainState(path, &loaded));
+  ExpectStatesEqual(saved, loaded);
+  // The serialized RNG state drives the exact same stream.
+  Rng restored(0);
+  ASSERT_TRUE(restored.LoadState(loaded.rng_state));
+  Rng reference(99);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(reference.UniformInt(0, 1 << 30),
+              restored.UniformInt(0, 1 << 30));
+  }
+}
+
+TEST(CheckpointTest, EnsureDirectoryCreatesNestedPaths) {
+  const std::string dir = TempPath("nested/check/point/dir");
+  EXPECT_TRUE(EnsureDirectory(dir));
+  EXPECT_TRUE(EnsureDirectory(dir));  // Idempotent.
+  const std::string path = CheckpointPath(dir, "easy", "GIN", 7);
+  EXPECT_EQ(path, dir + "/easy_GIN_seed7.ckpt");
+  ASSERT_TRUE(SaveTrainState(path, ExampleState()));
+  EXPECT_TRUE(FileExists(path));
+  // A file in the way is reported, not clobbered.
+  EXPECT_FALSE(EnsureDirectory(path));
+}
+
+TEST(CheckpointTest, AtomicRewriteReplacesPreviousSnapshot) {
+  const std::string path = TempPath("rewrite.ckpt");
+  TrainState first = ExampleState();
+  first.next_epoch = 3;
+  ASSERT_TRUE(SaveTrainState(path, first));
+  TrainState second = ExampleState();
+  second.next_epoch = 6;
+  second.epoch_losses.push_back(0.3);
+  ASSERT_TRUE(SaveTrainState(path, second));
+  TrainState loaded;
+  ASSERT_TRUE(LoadTrainState(path, &loaded));
+  ExpectStatesEqual(second, loaded);
+  EXPECT_FALSE(FileExists(path + ".tmp"));  // Temp file was renamed away.
+}
+
+// The resume-equivalence contract without any interruption: running
+// with periodic snapshots enabled must not perturb training at all.
+TEST(CheckpointTest, CheckpointingDoesNotPerturbTraining) {
+  GraphDataset ds = EasyDataset(12);
+  TrainConfig plain = FastConfig(TempPath("ckpt_perturb"));
+  plain.checkpoint_every = 0;
+  TrainConfig snapshotting = FastConfig(TempPath("ckpt_perturb"));
+  TrainResult a = TrainAndEvaluate(Method::kGin, ds, plain);
+  TrainResult b = TrainAndEvaluate(Method::kGin, ds, snapshotting);
+  ExpectResultsBitwiseEqual(a, b);
+}
+
+/// Shared body for the crash → resume → bitwise-compare scenario.
+/// A child process (threadsafe death test, so it re-execs this binary
+/// and builds its own backend threads) trains with the crash hook armed
+/// and dies after epoch 3; the parent resumes from the epoch-3 snapshot
+/// and must reproduce an uninterrupted run exactly — metrics, loss
+/// curves, learned weights, and the final snapshot's bytes.
+void CrashResumeScenario(Method method, const std::string& tag) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  const std::string crashed_dir = TempPath("ckpt_crash_" + tag);
+  const std::string straight_dir = TempPath("ckpt_straight_" + tag);
+  GraphDataset ds = EasyDataset(12);
+  TrainConfig config = FastConfig(crashed_dir);
+  const std::string crashed_ckpt =
+      CheckpointPath(crashed_dir, ds.name, MethodName(method), config.seed);
+  std::remove(crashed_ckpt.c_str());
+
+  EXPECT_EXIT(
+      {
+        setenv("OODGNN_CRASH_AFTER_EPOCH", "3", 1);
+        TrainAndEvaluate(method, EasyDataset(12), config);
+      },
+      testing::ExitedWithCode(kCrashExitCode), "injected crash");
+  ASSERT_TRUE(FileExists(crashed_ckpt));
+  {
+    TrainState state;
+    ASSERT_TRUE(LoadTrainState(crashed_ckpt, &state));
+    EXPECT_EQ(state.next_epoch, 3u);
+  }
+
+  // Resume the interrupted run, journaling so the resume event lands in
+  // the trace output.
+  const std::string journal_path = TempPath("resume_" + tag + ".jsonl");
+  obs::OpenGlobalJournal(journal_path);
+  TrainConfig resume_config = config;
+  resume_config.resume = true;
+  TrainResult resumed = TrainAndEvaluate(method, ds, resume_config);
+  obs::CloseGlobalJournal();
+
+  std::string journal;
+  ASSERT_TRUE(ReadFileToString(journal_path, &journal));
+  EXPECT_NE(journal.find("\"event\":\"resume\""), std::string::npos);
+  EXPECT_NE(journal.find("\"restored_epoch\":3"), std::string::npos);
+
+  // An uninterrupted run with the same seed (separate snapshot dir).
+  TrainConfig straight_config = FastConfig(straight_dir);
+  TrainResult straight = TrainAndEvaluate(method, ds, straight_config);
+
+  ExpectResultsBitwiseEqual(straight, resumed);
+
+  // Both runs snapshot after the final epoch; the files must be
+  // byte-identical — parameters, optimizer moments, RNG stream, order,
+  // bank, and bookkeeping all agree exactly.
+  const std::string straight_ckpt = CheckpointPath(
+      straight_dir, ds.name, MethodName(method), straight_config.seed);
+  std::string resumed_bytes;
+  std::string straight_bytes;
+  ASSERT_TRUE(ReadFileToString(crashed_ckpt, &resumed_bytes));
+  ASSERT_TRUE(ReadFileToString(straight_ckpt, &straight_bytes));
+  EXPECT_EQ(resumed_bytes.size(), straight_bytes.size());
+  EXPECT_TRUE(resumed_bytes == straight_bytes);
+}
+
+TEST(CheckpointDeathTest, ResumeAfterCrashIsBitwiseIdenticalGin) {
+  CrashResumeScenario(Method::kGin, "gin");
+}
+
+TEST(CheckpointDeathTest, ResumeAfterCrashIsBitwiseIdenticalOodGnn) {
+  CrashResumeScenario(Method::kOodGnn, "oodgnn");
+}
+
+TEST(CheckpointDeathTest, CrashInWriteLeavesPreviousSnapshotIntact) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  const std::string path = TempPath("crash_in_write.ckpt");
+  TrainState durable = ExampleState();
+  durable.next_epoch = 3;
+  ASSERT_TRUE(SaveTrainState(path, durable));
+
+  EXPECT_EXIT(
+      {
+        setenv("OODGNN_CRASH_IN_WRITE", "1", 1);
+        TrainState doomed = ExampleState();
+        doomed.next_epoch = 6;
+        SaveTrainState(path, doomed);
+      },
+      testing::ExitedWithCode(kCrashExitCode), "injected crash");
+
+  // The interrupted write only touched the temp file; the durable
+  // snapshot still loads and holds the old contents.
+  TrainState loaded;
+  ASSERT_TRUE(LoadTrainState(path, &loaded));
+  ExpectStatesEqual(durable, loaded);
+  // The partial temp file itself is rejected cleanly.
+  TrainState partial;
+  EXPECT_FALSE(LoadTrainState(path + ".tmp", &partial));
+}
+
+TEST(CheckpointTest, ResumeWithCorruptSnapshotStartsFresh) {
+  GraphDataset ds = EasyDataset(12);
+  const std::string dir = TempPath("ckpt_corrupt_resume");
+  ASSERT_TRUE(EnsureDirectory(dir));
+  TrainConfig config = FastConfig(dir);
+  const std::string path =
+      CheckpointPath(dir, ds.name, MethodName(Method::kGin), config.seed);
+  ASSERT_TRUE(WriteStringToFile(path, "definitely not a checkpoint"));
+
+  TrainConfig resume_config = config;
+  resume_config.resume = true;
+  TrainResult resumed = TrainAndEvaluate(Method::kGin, ds, resume_config);
+
+  TrainConfig straight_config = FastConfig(TempPath("ckpt_corrupt_straight"));
+  TrainResult straight = TrainAndEvaluate(Method::kGin, ds, straight_config);
+  ExpectResultsBitwiseEqual(straight, resumed);
+}
+
+TEST(CheckpointTest, ResumeFromFinishedRunSkipsTraining) {
+  GraphDataset ds = EasyDataset(12);
+  const std::string dir = TempPath("ckpt_finished");
+  TrainConfig config = FastConfig(dir);
+  config.checkpoint_every = 6;  // Snapshot exactly at the final epoch.
+  TrainResult straight = TrainAndEvaluate(Method::kGin, ds, config);
+
+  TrainConfig resume_config = config;
+  resume_config.resume = true;
+  TrainResult resumed = TrainAndEvaluate(Method::kGin, ds, resume_config);
+  ExpectResultsBitwiseEqual(straight, resumed);
+  EXPECT_EQ(resumed.epoch_losses.size(), 6u);
+}
+
+// Deterministic byte-mutation fuzz over a real snapshot: truncations,
+// header damage, and blind payload flips must all fail cleanly (the
+// checksum catches them); mutations that *fix up* the checksum — e.g.
+// inflated counts — must still never crash, over-allocate, or trip a
+// sanitizer, because every count is bounds-checked against the bytes
+// actually present.
+TEST(CheckpointTest, FuzzCorruptedSnapshotsFailCleanly) {
+  const std::string good_path = TempPath("fuzz_state_good.ckpt");
+  ASSERT_TRUE(SaveTrainState(good_path, ExampleState()));
+  std::string good;
+  ASSERT_TRUE(ReadFileToString(good_path, &good));
+  ASSERT_GT(good.size(), 24u);
+  const std::string path = TempPath("fuzz_state_mutant.ckpt");
+
+  auto rebuild_header = [](std::string* bytes) {
+    // Recompute declared size + checksum so the payload mutation is the
+    // part under test, not the checksum.
+    const uint64_t payload_size = bytes->size() - 24;
+    std::memcpy(&(*bytes)[8], &payload_size, sizeof(payload_size));
+    const uint64_t checksum = Fnv1a64(bytes->data() + 24, payload_size);
+    std::memcpy(&(*bytes)[16], &checksum, sizeof(checksum));
+  };
+
+  TrainState scratch;
+
+  // 1. Truncation at every length (stride keeps the loop fast).
+  for (size_t len = 0; len < good.size(); len += 7) {
+    ASSERT_TRUE(WriteStringToFile(path, good.substr(0, len)));
+    EXPECT_FALSE(LoadTrainState(path, &scratch)) << "truncation at " << len;
+  }
+
+  // 2. Single-byte flips anywhere (header or payload) without fixing
+  // the checksum: magic/version/size checks or the checksum reject all.
+  for (size_t offset = 0; offset < good.size(); offset += 3) {
+    std::string mutated = good;
+    mutated[offset] = static_cast<char>(mutated[offset] ^ 0xFF);
+    ASSERT_TRUE(WriteStringToFile(path, mutated));
+    EXPECT_FALSE(LoadTrainState(path, &scratch)) << "flip at " << offset;
+  }
+
+  // 3. Oversized header: payload size beyond the file, or astronomical.
+  for (uint64_t declared : {good.size() - 23, good.size() * 2,
+                            uint64_t{1} << 60}) {
+    std::string mutated = good;
+    std::memcpy(&mutated[8], &declared, sizeof(declared));
+    ASSERT_TRUE(WriteStringToFile(path, mutated));
+    EXPECT_FALSE(LoadTrainState(path, &scratch))
+        << "declared payload " << declared;
+  }
+
+  // 4. Count inflation with a fixed-up checksum: stomp 0xFF over every
+  // aligned word of the early payload (where the string lengths and
+  // tensor/vector counts live). The loader must bound every allocation
+  // by the bytes actually present — most mutants fail parsing, none may
+  // crash or OOM.
+  for (size_t offset = 24; offset + 4 <= std::min(good.size(), size_t{24} + 256);
+       offset += 4) {
+    std::string mutated = good;
+    std::memset(&mutated[offset], 0xFF, 4);
+    rebuild_header(&mutated);
+    ASSERT_TRUE(WriteStringToFile(path, mutated));
+    LoadTrainState(path, &scratch);  // Must not crash; usually false.
+  }
+
+  // 5. Zeroed payload with a valid checksum: parses as nonsense and is
+  // rejected (trailing bytes / semantic checks), never accepted as-is.
+  {
+    std::string mutated = good;
+    std::memset(&mutated[24], 0, mutated.size() - 24);
+    rebuild_header(&mutated);
+    ASSERT_TRUE(WriteStringToFile(path, mutated));
+    EXPECT_FALSE(LoadTrainState(path, &scratch));
+  }
+
+  // 6. Truncated payload with a fixed-up header: inner bounds checks
+  // reject it even though size and checksum agree.
+  {
+    std::string mutated = good.substr(0, 24 + (good.size() - 24) / 2);
+    rebuild_header(&mutated);
+    ASSERT_TRUE(WriteStringToFile(path, mutated));
+    EXPECT_FALSE(LoadTrainState(path, &scratch));
+  }
+
+  // The pristine snapshot still loads after the whole gauntlet.
+  EXPECT_TRUE(LoadTrainState(good_path, &scratch));
+}
+
+}  // namespace
+}  // namespace oodgnn

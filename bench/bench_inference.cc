@@ -1,0 +1,265 @@
+// Benchmarks of the grad-free inference path (src/serve).
+//
+// Prints three sections:
+//   1. taped vs no-grad forward on a full eval batch — the measured
+//      speedup from skipping tape construction in eval, plus a bitwise
+//      check that both paths produce identical logits;
+//   2. single-graph latency percentiles (p50/p90/p99) through the
+//      InferenceEngine versus a direct no-grad forward;
+//   3. batched throughput (graphs/sec): a serial one-graph-at-a-time
+//      loop versus the engine coalescing concurrent submissions into
+//      dynamic micro-batches, with the engine outputs checked bitwise
+//      against the tape-based reference.
+//
+// Flags: --threads N   compute-backend pool size (default 4)
+//        --workers N   engine worker count for the pooled run (default 4)
+//        --batch N     engine micro-batch size cutoff (default 32)
+//        --wait-us N   engine batching window in microseconds (default 200)
+//        --requests N  total graphs submitted in the throughput run
+//                      (default 2000)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/data/triangles.h"
+#include "src/gnn/model_zoo.h"
+#include "src/graph/batch.h"
+#include "src/serve/inference.h"
+#include "src/tensor/backend.h"
+#include "src/tensor/variable.h"
+#include "src/util/flags.h"
+#include "src/util/rng.h"
+
+namespace oodgnn {
+namespace {
+
+/// Best-of-repetitions wall-clock of `fn`, in seconds per call.
+/// Calibrates the iteration count so each repetition runs ~50 ms.
+double TimePerCall(const std::function<void()>& fn) {
+  using Clock = std::chrono::steady_clock;
+  fn();  // Warm-up.
+  int iters = 1;
+  for (;;) {
+    const auto t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) fn();
+    const double dt = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (dt >= 0.05 || iters >= (1 << 22)) break;
+    iters *= 2;
+  }
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) fn();
+    const double dt = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (dt / iters < best) best = dt / iters;
+  }
+  return best;
+}
+
+bool BitwiseEqual(const Tensor& a, const Tensor& b) {
+  return a.SameShape(b) &&
+         std::memcmp(a.data(), b.data(),
+                     sizeof(float) * static_cast<size_t>(a.size())) == 0;
+}
+
+double Percentile(std::vector<double> sorted, double p) {
+  const size_t idx = static_cast<size_t>(
+      p / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+void RunBench(const Flags& flags) {
+  const int workers = flags.GetInt("workers", 4);
+  const int max_batch = flags.GetInt("batch", 32);
+  const int wait_us = flags.GetInt("wait-us", 200);
+  const int total_requests = flags.GetInt("requests", 2000);
+
+  // Dataset + model at the paper's Triangles scale (scaled-down test
+  // split: the serving path only touches eval graphs).
+  TrianglesConfig data_config;
+  data_config.num_train = 64;
+  data_config.num_valid = 16;
+  data_config.num_test = 128;
+  GraphDataset dataset = MakeTrianglesDataset(data_config, 7);
+
+  serve::ModelSpec spec;
+  spec.method = Method::kGin;
+  spec.encoder.feature_dim = dataset.feature_dim;
+  spec.encoder.hidden_dim = 64;
+  spec.encoder.num_layers = 3;
+  spec.output_dim = dataset.OutputDim();
+
+  Rng model_rng(19);
+  GraphPredictionModel model(spec.method, spec.encoder, spec.output_dim,
+                             &model_rng);
+
+  std::vector<const Graph*> eval_graphs;
+  for (const size_t idx : dataset.test_idx) {
+    eval_graphs.push_back(&dataset.graphs[idx]);
+  }
+  const GraphBatch eval_batch = GraphBatch::FromGraphs(eval_graphs);
+  Rng eval_rng(23);
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("Inference-path benchmark: %s, %zu eval graphs, hidden=%d, "
+              "layers=%d, backend threads=%d\n",
+              MethodName(spec.method), eval_graphs.size(),
+              spec.encoder.hidden_dim, spec.encoder.num_layers,
+              GetBackend().num_threads());
+  std::printf("hardware_concurrency=%u%s\n\n", cores,
+              cores <= 1 ? "  (single core: pooled speedup <= 1 is expected "
+                           "here; bitwise identity is the portable check)"
+                         : "");
+
+  // --- 1. taped vs no-grad forward -----------------------------------
+  Tensor taped_logits =
+      model.Predict(eval_batch, /*training=*/false, &eval_rng).value();
+  Tensor nograd_logits;
+  {
+    NoGradGuard no_grad;
+    nograd_logits =
+        model.Predict(eval_batch, /*training=*/false, &eval_rng).value();
+  }
+  const double taped_s = TimePerCall(
+      [&] { model.Predict(eval_batch, /*training=*/false, &eval_rng); });
+  const double nograd_s = TimePerCall([&] {
+    NoGradGuard no_grad;
+    model.Predict(eval_batch, /*training=*/false, &eval_rng);
+  });
+  std::printf("eval forward (full batch, %zu graphs)\n", eval_graphs.size());
+  std::printf("  taped:   %9.3f ms/call\n", taped_s * 1e3);
+  std::printf("  no-grad: %9.3f ms/call   speedup %.2fx   bitwise %s\n\n",
+              nograd_s * 1e3, taped_s / nograd_s,
+              BitwiseEqual(taped_logits, nograd_logits) ? "OK" : "DIVERGED");
+
+  // --- 2. single-graph latency percentiles ---------------------------
+  // One worker, batch size 1, no batching window: each Predict measures
+  // queue handoff + one forward.
+  {
+    serve::InferenceOptions options;
+    options.num_workers = 1;
+    options.max_batch_graphs = 1;
+    options.max_batch_wait_us = 0;
+    serve::InferenceEngine engine(spec, options);
+    engine.SyncFrom(model);
+
+    const int samples = 400;
+    std::vector<double> latencies_us;
+    latencies_us.reserve(static_cast<size_t>(samples));
+    for (int i = 0; i < samples; ++i) {
+      const Graph& g =
+          *eval_graphs[static_cast<size_t>(i) % eval_graphs.size()];
+      const auto t0 = std::chrono::steady_clock::now();
+      engine.Predict(g);
+      latencies_us.push_back(std::chrono::duration<double, std::micro>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count());
+    }
+    std::sort(latencies_us.begin(), latencies_us.end());
+
+    const Graph& probe = *eval_graphs[0];
+    const GraphBatch probe_batch = GraphBatch::FromGraphs({&probe});
+    const double direct_s = TimePerCall([&] {
+      NoGradGuard no_grad;
+      model.Predict(probe_batch, /*training=*/false, &eval_rng);
+    });
+    std::printf("single-graph latency (engine, %d samples)\n", samples);
+    std::printf("  p50 %8.1f us   p90 %8.1f us   p99 %8.1f us   "
+                "(direct no-grad forward: %.1f us)\n\n",
+                Percentile(latencies_us, 50), Percentile(latencies_us, 90),
+                Percentile(latencies_us, 99), direct_s * 1e6);
+  }
+
+  // --- 3. batched throughput: serial loop vs pooled engine -----------
+  // Reference rows for the bitwise check, via the tape-based path.
+  std::vector<Tensor> reference;
+  for (const Graph* g : eval_graphs) {
+    reference.push_back(
+        model.Predict(GraphBatch::FromGraphs({g}), false, &eval_rng).value());
+  }
+
+  double serial_s;
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    NoGradGuard no_grad;
+    for (int i = 0; i < total_requests; ++i) {
+      const Graph* g = eval_graphs[static_cast<size_t>(i) % eval_graphs.size()];
+      model.Predict(GraphBatch::FromGraphs({g}), false, &eval_rng);
+    }
+    serial_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+
+  serve::InferenceOptions options;
+  options.num_workers = workers;
+  options.max_batch_graphs = max_batch;
+  options.max_batch_wait_us = wait_us;
+  serve::InferenceEngine engine(spec, options);
+  engine.SyncFrom(model);
+  // Warm-up so thread creation/first-touch costs are off the clock.
+  engine.Predict(*eval_graphs[0]);
+
+  bool bitwise_ok = true;
+  double pooled_s;
+  {
+    const int submitters = 4;
+    std::vector<std::thread> threads;
+    std::vector<std::vector<std::pair<size_t, std::future<Tensor>>>> futures(
+        static_cast<size_t>(submitters));
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int s = 0; s < submitters; ++s) {
+      threads.emplace_back([&, s] {
+        for (int i = s; i < total_requests; i += submitters) {
+          const size_t gi = static_cast<size_t>(i) % eval_graphs.size();
+          futures[static_cast<size_t>(s)].emplace_back(
+              gi, engine.Submit(*eval_graphs[gi]));
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (auto& shard : futures) {
+      for (auto& [gi, future] : shard) {
+        const Tensor row = future.get();
+        if (!BitwiseEqual(row, reference[gi])) bitwise_ok = false;
+      }
+    }
+    pooled_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+
+  const serve::InferenceStats stats = engine.stats();
+  std::printf("batched throughput (%d requests)\n", total_requests);
+  std::printf("  serial loop:   %10.1f graphs/sec\n",
+              total_requests / serial_s);
+  std::printf("  pooled engine: %10.1f graphs/sec   speedup %.2fx   "
+              "bitwise %s\n",
+              total_requests / pooled_s, serial_s / pooled_s,
+              bitwise_ok ? "OK" : "DIVERGED");
+  std::printf("  engine: %d workers, batch<=%d, wait %d us, "
+              "%lld batches (%.1f graphs/batch avg)\n",
+              workers, max_batch, wait_us,
+              static_cast<long long>(stats.batches),
+              stats.batches > 0 ? static_cast<double>(stats.requests) /
+                                      static_cast<double>(stats.batches)
+                                : 0.0);
+}
+
+}  // namespace
+}  // namespace oodgnn
+
+int main(int argc, char** argv) {
+  oodgnn::Flags flags(argc, argv);
+  oodgnn::SetBackendThreads(flags.GetThreads(4));
+  oodgnn::RunBench(flags);
+  return 0;
+}

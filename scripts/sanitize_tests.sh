@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Builds the project under a sanitizer and runs the hardened-surface
 # suites (ctest label "sanitize": serialize_test, kernels_test,
-# checkpoint_test — the untrusted-byte parsers and the parallel
-# kernels).
+# checkpoint_test, serve_test, golden_test — the untrusted-byte
+# parsers, the parallel kernels, and the concurrent inference engine).
+# The "thread" build is the TSan pass over the engine's request queue
+# and shared-weight locking.
 #
 # Usage: scripts/sanitize_tests.sh [address|undefined|thread]
 set -euo pipefail

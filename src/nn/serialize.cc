@@ -5,6 +5,7 @@
 #include <cstring>
 #include <limits>
 #include <memory>
+#include <utility>
 
 #include "src/nn/module.h"
 #include "src/util/check.h"
@@ -226,6 +227,161 @@ bool LoadParameters(const std::string& path,
 bool LoadParameters(const std::string& path, Module* module) {
   OODGNN_CHECK(module != nullptr);
   return LoadParameters(path, module->Parameters());
+}
+
+namespace {
+
+constexpr uint32_t kModelMagic = 0x4F4F444D;  // "OODM"
+constexpr uint32_t kModelVersion = 1;
+
+/// Reads one tensor per expected (rows, cols) shape into `staged`,
+/// rejecting truncation and shape mismatches before anything is
+/// applied to the module.
+bool StageTensors(BinaryPayloadReader* reader, const std::string& path,
+                  const char* kind,
+                  const std::vector<std::pair<int, int>>& expected,
+                  std::vector<Tensor>* staged) {
+  staged->resize(expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    if (!reader->GetTensor(&(*staged)[i])) {
+      OODGNN_LOG(Error) << path << ": " << kind << " tensor " << i
+                        << " is truncated or oversized";
+      return false;
+    }
+    if ((*staged)[i].rows() != expected[i].first ||
+        (*staged)[i].cols() != expected[i].second) {
+      OODGNN_LOG(Error) << path << ": " << kind << " tensor " << i << " is "
+                        << (*staged)[i].rows() << "x" << (*staged)[i].cols()
+                        << " but the module expects " << expected[i].first
+                        << "x" << expected[i].second;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool SaveModelState(const std::string& path, const Module& module) {
+  const std::vector<Variable> params = module.Parameters();
+  const std::vector<Tensor*> buffers = module.Buffers();
+  BinaryPayloadWriter writer;
+  writer.PutU32(static_cast<uint32_t>(params.size()));
+  for (const Variable& param : params) {
+    OODGNN_CHECK(param.defined());
+    writer.PutTensor(param.value());
+  }
+  writer.PutU32(static_cast<uint32_t>(buffers.size()));
+  for (const Tensor* buffer : buffers) {
+    OODGNN_CHECK(buffer != nullptr);
+    writer.PutTensor(*buffer);
+  }
+  const std::string& payload = writer.payload();
+
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (!file) {
+    OODGNN_LOG(Error) << "cannot open " << path << " for writing";
+    return false;
+  }
+  const uint64_t size = payload.size();
+  const uint64_t checksum = Fnv1a64(payload.data(), payload.size());
+  if (!WriteU32(file.get(), kModelMagic) ||
+      !WriteU32(file.get(), kModelVersion) ||
+      std::fwrite(&size, sizeof(size), 1, file.get()) != 1 ||
+      std::fwrite(&checksum, sizeof(checksum), 1, file.get()) != 1 ||
+      std::fwrite(payload.data(), 1, payload.size(), file.get()) !=
+          payload.size()) {
+    OODGNN_LOG(Error) << "short write to " << path;
+    return false;
+  }
+  return true;
+}
+
+bool LoadModelState(const std::string& path, Module* module) {
+  OODGNN_CHECK(module != nullptr);
+  std::string bytes;
+  if (!ReadFileToString(path, &bytes)) {
+    OODGNN_LOG(Error) << "cannot open " << path << " for reading";
+    return false;
+  }
+  BinaryPayloadReader header(bytes.data(), bytes.size());
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint64_t declared_size = 0;
+  uint64_t declared_checksum = 0;
+  if (!header.GetU32(&magic) || !header.GetU32(&version) ||
+      !header.GetU64(&declared_size) || !header.GetU64(&declared_checksum)) {
+    OODGNN_LOG(Error) << path << ": truncated model-state header";
+    return false;
+  }
+  if (magic != kModelMagic) {
+    OODGNN_LOG(Error) << path << " is not an oodgnn model-state file";
+    return false;
+  }
+  if (version != kModelVersion) {
+    OODGNN_LOG(Error) << path << ": unsupported model-state version "
+                      << version;
+    return false;
+  }
+  if (declared_size != header.remaining()) {
+    OODGNN_LOG(Error) << path << ": payload is " << header.remaining()
+                      << " bytes but the header declares " << declared_size;
+    return false;
+  }
+  const char* payload = bytes.data() + (bytes.size() - header.remaining());
+  if (Fnv1a64(payload, header.remaining()) != declared_checksum) {
+    OODGNN_LOG(Error) << path << ": checksum mismatch (corrupt file)";
+    return false;
+  }
+
+  const std::vector<Variable> params = module->Parameters();
+  const std::vector<Tensor*> buffers = module->Buffers();
+  BinaryPayloadReader reader(payload, header.remaining());
+  uint32_t param_count = 0;
+  if (!reader.GetU32(&param_count) || param_count != params.size()) {
+    OODGNN_LOG(Error) << path << ": model state declares " << param_count
+                      << " parameters, module expects " << params.size();
+    return false;
+  }
+  std::vector<std::pair<int, int>> param_shapes(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    param_shapes[i] = {params[i].value().rows(), params[i].value().cols()};
+  }
+  std::vector<Tensor> staged_params;
+  if (!StageTensors(&reader, path, "parameter", param_shapes,
+                    &staged_params)) {
+    return false;
+  }
+  uint32_t buffer_count = 0;
+  if (!reader.GetU32(&buffer_count) || buffer_count != buffers.size()) {
+    OODGNN_LOG(Error) << path << ": model state declares " << buffer_count
+                      << " buffers, module expects " << buffers.size();
+    return false;
+  }
+  std::vector<std::pair<int, int>> buffer_shapes(buffers.size());
+  for (size_t i = 0; i < buffers.size(); ++i) {
+    buffer_shapes[i] = {buffers[i]->rows(), buffers[i]->cols()};
+  }
+  std::vector<Tensor> staged_buffers;
+  if (!StageTensors(&reader, path, "buffer", buffer_shapes,
+                    &staged_buffers)) {
+    return false;
+  }
+  if (!reader.AtEnd()) {
+    OODGNN_LOG(Error) << path << ": " << reader.remaining()
+                      << " trailing bytes after the last tensor";
+    return false;
+  }
+  // Everything validated; apply atomically. Variable copies share the
+  // underlying node, so writing through `params` updates the module.
+  for (size_t i = 0; i < params.size(); ++i) {
+    Variable param = params[i];
+    param.mutable_value() = std::move(staged_params[i]);
+  }
+  for (size_t i = 0; i < buffers.size(); ++i) {
+    *buffers[i] = std::move(staged_buffers[i]);
+  }
+  return true;
 }
 
 }  // namespace oodgnn

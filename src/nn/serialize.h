@@ -104,6 +104,24 @@ bool LoadParameters(const std::string& path,
                     std::vector<Variable> parameters);
 bool LoadParameters(const std::string& path, Module* module);
 
+/// Writes a complete forward-pass snapshot of a module: trainable
+/// parameters AND non-trainable buffers (batch-norm running
+/// statistics), both in registration order, framed with a magic,
+/// version, payload size and FNV-1a checksum. This is the serving
+/// format: unlike SaveParameters it captures everything an eval-mode
+/// forward reads, so an InferenceEngine restored from it reproduces
+/// the training process's eval outputs bitwise. Returns false on I/O
+/// failure.
+bool SaveModelState(const std::string& path, const Module& module);
+
+/// Restores a snapshot written by SaveModelState into an identically
+/// constructed module. Hardened like LoadParameters: the checksum,
+/// every declared count and every shape are validated against the
+/// actual bytes and the module before anything is mutated; any
+/// mismatch returns false with a logged reason and leaves the module
+/// untouched.
+bool LoadModelState(const std::string& path, Module* module);
+
 }  // namespace oodgnn
 
 #endif  // OODGNN_NN_SERIALIZE_H_

@@ -1,0 +1,253 @@
+#include "src/serve/inference.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "src/nn/serialize.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/graph/batch.h"
+#include "src/train/checkpoint.h"
+#include "src/util/check.h"
+#include "src/util/logging.h"
+
+namespace oodgnn {
+namespace serve {
+namespace {
+
+/// Every replica is initialized from this same seed, so all replicas
+/// are bitwise identical to each other even before any SyncFrom/Load.
+constexpr uint64_t kReplicaInitSeed = 0x00D64E2A11CE5EEDull;
+
+/// Copies `src` tensors into a module's parameters and buffers
+/// (registration order). Caller has already validated counts/shapes.
+void ApplyState(const std::vector<Tensor>& params,
+                const std::vector<Tensor>& buffers,
+                GraphPredictionModel* model) {
+  std::vector<Variable> dst_params = model->Parameters();
+  OODGNN_CHECK_EQ(params.size(), dst_params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    dst_params[i].mutable_value() = params[i];
+  }
+  std::vector<Tensor*> dst_buffers = model->Buffers();
+  OODGNN_CHECK_EQ(buffers.size(), dst_buffers.size());
+  for (size_t i = 0; i < buffers.size(); ++i) {
+    *dst_buffers[i] = buffers[i];
+  }
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(const ModelSpec& spec,
+                                 const InferenceOptions& options)
+    : spec_(spec), options_(options) {
+  OODGNN_CHECK_GT(spec_.output_dim, 0);
+  OODGNN_CHECK_GT(spec_.encoder.feature_dim, 0);
+  OODGNN_CHECK_GE(options_.num_workers, 1);
+  OODGNN_CHECK_GE(options_.max_batch_graphs, 1);
+  OODGNN_CHECK_GE(options_.max_batch_wait_us, 0);
+  replicas_.reserve(static_cast<size_t>(options_.num_workers));
+  worker_rngs_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    Rng init_rng(kReplicaInitSeed);
+    replicas_.push_back(std::make_unique<GraphPredictionModel>(
+        spec_.method, spec_.encoder, spec_.output_dim, &init_rng));
+    worker_rngs_.push_back(std::make_unique<Rng>(kReplicaInitSeed + i));
+  }
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back(&InferenceEngine::WorkerLoop, this, i);
+  }
+}
+
+InferenceEngine::~InferenceEngine() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void InferenceEngine::SyncFrom(const GraphPredictionModel& model) {
+  const std::vector<Variable> src_params = model.Parameters();
+  const std::vector<Tensor*> src_buffers = model.Buffers();
+  std::vector<Tensor> params;
+  params.reserve(src_params.size());
+  for (const Variable& p : src_params) params.push_back(p.value());
+  std::vector<Tensor> buffers;
+  buffers.reserve(src_buffers.size());
+  for (const Tensor* b : src_buffers) buffers.push_back(*b);
+
+  std::unique_lock<std::shared_mutex> lock(weights_mu_);
+  for (auto& replica : replicas_) {
+    ApplyState(params, buffers, replica.get());
+  }
+}
+
+bool InferenceEngine::LoadModelFile(const std::string& path) {
+  std::unique_lock<std::shared_mutex> lock(weights_mu_);
+  // Validate + apply against the first replica, then mirror its state
+  // into the others (reads the file once).
+  if (!LoadModelState(path, replicas_[0].get())) return false;
+  std::vector<Tensor> params;
+  for (const Variable& p : replicas_[0]->Parameters()) {
+    params.push_back(p.value());
+  }
+  std::vector<Tensor> buffers;
+  for (const Tensor* b : replicas_[0]->Buffers()) buffers.push_back(*b);
+  for (size_t i = 1; i < replicas_.size(); ++i) {
+    ApplyState(params, buffers, replicas_[i].get());
+  }
+  return true;
+}
+
+bool InferenceEngine::LoadCheckpoint(const std::string& path) {
+  TrainState state;
+  if (!LoadTrainState(path, &state)) return false;
+  if (state.method != static_cast<uint32_t>(spec_.method)) {
+    OODGNN_LOG(Error) << path << ": checkpoint method " << state.method
+                      << " does not match the engine's spec ("
+                      << MethodName(spec_.method) << ")";
+    return false;
+  }
+  const std::vector<Variable> expected = replicas_[0]->Parameters();
+  if (state.params.size() != expected.size() ||
+      state.buffers.size() != replicas_[0]->Buffers().size()) {
+    OODGNN_LOG(Error) << path << ": checkpoint has " << state.params.size()
+                      << " parameter and " << state.buffers.size()
+                      << " buffer tensors; the spec's model expects "
+                      << expected.size() << " / "
+                      << replicas_[0]->Buffers().size();
+    return false;
+  }
+  for (size_t i = 0; i < expected.size(); ++i) {
+    if (!state.params[i].SameShape(expected[i].value())) {
+      OODGNN_LOG(Error) << path << ": checkpoint parameter " << i
+                        << " shape mismatch";
+      return false;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(weights_mu_);
+  for (auto& replica : replicas_) {
+    ApplyState(state.params, state.buffers, replica.get());
+  }
+  return true;
+}
+
+std::future<Tensor> InferenceEngine::Submit(const Graph& graph) {
+  Request request;
+  request.graph = &graph;
+  std::future<Tensor> result = request.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    OODGNN_CHECK(!stop_) << "Submit after engine shutdown";
+    queue_.push_back(std::move(request));
+  }
+  queue_cv_.notify_one();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::ProfilingEnabled()) {
+    obs::MetricsRegistry::Global().GetCounter("serve/requests").Increment();
+  }
+  return result;
+}
+
+Tensor InferenceEngine::Predict(const Graph& graph) {
+  return Submit(graph).get();
+}
+
+InferenceStats InferenceEngine::stats() const {
+  InferenceStats stats;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void InferenceEngine::WorkerLoop(int worker_index) {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      // Batching window: a request is in hand; give the queue a bounded
+      // chance to fill up to the size cutoff before executing.
+      if (!stop_ && options_.max_batch_wait_us > 0 &&
+          static_cast<int>(queue_.size()) < options_.max_batch_graphs) {
+        queue_cv_.wait_for(
+            lock, std::chrono::microseconds(options_.max_batch_wait_us),
+            [&] {
+              return stop_ || static_cast<int>(queue_.size()) >=
+                                  options_.max_batch_graphs;
+            });
+      }
+      const size_t take =
+          std::min(queue_.size(),
+                   static_cast<size_t>(options_.max_batch_graphs));
+      // A sibling may have drained the queue while this worker sat in
+      // the batching window; go back to waiting instead of executing
+      // an empty batch.
+      if (take == 0) continue;
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    // More requests may remain; let a sibling start on them while this
+    // worker executes.
+    queue_cv_.notify_one();
+    ExecuteBatch(worker_index, std::move(batch));
+  }
+}
+
+void InferenceEngine::ExecuteBatch(int worker_index,
+                                   std::vector<Request> batch) {
+  OODGNN_TRACE_SCOPE("serve/batch");
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<const Graph*> graphs;
+  graphs.reserve(batch.size());
+  for (const Request& request : batch) graphs.push_back(request.graph);
+  const GraphBatch graph_batch = GraphBatch::FromGraphs(graphs);
+
+  Tensor logits;
+  {
+    std::shared_lock<std::shared_mutex> weights(weights_mu_);
+    NoGradGuard no_grad;
+    Rng* rng = worker_rngs_[static_cast<size_t>(worker_index)].get();
+    const std::string rng_before = rng->SaveState();
+    logits = replicas_[static_cast<size_t>(worker_index)]
+                 ->Predict(graph_batch, /*training=*/false, rng)
+                 .value();
+    OODGNN_CHECK(rng->SaveState() == rng_before)
+        << "eval-mode Predict consumed randomness";
+  }
+
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::ProfilingEnabled()) {
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("serve/batches").Increment();
+    registry.GetCounter("serve/graphs")
+        .Add(static_cast<std::int64_t>(batch.size()));
+    registry.GetHistogram("serve/batch_graphs")
+        .Observe(static_cast<double>(batch.size()));
+    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - start);
+    registry.GetHistogram("serve/batch_us")
+        .Observe(static_cast<double>(elapsed.count()));
+  }
+
+  OODGNN_CHECK_EQ(logits.rows(), static_cast<int>(batch.size()));
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Tensor row(1, logits.cols());
+    std::memcpy(row.data(),
+                logits.data() + static_cast<size_t>(i) * logits.cols(),
+                static_cast<size_t>(logits.cols()) * sizeof(float));
+    batch[i].promise.set_value(std::move(row));
+  }
+}
+
+}  // namespace serve
+}  // namespace oodgnn

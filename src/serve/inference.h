@@ -1,0 +1,147 @@
+#ifndef OODGNN_SERVE_INFERENCE_H_
+#define OODGNN_SERVE_INFERENCE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/gnn/encoder.h"
+#include "src/gnn/model_zoo.h"
+#include "src/graph/graph.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace oodgnn {
+namespace serve {
+
+/// Everything needed to reconstruct a GraphPredictionModel shell whose
+/// weights will be overwritten from a snapshot: the serialized formats
+/// store tensors in registration order, so the architecture must match
+/// exactly.
+struct ModelSpec {
+  Method method = Method::kGin;
+  EncoderConfig encoder;
+  int output_dim = 0;
+};
+
+/// Micro-batching policy. A worker that picks up a request waits at
+/// most `max_batch_wait_us` for the queue to reach `max_batch_graphs`
+/// before executing whatever has accumulated — the classic
+/// size-or-timeout cutoff. With `num_workers > 1`, several micro-batches
+/// execute concurrently (each worker owns a private model replica).
+struct InferenceOptions {
+  int num_workers = 1;
+  int max_batch_graphs = 32;
+  int max_batch_wait_us = 200;
+};
+
+/// Aggregate counters since construction (atomic snapshots; safe to
+/// read while serving).
+struct InferenceStats {
+  std::int64_t requests = 0;  ///< Graphs submitted.
+  std::int64_t batches = 0;   ///< Micro-batches executed.
+};
+
+/// Grad-free serving front end over the existing kernel backend.
+///
+/// Threads call Submit() concurrently; requests coalesce into dynamic
+/// micro-batches executed under NoGradGuard on worker threads, and each
+/// caller gets its graph's logits row back through a future. Because
+/// every forward op is row-wise or a within-graph segment reduction
+/// with a fixed accumulation order, a graph's output is bitwise
+/// independent of which other graphs share its micro-batch — engine
+/// outputs are bitwise identical to a tape-based eval forward of the
+/// same model, regardless of batching, thread count, or submission
+/// order (the equivalence suite in tests/serve_test.cc pins this).
+///
+/// Weights come from SyncFrom (a live model), LoadModelFile (a
+/// SaveModelState snapshot: parameters + batch-norm running
+/// statistics), or LoadCheckpoint (a training-run TrainState). All
+/// replicas are constructed from one fixed seed, so they are bitwise
+/// identical to each other at all times, even before any sync.
+class InferenceEngine {
+ public:
+  InferenceEngine(const ModelSpec& spec, const InferenceOptions& options);
+
+  /// Drains outstanding requests, then joins the workers.
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Copies parameters and buffers from `model` into every replica.
+  /// Takes the weight lock exclusively, so it is safe while requests
+  /// are in flight (in-flight batches finish on the old weights).
+  void SyncFrom(const GraphPredictionModel& model);
+
+  /// Loads a SaveModelState snapshot (parameters + buffers) into every
+  /// replica. Returns false (replicas untouched) on any validation
+  /// failure.
+  bool LoadModelFile(const std::string& path);
+
+  /// Loads the model parameters and buffers out of a full training
+  /// checkpoint written by SaveTrainState, validating that the
+  /// checkpoint's method matches the spec. Returns false (replicas
+  /// untouched) on mismatch or corruption.
+  bool LoadCheckpoint(const std::string& path);
+
+  /// Enqueues one graph for prediction. The returned future resolves to
+  /// the 1 x output_dim logits row. The caller must keep `graph` alive
+  /// until the future is ready. Thread-safe.
+  std::future<Tensor> Submit(const Graph& graph);
+
+  /// Submit + wait: single-graph blocking convenience.
+  Tensor Predict(const Graph& graph);
+
+  InferenceStats stats() const;
+
+  const ModelSpec& spec() const { return spec_; }
+  const InferenceOptions& options() const { return options_; }
+
+ private:
+  struct Request {
+    const Graph* graph;
+    std::promise<Tensor> promise;
+  };
+
+  void WorkerLoop(int worker_index);
+  void ExecuteBatch(int worker_index, std::vector<Request> batch);
+
+  const ModelSpec spec_;
+  const InferenceOptions options_;
+
+  /// One model per worker: FactorGCN caches attention inside Forward,
+  /// so a shared model would race under concurrent execution. Replicas
+  /// are kept bitwise identical by the sync/load paths.
+  std::vector<std::unique_ptr<GraphPredictionModel>> replicas_;
+  /// Eval-mode forwards draw nothing, but Predict's signature wants an
+  /// Rng; each worker passes its own so a violation cannot race.
+  std::vector<std::unique_ptr<Rng>> worker_rngs_;
+
+  /// Workers hold this shared during a forward; weight updates
+  /// (SyncFrom / Load*) hold it exclusively.
+  std::shared_mutex weights_mu_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Request> queue_;  // guarded by queue_mu_
+  bool stop_ = false;          // guarded by queue_mu_
+
+  std::atomic<std::int64_t> requests_{0};
+  std::atomic<std::int64_t> batches_{0};
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace serve
+}  // namespace oodgnn
+
+#endif  // OODGNN_SERVE_INFERENCE_H_

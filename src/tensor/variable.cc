@@ -6,6 +6,24 @@
 
 namespace oodgnn {
 
+namespace {
+
+/// Tape construction is per-thread state: inference workers flip their
+/// own flag without affecting a concurrently training thread.
+thread_local bool tls_grad_enabled = true;
+
+}  // namespace
+
+bool GradMode::Enabled() { return tls_grad_enabled; }
+
+void GradMode::SetEnabled(bool enabled) { tls_grad_enabled = enabled; }
+
+NoGradGuard::NoGradGuard() : previous_(tls_grad_enabled) {
+  tls_grad_enabled = false;
+}
+
+NoGradGuard::~NoGradGuard() { tls_grad_enabled = previous_; }
+
 Variable::Variable(Tensor value, bool requires_grad)
     : node_(std::make_shared<VariableNode>()) {
   node_->value = std::move(value);
@@ -106,6 +124,10 @@ Variable Variable::MakeOp(
     Tensor value, std::vector<std::shared_ptr<VariableNode>> parents,
     std::function<void(const VariableNode&)> backward) {
   Variable out(std::move(value));
+  // Grad-free mode: the result carries only its forward value. Parents
+  // and the backward closure are dropped before they can pin the graph,
+  // so eval/serving passes allocate nothing beyond forward tensors.
+  if (!tls_grad_enabled) return out;
   bool any_grad = false;
   for (const auto& parent : parents) {
     OODGNN_CHECK(parent != nullptr);

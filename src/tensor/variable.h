@@ -26,6 +26,32 @@ struct VariableNode {
   std::function<void(const VariableNode&)> backward;
 };
 
+/// Thread-local autograd mode. While disabled, Variable::MakeOp builds
+/// plain value nodes: no parents, no backward closure, no grad buffers
+/// — a forward pass allocates exactly its forward values and the graph
+/// is never retained. Each thread has its own flag, so inference
+/// worker threads can run grad-free while a training thread keeps the
+/// tape. Enabled by default.
+class GradMode {
+ public:
+  static bool Enabled();
+  static void SetEnabled(bool enabled);
+};
+
+/// RAII scope that disables tape construction on the current thread
+/// (the inference path). Nests correctly: the previous mode is
+/// restored on destruction.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
 /// Handle to a VariableNode: a Tensor that participates in automatic
 /// differentiation. Copies share the node (shallow). Build graphs with
 /// the free functions in src/tensor/ops.h, call Backward() on a scalar

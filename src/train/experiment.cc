@@ -125,6 +125,11 @@ BenchOptions BenchOptions::FromFlags(const Flags& flags) {
   options.train.encoder.num_layers =
       flags.GetInt("layers", options.train.encoder.num_layers);
   options.train.verbose = flags.GetBool("verbose", false);
+  // Eval cadence: evaluate every N epochs (final epoch always). The
+  // training trajectory is cadence-invariant, so this is a pure
+  // wall-clock knob for long runs.
+  options.train.eval_every =
+      flags.GetInt("eval-every", options.train.eval_every);
   // Fault tolerance: periodic full-state snapshots plus auto-resume
   // (src/train/checkpoint.h). Snapshot files are keyed by (dataset,
   // method, seed), so multi-seed sweeps resume per run.

@@ -32,8 +32,8 @@ std::string FormatCell(const std::vector<double>& values, bool percent);
 
 /// Shared command-line handling for the table/figure benchmark
 /// binaries: `--full` switches to paper-scale settings, `--seeds`,
-/// `--epochs`, `--scale`, `--hidden`, `--layers`, `--batch` override
-/// individual knobs. Observability: `--profile` enables the tracer and
+/// `--epochs`, `--scale`, `--hidden`, `--layers`, `--batch`,
+/// `--eval-every` override individual knobs. Observability: `--profile` enables the tracer and
 /// per-kernel counters (src/obs) and prints aggregate profile tables at
 /// exit; `--trace-json=<path>` writes the per-epoch JSONL run journal.
 /// Fault tolerance: `--checkpoint-every=N` snapshots the full training

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <utility>
 
@@ -17,6 +18,7 @@
 #include "src/obs/trace.h"
 #include "src/tensor/backend.h"
 #include "src/tensor/ops.h"
+#include "src/tensor/variable.h"
 #include "src/train/checkpoint.h"
 #include "src/train/metrics.h"
 #include "src/util/check.h"
@@ -45,11 +47,16 @@ Variable PredictionLoss(const Variable& logits, const GraphBatch& batch,
   return Variable();
 }
 
-/// Collects model outputs over a split (eval mode, batched).
+/// Collects model outputs over a split (eval mode, batched). Runs
+/// grad-free — no tape, no backward closures — and asserts that the
+/// eval-mode forward never draws from `rng`, so callers may pass any
+/// Rng without perturbing its stream.
 Tensor PredictSplit(GraphPredictionModel* model, const GraphDataset& dataset,
                     const std::vector<size_t>& indices, int batch_size,
                     Rng* rng, std::vector<int>* labels, Tensor* targets,
                     Tensor* mask) {
+  NoGradGuard no_grad;
+  const std::string rng_before = rng->SaveState();
   Tensor all_logits(static_cast<int>(indices.size()), model->output_dim());
   if (targets->empty() && dataset.task_type != TaskType::kMulticlass) {
     *targets = Tensor(static_cast<int>(indices.size()), dataset.num_tasks);
@@ -75,6 +82,8 @@ Tensor PredictSplit(GraphPredictionModel* model, const GraphDataset& dataset,
     }
     row += logits.rows();
   }
+  OODGNN_CHECK(rng->SaveState() == rng_before)
+      << "eval-mode Predict consumed randomness";
   return all_logits;
 }
 
@@ -322,8 +331,15 @@ double EvaluateSplit(GraphPredictionModel* model, const GraphDataset& dataset,
 TrainResult TrainAndEvaluate(Method method, const GraphDataset& dataset,
                              const TrainConfig& config) {
   OODGNN_CHECK(!dataset.train_idx.empty());
+  OODGNN_CHECK_GE(config.eval_every, 1);
   Timer timer;
   Rng rng(config.seed);
+  // Evaluation gets its own stream derived straight from the seed (NOT
+  // rng.Fork(), which would consume training draws). Eval-mode forwards
+  // draw nothing anyway — PredictSplit asserts it — but isolating the
+  // streams makes "mid-run eval cannot perturb training" structural
+  // rather than incidental.
+  Rng eval_rng(config.seed ^ 0x9E3779B97F4A7C15ull);
 
   EncoderConfig encoder_config = config.encoder;
   encoder_config.feature_dim = dataset.feature_dim;
@@ -489,25 +505,35 @@ TrainResult TrainAndEvaluate(Method method, const GraphDataset& dataset,
     }
     const double train_phase_seconds = epoch_timer.ElapsedSeconds();
 
-    // Model selection on the validation split (falls back to train).
-    const std::vector<size_t>& valid_split =
-        dataset.valid_idx.empty() ? dataset.train_idx : dataset.valid_idx;
-    const double valid_metric =
-        EvaluateSplit(&model, dataset, valid_split, config.batch_size, &rng);
-    const bool improved = higher_better ? valid_metric > best_valid
-                                        : valid_metric < best_valid;
-    if (improved) {
-      best_valid = valid_metric;
-      result.valid_metric = valid_metric;
-      result.train_metric = EvaluateSplit(&model, dataset, dataset.train_idx,
-                                          config.batch_size, &rng);
-      if (!dataset.test_idx.empty()) {
-        result.test_metric = EvaluateSplit(&model, dataset, dataset.test_idx,
-                                           config.batch_size, &rng);
-      }
-      if (!dataset.test2_idx.empty()) {
-        result.test2_metric = EvaluateSplit(
-            &model, dataset, dataset.test2_idx, config.batch_size, &rng);
+    // Model selection on the validation split (falls back to train),
+    // every eval_every-th epoch plus the final one. Eval runs grad-free
+    // on the independent eval_rng, so skipping or adding evaluations
+    // leaves the training trajectory bitwise unchanged.
+    const bool do_eval =
+        (epoch + 1) % config.eval_every == 0 || final_epoch;
+    double valid_metric = 0.0;
+    bool improved = false;
+    if (do_eval) {
+      const std::vector<size_t>& valid_split =
+          dataset.valid_idx.empty() ? dataset.train_idx : dataset.valid_idx;
+      valid_metric = EvaluateSplit(&model, dataset, valid_split,
+                                   config.batch_size, &eval_rng);
+      improved = higher_better ? valid_metric > best_valid
+                               : valid_metric < best_valid;
+      if (improved) {
+        best_valid = valid_metric;
+        result.valid_metric = valid_metric;
+        result.train_metric = EvaluateSplit(
+            &model, dataset, dataset.train_idx, config.batch_size, &eval_rng);
+        if (!dataset.test_idx.empty()) {
+          result.test_metric = EvaluateSplit(
+              &model, dataset, dataset.test_idx, config.batch_size, &eval_rng);
+        }
+        if (!dataset.test2_idx.empty()) {
+          result.test2_metric = EvaluateSplit(
+              &model, dataset, dataset.test2_idx, config.batch_size,
+              &eval_rng);
+        }
       }
     }
     const double epoch_seconds = epoch_timer.ElapsedSeconds();
@@ -516,12 +542,14 @@ TrainResult TrainAndEvaluate(Method method, const GraphDataset& dataset,
             ? static_cast<double>(epoch_examples) / train_phase_seconds
             : 0.0;
     if (config.verbose) {
-      OODGNN_LOG(Info) << dataset.name << " [" << MethodName(method)
-                       << "] epoch " << epoch + 1 << "/" << config.epochs
-                       << " loss=" << result.epoch_losses.back()
-                       << " valid=" << valid_metric << " time="
-                       << epoch_seconds << "s (" << examples_per_sec
-                       << " ex/s)";
+      std::ostringstream line;
+      line << dataset.name << " [" << MethodName(method) << "] epoch "
+           << epoch + 1 << "/" << config.epochs
+           << " loss=" << result.epoch_losses.back();
+      if (do_eval) line << " valid=" << valid_metric;
+      line << " time=" << epoch_seconds << "s (" << examples_per_sec
+           << " ex/s)";
+      OODGNN_LOG(Info) << line.str();
     }
     if (journal != nullptr) {
       obs::JsonObjectWriter record;
@@ -532,10 +560,11 @@ TrainResult TrainAndEvaluate(Method method, const GraphDataset& dataset,
           .Put("epoch", epoch + 1)
           .Put("epochs", config.epochs)
           .Put("train_loss", result.epoch_losses.back())
-          .Put("valid_metric", valid_metric)
-          .Put("improved", improved)
           .Put("epoch_seconds", epoch_seconds)
           .Put("examples_per_sec", examples_per_sec);
+      if (do_eval) {
+        record.Put("valid_metric", valid_metric).Put("improved", improved);
+      }
       if (reweighter) {
         record.Put("decorrelation_loss",
                    result.epoch_decorrelation_losses.back());

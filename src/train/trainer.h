@@ -20,6 +20,13 @@ struct TrainConfig {
   uint64_t seed = 0;
   bool verbose = false;
 
+  /// Evaluate (and run model selection) every `eval_every`-th epoch;
+  /// the final epoch is always evaluated so a run never ends without
+  /// metrics. Evaluation is grad-free, draws no randomness, and uses
+  /// its own seed-derived Rng, so the training trajectory is bitwise
+  /// identical for every eval cadence (pinned by a regression test).
+  int eval_every = 1;
+
   /// Fault tolerance (src/train/checkpoint.h). With checkpoint_every
   /// > 0, a full TrainState snapshot is written atomically to
   /// checkpoint_dir after every checkpoint_every-th epoch. With resume,

@@ -7,6 +7,11 @@ namespace {
 
 thread_local bool tls_in_worker = false;
 
+/// Set while a thread owns a pool's dispatch lock, so its own chunk-0
+/// callback re-entering ParallelFor runs inline instead of retrying the
+/// lock it already holds.
+thread_local bool tls_dispatching = false;
+
 }  // namespace
 
 bool ThreadPool::InWorker() { return tls_in_worker; }
@@ -49,11 +54,15 @@ void ThreadPool::WorkerLoop(int worker_index) {
 
 void ThreadPool::ParallelFor(int n, const std::function<void(int, int)>& fn) {
   if (n <= 0) return;
-  if (num_threads_ == 1 || tls_in_worker || busy_) {
+  if (num_threads_ == 1 || tls_in_worker || tls_dispatching ||
+      !dispatch_mu_.try_lock()) {
+    // Serial pool, nested call, or the pool is already dispatching for
+    // another thread: run the whole range inline. Same arithmetic,
+    // same result — only the partition differs.
     fn(0, n);
     return;
   }
-  busy_ = true;
+  tls_dispatching = true;
   {
     std::lock_guard<std::mutex> lock(mu_);
     job_ = &fn;
@@ -64,9 +73,12 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int, int)>& fn) {
   work_cv_.notify_all();
   const auto [begin, end] = Chunk(n, num_threads_, 0);
   if (begin < end) fn(begin, end);
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return pending_ == 0; });
-  busy_ = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+  }
+  tls_dispatching = false;
+  dispatch_mu_.unlock();
 }
 
 }  // namespace oodgnn

@@ -31,7 +31,11 @@ class ThreadPool {
   /// fn(begin, end) for every non-empty chunk, blocking until all are
   /// done. Chunk i runs on worker i; chunk 0 runs on the caller.
   /// Reentrant calls from inside a worker run the whole range inline
-  /// (no nested parallelism), so kernels may freely compose.
+  /// (no nested parallelism), so kernels may freely compose. Safe to
+  /// call concurrently from several external threads (the serving
+  /// path): one caller at a time dispatches to the pool, everyone else
+  /// runs their range inline — results are bitwise identical either
+  /// way, because chunking never changes a kernel's arithmetic.
   void ParallelFor(int n, const std::function<void(int, int)>& fn);
 
   /// Contiguous chunk `index` of `chunks` over [0, n).
@@ -58,11 +62,11 @@ class ThreadPool {
   long generation_ = 0;                                 // guarded by mu_
   int pending_ = 0;                                     // guarded by mu_
   bool shutdown_ = false;                               // guarded by mu_
-  // True while a job is in flight. Only the dispatching thread reads or
-  // writes it (workers are gated by the thread-local flag instead), so
-  // it needs no lock: it catches the caller re-entering ParallelFor from
-  // its own chunk 0, which must run inline like any nested call.
-  bool busy_ = false;
+  // Held by the one external thread currently dispatching to the pool.
+  // Other external callers fail the try_lock and run inline; the
+  // dispatcher's own re-entry from chunk 0 is caught by a thread-local
+  // flag (try_lock on an owned std::mutex is undefined).
+  std::mutex dispatch_mu_;
 };
 
 }  // namespace oodgnn

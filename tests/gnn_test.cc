@@ -3,6 +3,9 @@
 
 #include "gtest/gtest.h"
 #include "src/gnn/encoder.h"
+#include "src/gnn/gat_conv.h"
+#include "src/gnn/sage_conv.h"
+#include "src/tensor/gradcheck.h"
 #include "src/gnn/factor_gcn.h"
 #include "src/gnn/gcn_conv.h"
 #include "src/gnn/gin_conv.h"
@@ -312,6 +315,176 @@ INSTANTIATE_TEST_SUITE_P(
       name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
       return name;
     });
+
+// ---------------------------------------------------------------------------
+// Finite-difference gradient checks for every model-zoo layer. The
+// leaves are the layer's parameters plus the node features, so both the
+// weight gradients and the message-passing input gradients are checked.
+// Layers with discrete structure (top-k selection, max readout/PNA max
+// aggregation, LeakyReLU kinks) are checked on fixed random inputs
+// whose margins comfortably exceed the finite-difference step, keeping
+// the piecewise-linear regions stable under perturbation.
+// ---------------------------------------------------------------------------
+
+constexpr double kGradTolerance = 5e-2;
+
+TEST(GnnGradCheckTest, GatConv) {
+  Rng rng(21);
+  GatConv conv(3, 4, /*num_heads=*/2, &rng);
+  GraphBatch batch = SmallBatch(3);
+  Variable h = Variable::Param(Tensor::RandomNormal(batch.num_nodes, 3, &rng));
+  std::vector<Variable> leaves = conv.Parameters();
+  leaves.push_back(h);
+  const GradCheckResult result = CheckGradients(
+      leaves, [&] { return Sum(Square(conv.Forward(h, batch))); });
+  EXPECT_LT(result.max_relative_error, kGradTolerance);
+}
+
+TEST(GnnGradCheckTest, PnaConv) {
+  Rng rng(22);
+  PnaConv conv(3, 4, /*delta=*/1.1f, &rng);
+  GraphBatch batch = SmallBatch(3);
+  Variable h = Variable::Param(Tensor::RandomNormal(batch.num_nodes, 3, &rng));
+  std::vector<Variable> leaves = conv.Parameters();
+  leaves.push_back(h);
+  const GradCheckResult result = CheckGradients(
+      leaves, [&] { return Sum(Square(conv.Forward(h, batch))); });
+  EXPECT_LT(result.max_relative_error, kGradTolerance);
+}
+
+TEST(GnnGradCheckTest, SageConv) {
+  Rng rng(23);
+  SageConv conv(3, 4, &rng);
+  GraphBatch batch = SmallBatch(3);
+  Variable h = Variable::Param(Tensor::RandomNormal(batch.num_nodes, 3, &rng));
+  std::vector<Variable> leaves = conv.Parameters();
+  leaves.push_back(h);
+  const GradCheckResult result = CheckGradients(
+      leaves, [&] { return Sum(Square(conv.Forward(h, batch))); });
+  EXPECT_LT(result.max_relative_error, kGradTolerance);
+}
+
+TEST(GnnGradCheckTest, TopKPool) {
+  Rng rng(24);
+  TopKPool pool(3, 0.5f, &rng);
+  GraphBatch batch = SmallBatch(3);
+  // Well-separated rows keep the per-graph top-k selection stable under
+  // the finite-difference perturbation (the selection itself is
+  // piecewise constant; the gradient is checked within one region).
+  Tensor features(batch.num_nodes, 3);
+  for (int v = 0; v < batch.num_nodes; ++v) {
+    for (int c = 0; c < 3; ++c) {
+      features.at(v, c) = 0.7f * static_cast<float>(v + 1) *
+                          (c % 2 == 0 ? 1.f : -1.f);
+    }
+  }
+  Variable h = Variable::Param(features);
+  std::vector<Variable> leaves = pool.Parameters();
+  leaves.push_back(h);
+  const GradCheckResult result = CheckGradients(
+      leaves, [&] { return Sum(Square(pool.Forward(h, batch).h)); });
+  EXPECT_LT(result.max_relative_error, kGradTolerance);
+}
+
+TEST(GnnGradCheckTest, SagPool) {
+  Rng rng(25);
+  SagPool pool(3, 0.5f, &rng);
+  // Two path graphs, not SmallBatch: in a triangle every node's GCN
+  // neighborhood is the whole graph, so the SAG scores are exactly tied
+  // and any finite-difference step flips the top-k selection. Paths
+  // have distinct neighborhoods; a steep feature ramp then keeps the
+  // per-graph score ordering far from any tie.
+  Graph a(4, 3);
+  a.AddUndirectedEdge(0, 1);
+  a.AddUndirectedEdge(1, 2);
+  a.AddUndirectedEdge(2, 3);
+  Graph b(3, 3);
+  b.AddUndirectedEdge(0, 1);
+  b.AddUndirectedEdge(1, 2);
+  GraphBatch batch = GraphBatch::FromGraphs({&a, &b});
+  Tensor features(batch.num_nodes, 3);
+  for (int v = 0; v < batch.num_nodes; ++v) {
+    for (int c = 0; c < 3; ++c) {
+      features.at(v, c) = static_cast<float>(v + 1) +
+                          0.1f * static_cast<float>(c);
+    }
+  }
+  Variable h = Variable::Param(features);
+  std::vector<Variable> leaves = pool.Parameters();
+  leaves.push_back(h);
+  const GradCheckResult result = CheckGradients(
+      leaves, [&] { return Sum(Square(pool.Forward(h, batch).h)); });
+  EXPECT_LT(result.max_relative_error, kGradTolerance);
+}
+
+TEST(GnnGradCheckTest, VirtualNode) {
+  Rng rng(26);
+  VirtualNode vn(3, &rng);
+  GraphBatch batch = SmallBatch(3);
+  Variable h = Variable::Param(Tensor::RandomNormal(batch.num_nodes, 3, &rng));
+  Variable state =
+      Variable::Param(Tensor::RandomNormal(batch.num_graphs, 3, &rng));
+  std::vector<Variable> leaves = vn.Parameters();
+  leaves.push_back(h);
+  leaves.push_back(state);
+  const GradCheckResult result = CheckGradients(leaves, [&] {
+    Variable distributed = vn.Distribute(h, state, batch);
+    Variable updated = vn.Update(state, distributed, batch,
+                                 /*training=*/false);
+    return Add(Sum(Square(distributed)), Sum(Square(updated)));
+  });
+  EXPECT_LT(result.max_relative_error, kGradTolerance);
+}
+
+TEST(GnnGradCheckTest, FactorGcnConv) {
+  Rng rng(27);
+  FactorGcnConv conv(3, 4, /*num_factors=*/2, &rng);
+  GraphBatch batch = SmallBatch(3);
+  Variable h = Variable::Param(Tensor::RandomNormal(batch.num_nodes, 3, &rng));
+  std::vector<Variable> leaves = conv.Parameters();
+  leaves.push_back(h);
+  const GradCheckResult result = CheckGradients(
+      leaves, [&] { return Sum(Square(conv.Forward(h, batch))); });
+  EXPECT_LT(result.max_relative_error, kGradTolerance);
+}
+
+class ReadoutGradCheck : public ::testing::TestWithParam<ReadoutKind> {};
+
+TEST_P(ReadoutGradCheck, MatchesFiniteDifferences) {
+  Rng rng(28);
+  GraphBatch batch = SmallBatch(3);
+  // Distinct magnitudes keep the max readout's argmax stable under the
+  // finite-difference step.
+  Tensor features(batch.num_nodes, 3);
+  for (int v = 0; v < batch.num_nodes; ++v) {
+    for (int c = 0; c < 3; ++c) {
+      features.at(v, c) =
+          0.5f * static_cast<float>(v + 1) + 0.2f * static_cast<float>(c);
+    }
+  }
+  Variable h = Variable::Param(features);
+  const GradCheckResult result = CheckGradients({h}, [&] {
+    return Sum(Square(
+        Readout(h, batch.node_graph, batch.num_graphs, GetParam())));
+  });
+  EXPECT_LT(result.max_relative_error, kGradTolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ReadoutGradCheck,
+                         ::testing::Values(ReadoutKind::kSum,
+                                           ReadoutKind::kMean,
+                                           ReadoutKind::kMax),
+                         [](const ::testing::TestParamInfo<ReadoutKind>& info) {
+                           switch (info.param) {
+                             case ReadoutKind::kSum:
+                               return "Sum";
+                             case ReadoutKind::kMean:
+                               return "Mean";
+                             case ReadoutKind::kMax:
+                               return "Max";
+                           }
+                           return "Unknown";
+                         });
 
 TEST(ModelZooTest, OodGnnSharesGinParameterCount) {
   Rng rng(12);

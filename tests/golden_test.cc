@@ -1,0 +1,140 @@
+// Golden end-to-end regression tests: a tiny fixed-seed TrainAndEvaluate
+// run per Method, compared against committed loss curves and metrics.
+// The whole pipeline is deterministic (seeded RNG, bitwise-stable
+// kernels across thread counts), so any drift here means a behavioral
+// change somewhere between data generation and optimizer stepping.
+//
+// To regenerate after an *intentional* change:
+//   OODGNN_REGEN_GOLDEN=1 ./tests/golden_test
+// and paste the printed kGolden table over the one below.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/data/triangles.h"
+#include "src/gnn/model_zoo.h"
+#include "src/train/trainer.h"
+
+namespace oodgnn {
+namespace {
+
+constexpr int kEpochs = 3;
+// Deterministic double-accumulated losses reproduce far below this, but
+// a small slack keeps the pin robust to harmless float-to-double
+// printing round trips in the committed literals.
+constexpr double kLossTolerance = 1e-6;
+constexpr double kMetricTolerance = 1e-9;
+
+GraphDataset GoldenDataset() {
+  TrianglesConfig config;
+  config.num_train = 24;
+  config.num_valid = 8;
+  config.num_test = 8;
+  config.train_max_nodes = 12;
+  config.test_max_nodes = 20;
+  return MakeTrianglesDataset(config, 123);
+}
+
+TrainConfig GoldenTrainConfig(const GraphDataset& dataset) {
+  TrainConfig config;
+  config.epochs = kEpochs;
+  config.batch_size = 8;
+  config.seed = 17;
+  config.encoder.feature_dim = dataset.feature_dim;
+  config.encoder.hidden_dim = 8;
+  config.encoder.num_layers = 2;
+  config.encoder.dropout = 0.3f;
+  return config;
+}
+
+struct GoldenRecord {
+  Method method;
+  double losses[kEpochs];
+  double train_metric;
+  double valid_metric;
+  double test_metric;
+};
+
+// Committed expectations (regenerate with OODGNN_REGEN_GOLDEN=1).
+constexpr GoldenRecord kGolden[] = {
+    {Method::kGcn, {2.2419679959615073, 2.3044892946879068, 2.2252657413482666}, 0.083333333333333329, 0.125, 0},
+    {Method::kGcnVirtual, {2.284733772277832, 2.3162124951680503, 2.4114742279052734}, 0.083333333333333329, 0.125, 0},
+    {Method::kGin, {2.3390527566274009, 2.4501217206319175, 2.319859504699707}, 0.083333333333333329, 0, 0.125},
+    {Method::kGinVirtual, {2.4497055212656655, 2.4538679122924805, 2.4450083573659263}, 0.083333333333333329, 0.25, 0},
+    {Method::kFactorGcn, {2.3378413518269858, 2.3695348103841147, 2.3120253880818686}, 0.16666666666666666, 0, 0.25},
+    {Method::kPna, {2.3522284030914307, 2.229675610860189, 2.2061824003855386}, 0.083333333333333329, 0.125, 0},
+    {Method::kTopKPool, {2.2955768903096518, 2.2848323186238608, 2.2880226771036782}, 0.125, 0, 0.25},
+    {Method::kSagPool, {2.2977808316548667, 2.2892775535583496, 2.2883186340332031}, 0.083333333333333329, 0, 0.25},
+    {Method::kOodGnn, {2.4123642444610596, 2.3872445424397788, 2.3229634761810303}, 0.083333333333333329, 0, 0.125},
+    {Method::kGat, {2.5172811349232993, 2.491122086842855, 2.5078179836273193}, 0.041666666666666664, 0.125, 0.125},
+    {Method::kGraphSage, {2.2249623139699302, 2.3241135279337564, 2.2600063482920327}, 0.125, 0.25, 0},
+};
+
+bool RegenRequested() {
+  const char* env = std::getenv("OODGNN_REGEN_GOLDEN");
+  return env != nullptr && *env != '\0' && std::string(env) != "0";
+}
+
+const char* EnumName(Method method) {
+  switch (method) {
+    case Method::kGcn: return "kGcn";
+    case Method::kGcnVirtual: return "kGcnVirtual";
+    case Method::kGin: return "kGin";
+    case Method::kGinVirtual: return "kGinVirtual";
+    case Method::kFactorGcn: return "kFactorGcn";
+    case Method::kPna: return "kPna";
+    case Method::kTopKPool: return "kTopKPool";
+    case Method::kSagPool: return "kSagPool";
+    case Method::kOodGnn: return "kOodGnn";
+    case Method::kGat: return "kGat";
+    case Method::kGraphSage: return "kGraphSage";
+  }
+  return "kUnknown";
+}
+
+class GoldenEndToEnd : public ::testing::TestWithParam<GoldenRecord> {};
+
+TEST_P(GoldenEndToEnd, LossCurveAndMetricsMatchCommittedRun) {
+  const GoldenRecord& golden = GetParam();
+  GraphDataset dataset = GoldenDataset();
+  const TrainConfig config = GoldenTrainConfig(dataset);
+  const TrainResult result = TrainAndEvaluate(golden.method, dataset, config);
+  ASSERT_EQ(result.epoch_losses.size(), static_cast<size_t>(kEpochs));
+
+  if (RegenRequested()) {
+    std::printf("    {Method::%s, {%.17g, %.17g, %.17g}, %.17g, %.17g, "
+                "%.17g},\n",
+                EnumName(golden.method), result.epoch_losses[0],
+                result.epoch_losses[1], result.epoch_losses[2],
+                result.train_metric, result.valid_metric,
+                result.test_metric);
+    GTEST_SKIP() << "regen mode: printed fresh golden record";
+  }
+
+  for (int e = 0; e < kEpochs; ++e) {
+    EXPECT_NEAR(result.epoch_losses[static_cast<size_t>(e)], golden.losses[e],
+                kLossTolerance)
+        << MethodName(golden.method) << " epoch " << e;
+  }
+  EXPECT_NEAR(result.train_metric, golden.train_metric, kMetricTolerance)
+      << MethodName(golden.method);
+  EXPECT_NEAR(result.valid_metric, golden.valid_metric, kMetricTolerance)
+      << MethodName(golden.method);
+  EXPECT_NEAR(result.test_metric, golden.test_metric, kMetricTolerance)
+      << MethodName(golden.method);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethodsGolden, GoldenEndToEnd, ::testing::ValuesIn(kGolden),
+    [](const ::testing::TestParamInfo<GoldenRecord>& info) {
+      std::string name = MethodName(info.param.method);
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name;
+    });
+
+}  // namespace
+}  // namespace oodgnn

@@ -1,0 +1,453 @@
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/data/triangles.h"
+#include "src/gnn/model_zoo.h"
+#include "src/graph/batch.h"
+#include "src/nn/serialize.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/serve/inference.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/variable.h"
+#include "src/train/checkpoint.h"
+#include "src/train/trainer.h"
+#include "src/util/rng.h"
+
+namespace oodgnn {
+namespace {
+
+using serve::InferenceEngine;
+using serve::InferenceOptions;
+using serve::ModelSpec;
+
+/// Small deterministic dataset shared by the equivalence tests.
+GraphDataset TinyDataset() {
+  TrianglesConfig config;
+  config.num_train = 24;
+  config.num_valid = 8;
+  config.num_test = 8;
+  config.train_max_nodes = 12;
+  config.test_max_nodes = 20;
+  return MakeTrianglesDataset(config, 77);
+}
+
+EncoderConfig TinyEncoder(int feature_dim) {
+  EncoderConfig config;
+  config.feature_dim = feature_dim;
+  config.hidden_dim = 8;
+  config.num_layers = 2;
+  config.dropout = 0.5f;  // Identity in eval mode; must not matter.
+  return config;
+}
+
+/// Tape-based eval-mode logits for the whole split in one batch: the
+/// bitwise reference every engine configuration must reproduce.
+Tensor ReferenceLogits(GraphPredictionModel* model,
+                       const std::vector<const Graph*>& graphs) {
+  GraphBatch batch = GraphBatch::FromGraphs(graphs);
+  Rng rng(999);
+  return model->Predict(batch, /*training=*/false, &rng).value();
+}
+
+bool RowsBitwiseEqual(const Tensor& row, const Tensor& all, int r) {
+  return row.cols() == all.cols() &&
+         std::memcmp(row.data(), all.data() + static_cast<size_t>(r) * all.cols(),
+                     static_cast<size_t>(all.cols()) * sizeof(float)) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// No-grad mode semantics.
+// ---------------------------------------------------------------------------
+
+TEST(NoGradTest, GuardDisablesTapeAndRestores) {
+  EXPECT_TRUE(GradMode::Enabled());
+  Variable a = Variable::Param(Tensor(2, 2, 1.f));
+  {
+    NoGradGuard guard;
+    EXPECT_FALSE(GradMode::Enabled());
+    Variable out = Add(a, a);
+    // The op result is a plain value: no parents, no grad requirement.
+    EXPECT_FALSE(out.requires_grad());
+    EXPECT_TRUE(out.node()->parents.empty());
+    EXPECT_FALSE(static_cast<bool>(out.node()->backward));
+    {
+      NoGradGuard nested;
+      EXPECT_FALSE(GradMode::Enabled());
+    }
+    EXPECT_FALSE(GradMode::Enabled());  // Nested guard restores inner state.
+  }
+  EXPECT_TRUE(GradMode::Enabled());
+  // Back in grad mode the same op builds a tape again.
+  Variable out = Add(a, a);
+  EXPECT_TRUE(out.requires_grad());
+  EXPECT_EQ(out.node()->parents.size(), 2u);
+}
+
+TEST(NoGradTest, GradModeIsPerThread) {
+  NoGradGuard guard;
+  std::atomic<bool> other_thread_enabled{false};
+  std::thread t([&] { other_thread_enabled = GradMode::Enabled(); });
+  t.join();
+  EXPECT_TRUE(other_thread_enabled);  // Fresh threads default to enabled.
+  EXPECT_FALSE(GradMode::Enabled());
+}
+
+TEST(NoGradTest, ForwardValuesIdenticalWithAndWithoutTape) {
+  GraphDataset dataset = TinyDataset();
+  Rng rng(5);
+  GraphPredictionModel model(Method::kGin, TinyEncoder(dataset.feature_dim),
+                             dataset.OutputDim(), &rng);
+  std::vector<const Graph*> graphs;
+  for (size_t idx : dataset.train_idx) graphs.push_back(&dataset.graphs[idx]);
+  GraphBatch batch = GraphBatch::FromGraphs(graphs);
+  Rng fwd1(1);
+  Tensor taped = model.Predict(batch, /*training=*/false, &fwd1).value();
+  Tensor gradfree;
+  {
+    NoGradGuard guard;
+    Rng fwd2(1);
+    gradfree = model.Predict(batch, /*training=*/false, &fwd2).value();
+  }
+  ASSERT_EQ(taped.size(), gradfree.size());
+  EXPECT_EQ(std::memcmp(taped.data(), gradfree.data(),
+                        static_cast<size_t>(taped.size()) * sizeof(float)),
+            0);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel counters: eval must execute zero backward work.
+// ---------------------------------------------------------------------------
+
+TEST(NoGradTest, EvalRunsZeroBackwardKernels) {
+  const bool was_profiling = obs::ProfilingEnabled();
+  obs::SetProfilingEnabled(true);
+  obs::MetricsRegistry::Global().Reset();
+
+  GraphDataset dataset = TinyDataset();
+  Rng rng(6);
+  GraphPredictionModel model(Method::kGin, TinyEncoder(dataset.feature_dim),
+                             dataset.OutputDim(), &rng);
+  Rng eval_rng(7);
+  EvaluateSplit(&model, dataset, dataset.train_idx, /*batch_size=*/8,
+                &eval_rng);
+
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::Global().GetSnapshot();
+  std::int64_t forward_calls = 0;
+  for (const auto& [name, value] : snapshot.counters) {
+    // Backward-only kernels: transposed matmuls (weight/input grads),
+    // softmax/segment backward passes, and gradient row-scatter.
+    const bool backward_kernel =
+        name.rfind("kernel/matmul_ta/", 0) == 0 ||
+        name.rfind("kernel/matmul_tb/", 0) == 0 ||
+        name.rfind("kernel/softmax_rows_backward/", 0) == 0 ||
+        name.rfind("kernel/gather_rows_acc/", 0) == 0 ||
+        name.rfind("kernel/segment_extreme_backward/", 0) == 0;
+    if (backward_kernel) {
+      EXPECT_EQ(value, 0) << name << " ran during grad-free eval";
+    } else if (name.rfind("kernel/", 0) == 0) {
+      forward_calls += value;
+    }
+  }
+  EXPECT_GT(forward_calls, 0);  // The forward pass itself was counted.
+
+  obs::MetricsRegistry::Global().Reset();
+  obs::SetProfilingEnabled(was_profiling);
+}
+
+// ---------------------------------------------------------------------------
+// Engine equivalence: bitwise-identical to the tape-based forward for
+// every encoder, across worker counts and submission orderings.
+// ---------------------------------------------------------------------------
+
+class EngineEquivalence : public ::testing::TestWithParam<Method> {};
+
+TEST_P(EngineEquivalence, MatchesTapedForwardAcrossWorkerCounts) {
+  const Method method = GetParam();
+  GraphDataset dataset = TinyDataset();
+  Rng rng(8);
+  ModelSpec spec;
+  spec.method = method;
+  spec.encoder = TinyEncoder(dataset.feature_dim);
+  spec.output_dim = dataset.OutputDim();
+  GraphPredictionModel model(method, spec.encoder, spec.output_dim, &rng);
+
+  std::vector<const Graph*> graphs;
+  for (size_t idx : dataset.test_idx) graphs.push_back(&dataset.graphs[idx]);
+  const Tensor reference = ReferenceLogits(&model, graphs);
+
+  for (int workers : {1, 2, 8}) {
+    InferenceOptions options;
+    options.num_workers = workers;
+    options.max_batch_graphs = 3;  // Forces several micro-batches.
+    options.max_batch_wait_us = 50;
+    InferenceEngine engine(spec, options);
+    engine.SyncFrom(model);
+
+    std::vector<std::future<Tensor>> futures;
+    futures.reserve(graphs.size());
+    for (const Graph* graph : graphs) futures.push_back(engine.Submit(*graph));
+    for (size_t i = 0; i < futures.size(); ++i) {
+      const Tensor row = futures[i].get();
+      EXPECT_TRUE(RowsBitwiseEqual(row, reference, static_cast<int>(i)))
+          << MethodName(method) << " graph " << i << " with " << workers
+          << " workers";
+    }
+    const serve::InferenceStats stats = engine.stats();
+    EXPECT_EQ(stats.requests, static_cast<std::int64_t>(graphs.size()));
+    EXPECT_GT(stats.batches, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEncoders, EngineEquivalence,
+    ::testing::ValuesIn([] {
+      std::vector<Method> methods = AllMethods();
+      for (Method m : ExtensionMethods()) methods.push_back(m);
+      return methods;
+    }()),
+    [](const ::testing::TestParamInfo<Method>& info) {
+      std::string name = MethodName(info.param);
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name;
+    });
+
+TEST(InferenceEngineTest, ConcurrentSubmissionOrderingsAreBitwiseStable) {
+  GraphDataset dataset = TinyDataset();
+  Rng rng(9);
+  ModelSpec spec;
+  spec.method = Method::kGin;
+  spec.encoder = TinyEncoder(dataset.feature_dim);
+  spec.output_dim = dataset.OutputDim();
+  GraphPredictionModel model(spec.method, spec.encoder, spec.output_dim, &rng);
+
+  std::vector<const Graph*> graphs;
+  for (const Graph& graph : dataset.graphs) graphs.push_back(&graph);
+  const Tensor reference = ReferenceLogits(&model, graphs);
+
+  // Several rounds with different submitter interleavings: results must
+  // not depend on which requests land in which micro-batch.
+  for (int round = 0; round < 3; ++round) {
+    InferenceOptions options;
+    options.num_workers = 4;
+    options.max_batch_graphs = 4;
+    options.max_batch_wait_us = 100;
+    InferenceEngine engine(spec, options);
+    engine.SyncFrom(model);
+
+    const int kSubmitters = 4;
+    std::vector<std::vector<std::pair<size_t, std::future<Tensor>>>> shards(
+        kSubmitters);
+    std::vector<std::thread> submitters;
+    for (int s = 0; s < kSubmitters; ++s) {
+      submitters.emplace_back([&, s] {
+        // Shard s submits graphs s, s+K, s+2K, ... — a different global
+        // interleaving every run, raced against the other submitters.
+        for (size_t i = static_cast<size_t>(s); i < graphs.size();
+             i += kSubmitters) {
+          shards[static_cast<size_t>(s)].emplace_back(
+              i, engine.Submit(*graphs[i]));
+        }
+      });
+    }
+    for (std::thread& t : submitters) t.join();
+    for (auto& shard : shards) {
+      for (auto& [index, future] : shard) {
+        const Tensor row = future.get();
+        EXPECT_TRUE(RowsBitwiseEqual(row, reference, static_cast<int>(index)))
+            << "graph " << index << " round " << round;
+      }
+    }
+  }
+}
+
+TEST(InferenceEngineTest, PredictConvenienceMatchesReference) {
+  GraphDataset dataset = TinyDataset();
+  Rng rng(10);
+  ModelSpec spec;
+  spec.method = Method::kGcn;
+  spec.encoder = TinyEncoder(dataset.feature_dim);
+  spec.output_dim = dataset.OutputDim();
+  GraphPredictionModel model(spec.method, spec.encoder, spec.output_dim, &rng);
+  std::vector<const Graph*> graphs = {&dataset.graphs[0]};
+  const Tensor reference = ReferenceLogits(&model, graphs);
+
+  InferenceEngine engine(spec, InferenceOptions{});
+  engine.SyncFrom(model);
+  const Tensor row = engine.Predict(dataset.graphs[0]);
+  EXPECT_TRUE(RowsBitwiseEqual(row, reference, 0));
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot loading.
+// ---------------------------------------------------------------------------
+
+TEST(InferenceEngineTest, LoadModelFileReproducesSourceModel) {
+  GraphDataset dataset = TinyDataset();
+  Rng rng(11);
+  ModelSpec spec;
+  spec.method = Method::kGinVirtual;
+  spec.encoder = TinyEncoder(dataset.feature_dim);
+  spec.output_dim = dataset.OutputDim();
+  GraphPredictionModel model(spec.method, spec.encoder, spec.output_dim, &rng);
+  // Perturb a batch-norm buffer so the test distinguishes "parameters
+  // only" from "parameters + buffers": a load that dropped buffers
+  // would produce different eval logits.
+  std::vector<Tensor*> buffers = model.Buffers();
+  ASSERT_FALSE(buffers.empty());
+  for (Tensor* buffer : buffers) {
+    for (int i = 0; i < buffer->size(); ++i) {
+      (*buffer)[i] += 0.25f * static_cast<float>(i % 3);
+    }
+  }
+
+  const std::string path = ::testing::TempDir() + "/serve_model_state.bin";
+  ASSERT_TRUE(SaveModelState(path, model));
+
+  std::vector<const Graph*> graphs;
+  for (size_t idx : dataset.valid_idx) graphs.push_back(&dataset.graphs[idx]);
+  const Tensor reference = ReferenceLogits(&model, graphs);
+
+  InferenceOptions options;
+  options.num_workers = 2;
+  options.max_batch_graphs = 4;
+  InferenceEngine engine(spec, options);
+  ASSERT_TRUE(engine.LoadModelFile(path));
+  std::vector<std::future<Tensor>> futures;
+  for (const Graph* graph : graphs) futures.push_back(engine.Submit(*graph));
+  for (size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_TRUE(
+        RowsBitwiseEqual(futures[i].get(), reference, static_cast<int>(i)));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(InferenceEngineTest, LoadModelFileRejectsCorruptAndMismatchedFiles) {
+  GraphDataset dataset = TinyDataset();
+  Rng rng(12);
+  ModelSpec spec;
+  spec.method = Method::kGin;
+  spec.encoder = TinyEncoder(dataset.feature_dim);
+  spec.output_dim = dataset.OutputDim();
+  GraphPredictionModel model(spec.method, spec.encoder, spec.output_dim, &rng);
+  const std::string path = ::testing::TempDir() + "/serve_corrupt.bin";
+  ASSERT_TRUE(SaveModelState(path, model));
+
+  // Flip one payload byte: the checksum must catch it.
+  {
+    std::string bytes;
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+    bytes[bytes.size() - 1] = static_cast<char>(bytes[bytes.size() - 1] ^ 0x5a);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  InferenceEngine engine(spec, InferenceOptions{});
+  EXPECT_FALSE(engine.LoadModelFile(path));
+  EXPECT_FALSE(engine.LoadModelFile(path + ".does_not_exist"));
+
+  // A snapshot of a different architecture must be rejected too.
+  ModelSpec other = spec;
+  other.encoder.hidden_dim = 16;
+  Rng rng2(13);
+  GraphPredictionModel bigger(other.method, other.encoder, other.output_dim,
+                              &rng2);
+  ASSERT_TRUE(SaveModelState(path, bigger));
+  EXPECT_FALSE(engine.LoadModelFile(path));
+  std::remove(path.c_str());
+}
+
+TEST(InferenceEngineTest, LoadCheckpointRestoresTrainedWeights) {
+  GraphDataset dataset = TinyDataset();
+  TrainConfig config;
+  config.epochs = 2;
+  config.batch_size = 8;
+  config.seed = 3;
+  config.encoder = TinyEncoder(dataset.feature_dim);
+  config.checkpoint_every = 1;
+  config.checkpoint_dir = ::testing::TempDir() + "/serve_ckpt";
+  TrainAndEvaluate(Method::kGin, dataset, config);
+  const std::string path =
+      CheckpointPath(config.checkpoint_dir, dataset.name,
+                     MethodName(Method::kGin), config.seed);
+
+  ModelSpec spec;
+  spec.method = Method::kGin;
+  spec.encoder = config.encoder;
+  spec.encoder.feature_dim = dataset.feature_dim;
+  spec.output_dim = dataset.OutputDim();
+
+  InferenceEngine fresh(spec, InferenceOptions{});
+  const Tensor untrained = fresh.Predict(dataset.graphs[0]);
+
+  InferenceEngine engine(spec, InferenceOptions{});
+  ASSERT_TRUE(engine.LoadCheckpoint(path));
+  const Tensor trained = engine.Predict(dataset.graphs[0]);
+  // Training moved the weights; the loaded engine must reflect that.
+  EXPECT_NE(std::memcmp(untrained.data(), trained.data(),
+                        static_cast<size_t>(trained.size()) * sizeof(float)),
+            0);
+
+  // Two engines loading the same checkpoint agree bitwise.
+  InferenceEngine engine2(spec, InferenceOptions{});
+  ASSERT_TRUE(engine2.LoadCheckpoint(path));
+  const Tensor trained2 = engine2.Predict(dataset.graphs[0]);
+  EXPECT_EQ(std::memcmp(trained.data(), trained2.data(),
+                        static_cast<size_t>(trained.size()) * sizeof(float)),
+            0);
+
+  // Method mismatch is rejected.
+  ModelSpec wrong = spec;
+  wrong.method = Method::kGcn;
+  InferenceEngine mismatched(wrong, InferenceOptions{});
+  EXPECT_FALSE(mismatched.LoadCheckpoint(path));
+}
+
+TEST(ModelStateTest, RoundTripPreservesParametersAndBuffers) {
+  GraphDataset dataset = TinyDataset();
+  Rng rng(14);
+  GraphPredictionModel model(Method::kGin, TinyEncoder(dataset.feature_dim),
+                             dataset.OutputDim(), &rng);
+  for (Tensor* buffer : model.Buffers()) {
+    for (int i = 0; i < buffer->size(); ++i) (*buffer)[i] = 0.125f * i;
+  }
+  const std::string path = ::testing::TempDir() + "/model_state_rt.bin";
+  ASSERT_TRUE(SaveModelState(path, model));
+
+  Rng rng2(15);
+  GraphPredictionModel restored(Method::kGin,
+                                TinyEncoder(dataset.feature_dim),
+                                dataset.OutputDim(), &rng2);
+  ASSERT_TRUE(LoadModelState(path, &restored));
+  const std::vector<Variable> a = model.Parameters();
+  const std::vector<Variable> b = restored.Parameters();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(std::memcmp(a[i].value().data(), b[i].value().data(),
+                          static_cast<size_t>(a[i].value().size()) *
+                              sizeof(float)),
+              0);
+  }
+  const std::vector<Tensor*> ba = model.Buffers();
+  const std::vector<Tensor*> bb = restored.Buffers();
+  ASSERT_EQ(ba.size(), bb.size());
+  for (size_t i = 0; i < ba.size(); ++i) {
+    EXPECT_EQ(std::memcmp(ba[i]->data(), bb[i]->data(),
+                          static_cast<size_t>(ba[i]->size()) * sizeof(float)),
+              0);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace oodgnn

@@ -78,6 +78,49 @@ TEST(TrainerTest, DeterministicGivenSeed) {
   EXPECT_EQ(a.epoch_losses, b.epoch_losses);
 }
 
+TEST(TrainerTest, EvalCadenceDoesNotPerturbTraining) {
+  // Regression pin for the eval-RNG isolation fix: evaluation runs
+  // grad-free on its own seed-derived stream and draws nothing, so the
+  // per-epoch training losses must be bitwise identical whether eval
+  // runs every epoch or only every third one. Dropout is enabled so the
+  // training path genuinely consumes randomness — an eval that touched
+  // the training stream would shift every subsequent epoch.
+  GraphDataset ds = EasyDataset(20);
+  TrainConfig config = FastConfig();
+  config.encoder.dropout = 0.3f;
+  config.seed = 11;
+  TrainConfig sparse = config;
+  sparse.eval_every = 3;
+  const TrainResult every = TrainAndEvaluate(Method::kGin, ds, config);
+  const TrainResult third = TrainAndEvaluate(Method::kGin, ds, sparse);
+  EXPECT_EQ(every.epoch_losses, third.epoch_losses);
+}
+
+TEST(TrainerTest, FinalEpochAlwaysEvaluated) {
+  GraphDataset ds = EasyDataset(10);
+  TrainConfig config = FastConfig();
+  config.epochs = 4;
+  config.eval_every = 100;  // Larger than the run: only the last epoch.
+  const TrainResult result = TrainAndEvaluate(Method::kGcn, ds, config);
+  EXPECT_GE(result.valid_metric, 0.0);  // -1 would mean "never evaluated".
+  EXPECT_GE(result.test_metric, 0.0);
+}
+
+TEST(TrainerTest, EvaluateSplitDrawsNothingFromRng) {
+  GraphDataset ds = EasyDataset(10);
+  Rng model_rng(3);
+  EncoderConfig encoder;
+  encoder.feature_dim = ds.feature_dim;
+  encoder.hidden_dim = 8;
+  encoder.num_layers = 2;
+  GraphPredictionModel model(Method::kGin, encoder, ds.OutputDim(),
+                             &model_rng);
+  Rng eval_rng(9);
+  const std::string before = eval_rng.SaveState();
+  EvaluateSplit(&model, ds, ds.train_idx, /*batch_size=*/8, &eval_rng);
+  EXPECT_EQ(eval_rng.SaveState(), before);
+}
+
 TEST(TrainerTest, WarmupSkipsReweighting) {
   GraphDataset ds = EasyDataset(20);
   TrainConfig config = FastConfig();

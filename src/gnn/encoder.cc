@@ -88,7 +88,7 @@ Variable MessagePassingEncoder::Encode(const GraphBatch& batch, bool training,
       vn = virtual_node_->Update(vn, h, batch, training);
     }
   }
-  return Readout(h, batch.node_graph, batch.num_graphs, config_.readout);
+  return Readout(h, batch, config_.readout);
 }
 
 HierarchicalPoolEncoder::HierarchicalPoolEncoder(PoolKind kind,
@@ -130,11 +130,8 @@ Variable HierarchicalPoolEncoder::Encode(const GraphBatch& batch,
                             : topk_pools_[l]->Forward(h, topology);
     h = pooled.h;
     topology = std::move(pooled.topology);
-    Variable block = ConcatCols(
-        {Readout(h, topology.node_graph, topology.num_graphs,
-                 ReadoutKind::kMean),
-         Readout(h, topology.node_graph, topology.num_graphs,
-                 ReadoutKind::kMax)});
+    Variable block = ConcatCols({Readout(h, topology, ReadoutKind::kMean),
+                                 Readout(h, topology, ReadoutKind::kMax)});
     summary = summary.defined() ? Add(summary, block) : block;
   }
   return summary;
@@ -161,7 +158,7 @@ Variable FactorGcnEncoder::Encode(const GraphBatch& batch, bool training,
     h = conv->Forward(h, batch);
     h = Dropout(h, config_.dropout, rng, training);
   }
-  return Readout(h, batch.node_graph, batch.num_graphs, config_.readout);
+  return Readout(h, batch, config_.readout);
 }
 
 }  // namespace oodgnn

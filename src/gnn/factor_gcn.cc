@@ -24,10 +24,14 @@ Variable FactorGcnConv::Forward(const Variable& h,
   OODGNN_CHECK_EQ(h.rows(), batch.num_nodes);
   last_attention_.clear();
 
+  const bool planned = batch.has_plans();
   Variable endpoints;
   if (!batch.edge_src.empty()) {
-    endpoints = ConcatCols(
-        {RowGather(h, batch.edge_src), RowGather(h, batch.edge_dst)});
+    endpoints =
+        planned ? ConcatCols({RowGather(h, BySrc(batch.plan)),
+                              RowGather(h, ByDst(batch.plan))})
+                : ConcatCols({RowGather(h, batch.edge_src),
+                              RowGather(h, batch.edge_dst)});
   }
 
   std::vector<Variable> factor_outputs;
@@ -41,10 +45,14 @@ Variable FactorGcnConv::Forward(const Variable& h,
     }
     Variable alpha = Sigmoid(attention_[f]->Forward(endpoints));  // [E,1]
     last_attention_.push_back(alpha.value());
-    Variable messages =
-        MulColVec(RowGather(transformed, batch.edge_src), alpha);
-    Variable aggregated =
-        ScatterAddRows(messages, batch.edge_dst, batch.num_nodes);
+    Variable aggregated;
+    if (planned) {
+      aggregated = GatherScatterWeighted(transformed, alpha, batch.plan);
+    } else {
+      Variable messages =
+          MulColVec(RowGather(transformed, batch.edge_src), alpha);
+      aggregated = ScatterAddRows(messages, batch.edge_dst, batch.num_nodes);
+    }
     factor_outputs.push_back(Relu(Add(transformed, aggregated)));
   }
   return ConcatCols(factor_outputs);

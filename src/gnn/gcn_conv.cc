@@ -16,7 +16,22 @@ Variable GcnConv::Forward(const Variable& h, const GraphBatch& batch) const {
   OODGNN_CHECK_EQ(h.rows(), batch.num_nodes);
   Variable transformed = linear_->Forward(h);
 
-  // Self-loop-augmented inverse sqrt degrees.
+  if (batch.has_plans()) {
+    // Normalization coefficients were precomputed in FinalizePlans();
+    // the edge term fuses gather, per-edge scaling, and the planned
+    // segment scatter.
+    Variable out = MulColVec(transformed,
+                             Variable::Constant(batch.gcn_self_coeff));
+    if (!batch.edge_src.empty()) {
+      out = Add(out, GatherScatterWeighted(
+                         transformed,
+                         Variable::Constant(batch.gcn_edge_coeff),
+                         batch.plan));
+    }
+    return out;
+  }
+
+  // Unplanned fallback: self-loop-augmented inverse sqrt degrees.
   std::vector<float> inv_sqrt_deg(static_cast<size_t>(batch.num_nodes));
   for (int v = 0; v < batch.num_nodes; ++v) {
     inv_sqrt_deg[static_cast<size_t>(v)] =

@@ -18,6 +18,8 @@ Variable GinConv::Forward(const Variable& h, const GraphBatch& batch,
   Variable aggregated =
       batch.edge_src.empty()
           ? Variable::Constant(Tensor(batch.num_nodes, h.cols()))
+      : batch.has_plans()
+          ? GatherScatter(h, batch.plan)
           : ScatterAddRows(RowGather(h, batch.edge_src), batch.edge_dst,
                            batch.num_nodes);
   Variable self_term = MulByScalarVar(h, AddScalar(eps_, 1.f));

@@ -34,8 +34,15 @@ Variable PnaConv::Forward(const Variable& h, const GraphBatch& batch) const {
     max_agg = Variable::Constant(zeros);
     min_agg = Variable::Constant(zeros);
   } else {
-    Variable gathered = RowGather(messages, batch.edge_src);
-    sum_agg = ScatterAddRows(gathered, batch.edge_dst, n);
+    // `gathered` feeds three aggregators, so the planned path keeps it
+    // materialized (no gather-scatter fusion) and swaps in the planned
+    // overloads only.
+    Variable gathered = batch.has_plans()
+                            ? RowGather(messages, BySrc(batch.plan))
+                            : RowGather(messages, batch.edge_src);
+    sum_agg = batch.has_plans()
+                  ? ScatterAddRows(gathered, ByDst(batch.plan))
+                  : ScatterAddRows(gathered, batch.edge_dst, n);
     // Mean: divide by in-degree (zero-degree nodes keep zero rows).
     std::vector<float> inv_deg(static_cast<size_t>(n));
     for (int v = 0; v < n; ++v) {
@@ -45,8 +52,13 @@ Variable PnaConv::Forward(const Variable& h, const GraphBatch& batch) const {
     }
     mean_agg =
         MulColVec(sum_agg, Variable::Constant(Tensor::ColVector(inv_deg)));
-    max_agg = SegmentMax(gathered, batch.edge_dst, n);
-    min_agg = SegmentMin(gathered, batch.edge_dst, n);
+    if (batch.has_plans()) {
+      max_agg = SegmentMax(gathered, ByDst(batch.plan));
+      min_agg = SegmentMin(gathered, ByDst(batch.plan));
+    } else {
+      max_agg = SegmentMax(gathered, batch.edge_dst, n);
+      min_agg = SegmentMin(gathered, batch.edge_dst, n);
+    }
   }
 
   // Degree scalers (Corso et al. Eq. 5): identity, amplification

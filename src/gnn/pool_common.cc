@@ -68,8 +68,9 @@ GraphBatch InduceSubgraph(const GraphBatch& batch,
     }
   }
 
-  out.in_degree.assign(kept.size(), 0);
-  for (int v : out.edge_dst) ++out.in_degree[static_cast<size_t>(v)];
+  // Builds the derived batch's own plans (and its in_degree, which is
+  // derived from them) — the parent's plans index the pre-pool node set.
+  out.FinalizePlans();
 
   out.class_labels = batch.class_labels;
   out.targets = batch.targets;

@@ -20,4 +20,22 @@ Variable Readout(const Variable& h, const std::vector<int>& node_graph,
   return Variable();
 }
 
+Variable Readout(const Variable& h, const GraphBatch& batch,
+                 ReadoutKind kind) {
+  if (!batch.has_plans()) {
+    return Readout(h, batch.node_graph, batch.num_graphs, kind);
+  }
+  OODGNN_CHECK_EQ(h.rows(), batch.node_plan->num_items());
+  switch (kind) {
+    case ReadoutKind::kSum:
+      return SegmentSum(h, batch.node_plan);
+    case ReadoutKind::kMean:
+      return SegmentMean(h, batch.node_plan);
+    case ReadoutKind::kMax:
+      return SegmentMax(h, batch.node_plan);
+  }
+  OODGNN_CHECK(false) << "unknown readout";
+  return Variable();
+}
+
 }  // namespace oodgnn

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "src/graph/batch.h"
 #include "src/tensor/variable.h"
 
 namespace oodgnn {
@@ -14,6 +15,11 @@ enum class ReadoutKind { kSum, kMean, kMax };
 /// [num_graphs, d] according to `node_graph` assignments.
 Variable Readout(const Variable& h, const std::vector<int>& node_graph,
                  int num_graphs, ReadoutKind kind);
+
+/// Batch overload: pools through the batch's cached node plan when
+/// present, falling back to the index-vector path otherwise.
+Variable Readout(const Variable& h, const GraphBatch& batch,
+                 ReadoutKind kind);
 
 }  // namespace oodgnn
 

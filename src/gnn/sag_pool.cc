@@ -1,7 +1,10 @@
 #include "src/gnn/sag_pool.h"
 
+#include <memory>
+
 #include "src/gnn/pool_common.h"
 #include "src/tensor/ops.h"
+#include "src/tensor/segment_plan.h"
 #include "src/util/check.h"
 
 namespace oodgnn {
@@ -21,8 +24,12 @@ PoolResult SagPool::Forward(const Variable& h,
   PoolResult result;
   result.kept = SelectTopKNodes(scores.value(), batch, ratio_);
   result.topology = InduceSubgraph(batch, result.kept);
-  Variable gate = TanhOp(RowGather(scores, result.kept));
-  result.h = MulColVec(RowGather(h, result.kept), gate);
+  // One plan over the kept indices serves both gathers (their backward
+  // scatters parallelize over the surviving nodes).
+  SegmentPlanPtr kept_plan = std::make_shared<const SegmentPlan>(
+      SegmentPlan::Build(result.kept, batch.num_nodes));
+  Variable gate = TanhOp(RowGather(scores, kept_plan));
+  result.h = MulColVec(RowGather(h, kept_plan), gate);
   return result;
 }
 

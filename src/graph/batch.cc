@@ -1,10 +1,71 @@
 #include "src/graph/batch.h"
 
 #include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
 
 #include "src/util/check.h"
 
 namespace oodgnn {
+
+void GraphBatch::FinalizePlans() {
+  auto edge_plan = std::make_shared<MessagePlan>(
+      MessagePlan::Build(edge_src, edge_dst, num_nodes));
+  // The shared in-degree derivation: counts are the dst-plan offsets
+  // diffs (previously recounted here, in Graph::InDegrees and in
+  // InduceSubgraph).
+  in_degree = edge_plan->by_dst.SegmentCounts();
+
+  std::vector<int> aug_src = edge_src;
+  std::vector<int> aug_dst = edge_dst;
+  aug_src.reserve(aug_src.size() + static_cast<size_t>(num_nodes));
+  aug_dst.reserve(aug_dst.size() + static_cast<size_t>(num_nodes));
+  for (int v = 0; v < num_nodes; ++v) {
+    aug_src.push_back(v);
+    aug_dst.push_back(v);
+  }
+  self_loop_plan = std::make_shared<MessagePlan>(
+      MessagePlan::Build(std::move(aug_src), std::move(aug_dst), num_nodes));
+
+  node_plan = std::make_shared<SegmentPlan>(
+      SegmentPlan::Build(node_graph, num_graphs));
+
+  // GcnConv normalization, with the exact arithmetic of the previous
+  // per-forward loops: inv-sqrt first, then products.
+  std::vector<float> inv_sqrt_deg(static_cast<size_t>(num_nodes));
+  std::vector<float> self_coeff(static_cast<size_t>(num_nodes));
+  for (int v = 0; v < num_nodes; ++v) {
+    const float s = 1.f / std::sqrt(static_cast<float>(
+                              in_degree[static_cast<size_t>(v)] + 1));
+    inv_sqrt_deg[static_cast<size_t>(v)] = s;
+    self_coeff[static_cast<size_t>(v)] = s * s;
+  }
+  gcn_self_coeff =
+      num_nodes > 0 ? Tensor::ColVector(self_coeff) : Tensor();
+  if (!edge_src.empty()) {
+    std::vector<float> edge_coeff(edge_src.size());
+    for (size_t e = 0; e < edge_src.size(); ++e) {
+      edge_coeff[e] = inv_sqrt_deg[static_cast<size_t>(edge_src[e])] *
+                      inv_sqrt_deg[static_cast<size_t>(edge_dst[e])];
+    }
+    gcn_edge_coeff = Tensor::ColVector(edge_coeff);
+  } else {
+    gcn_edge_coeff = Tensor();
+  }
+
+  plan = std::move(edge_plan);
+}
+
+bool GraphBatch::has_plans() const {
+  return plan != nullptr && self_loop_plan != nullptr &&
+         node_plan != nullptr && plan->num_rows == num_nodes &&
+         plan->num_edges() == static_cast<int>(edge_src.size()) &&
+         self_loop_plan->num_edges() ==
+             static_cast<int>(edge_src.size()) + num_nodes &&
+         node_plan->num_segments == num_graphs &&
+         node_plan->num_items() == static_cast<int>(node_graph.size());
+}
 
 GraphBatch GraphBatch::FromGraphs(const std::vector<const Graph*>& graphs) {
   OODGNN_CHECK(!graphs.empty());
@@ -62,8 +123,7 @@ GraphBatch GraphBatch::FromGraphs(const std::vector<const Graph*>& graphs) {
     node_offset += g.num_nodes();
   }
 
-  batch.in_degree.assign(static_cast<size_t>(total_nodes), 0);
-  for (int v : batch.edge_dst) ++batch.in_degree[static_cast<size_t>(v)];
+  batch.FinalizePlans();
   return batch;
 }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/graph/graph.h"
+#include "src/tensor/segment_plan.h"
 #include "src/tensor/tensor.h"
 
 namespace oodgnn {
@@ -36,6 +37,45 @@ struct GraphBatch {
   /// Empty tensors when the task has no vector targets.
   Tensor targets;
   Tensor target_mask;
+
+  // --- precomputed message-passing plans (DESIGN.md §12) ---
+  //
+  // Built by FinalizePlans() (called by FromGraphs and InduceSubgraph)
+  // and reused by every conv layer, epoch, and both autograd
+  // directions. shared_ptr because autograd closures capture them and
+  // the tape can outlive the batch (pooled topologies). A batch whose
+  // edge/node vectors are mutated after construction must call
+  // FinalizePlans() again; convs fall back to the unplanned ops when
+  // has_plans() is false.
+
+  /// CSR twin plans over edge_src/edge_dst.
+  std::shared_ptr<const MessagePlan> plan;
+
+  /// Plans over the self-loop-augmented edge list (edges in original
+  /// order, then one self-loop per node) — the topology GatConv
+  /// attends over.
+  std::shared_ptr<const MessagePlan> self_loop_plan;
+
+  /// Plan over node_graph (segments = graphs) for readout/virtual-node
+  /// pooling.
+  std::shared_ptr<const SegmentPlan> node_plan;
+
+  /// GcnConv normalization coefficients, precomputed once per batch:
+  /// self path 1/(d_v+1) as [num_nodes, 1], edge path
+  /// 1/√(d_src+1)·√(d_dst+1) as [num_edges, 1] (empty when edgeless).
+  Tensor gcn_self_coeff;
+  Tensor gcn_edge_coeff;
+
+  /// (Re)builds plan/self_loop_plan/node_plan, derives in_degree from
+  /// the dst-sorted plan offsets, and precomputes the GCN coefficient
+  /// vectors. Must be called again after any mutation of
+  /// edge_src/edge_dst/node_graph.
+  void FinalizePlans();
+
+  /// True when the cached plans are size-consistent with the current
+  /// edge/node vectors (staleness after in-place index rewrites cannot
+  /// be detected — rebuild via FinalizePlans()).
+  bool has_plans() const;
 
   /// Builds a batch from graph pointers. All graphs must share the same
   /// feature width and target arity.

@@ -4,6 +4,7 @@
 #include <functional>
 #include <numeric>
 
+#include "src/tensor/segment_plan.h"
 #include "src/util/check.h"
 
 namespace oodgnn {
@@ -21,9 +22,7 @@ void Graph::AddUndirectedEdge(int u, int v) {
 }
 
 std::vector<int> Graph::InDegrees() const {
-  std::vector<int> degree(static_cast<size_t>(num_nodes()), 0);
-  for (int v : edge_dst) ++degree[static_cast<size_t>(v)];
-  return degree;
+  return SegmentPlan::Build(edge_dst, num_nodes()).SegmentCounts();
 }
 
 bool Graph::HasEdge(int u, int v) const {

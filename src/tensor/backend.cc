@@ -60,7 +60,12 @@ enum class KernelOp : int {
   kGatherRows,
   kGatherRowsAcc,
   kScatterAddRows,
+  kScatterPlanned,
+  kGatherScatter,
+  kGatherScatterWeighted,
+  kEdgeDot,
   kSegmentExtreme,
+  kSegmentExtremePlanned,
   kSegmentExtremeBackward,
   kCopyRows,
   kNumOps,
@@ -112,8 +117,18 @@ const char* KernelOpName(KernelOp op) {
       return "gather_rows_acc";
     case KernelOp::kScatterAddRows:
       return "scatter_add_rows";
+    case KernelOp::kScatterPlanned:
+      return "scatter_planned";
+    case KernelOp::kGatherScatter:
+      return "gather_scatter";
+    case KernelOp::kGatherScatterWeighted:
+      return "gather_scatter_weighted";
+    case KernelOp::kEdgeDot:
+      return "edge_dot";
     case KernelOp::kSegmentExtreme:
       return "segment_extreme";
+    case KernelOp::kSegmentExtremePlanned:
+      return "segment_extreme_planned";
     case KernelOp::kSegmentExtremeBackward:
       return "segment_extreme_backward";
     case KernelOp::kCopyRows:
@@ -406,6 +421,87 @@ void Backend::ScatterAddRowsAcc(const Tensor& a, const std::vector<int>& index,
   ForCost(out->rows(), static_cast<std::int64_t>(a.size()),
           [&](int r0, int r1) {
             kernels::ScatterAddRowsAcc(a, index, out, r0, r1);
+          });
+}
+
+void Backend::ScatterAddRowsPlanned(const Tensor& a, const SegmentPlan& plan,
+                                    Tensor* out) const {
+  OODGNN_CHECK_EQ(a.rows(), plan.num_items());
+  OODGNN_CHECK_EQ(a.cols(), out->cols());
+  OODGNN_CHECK_EQ(out->rows(), plan.num_segments);
+  KernelScope scope(
+      KernelOp::kScatterPlanned, a.size(),
+      WouldParallelize(plan.num_segments, static_cast<std::int64_t>(a.size())));
+  ForCost(plan.num_segments, static_cast<std::int64_t>(a.size()),
+          [&](int s0, int s1) {
+            kernels::ScatterAddRowsPlanned(a, plan.perm, plan.offsets, out, s0,
+                                           s1);
+          });
+}
+
+void Backend::GatherScatterAcc(const Tensor& h, const std::vector<int>& gather,
+                               const SegmentPlan& plan, Tensor* out) const {
+  OODGNN_CHECK_EQ(static_cast<int>(gather.size()), plan.num_items());
+  OODGNN_CHECK_EQ(h.cols(), out->cols());
+  OODGNN_CHECK_EQ(out->rows(), plan.num_segments);
+  const std::int64_t flops =
+      static_cast<std::int64_t>(plan.num_items()) * h.cols();
+  KernelScope scope(KernelOp::kGatherScatter, flops,
+                    WouldParallelize(plan.num_segments, flops));
+  ForCost(plan.num_segments, flops, [&](int s0, int s1) {
+    kernels::GatherScatterAcc(h, gather, plan.offsets, out, s0, s1);
+  });
+}
+
+void Backend::GatherScatterWeightedAcc(const Tensor& h, const Tensor& w,
+                                       const std::vector<int>& gather,
+                                       const SegmentPlan& plan,
+                                       Tensor* out) const {
+  OODGNN_CHECK_EQ(static_cast<int>(gather.size()), plan.num_items());
+  OODGNN_CHECK_EQ(w.rows(), plan.num_items());
+  OODGNN_CHECK_EQ(w.cols(), 1);
+  OODGNN_CHECK_EQ(h.cols(), out->cols());
+  OODGNN_CHECK_EQ(out->rows(), plan.num_segments);
+  const std::int64_t flops =
+      2ll * plan.num_items() * h.cols();
+  KernelScope scope(KernelOp::kGatherScatterWeighted, flops,
+                    WouldParallelize(plan.num_segments, flops));
+  ForCost(plan.num_segments, flops, [&](int s0, int s1) {
+    kernels::GatherScatterWeightedAcc(h, w, plan.perm, gather, plan.offsets,
+                                      out, s0, s1);
+  });
+}
+
+void Backend::EdgeDotAcc(const Tensor& x, const Tensor& y,
+                         const std::vector<int>& xi,
+                         const std::vector<int>& yi, Tensor* out) const {
+  OODGNN_CHECK_EQ(xi.size(), yi.size());
+  OODGNN_CHECK_EQ(x.cols(), y.cols());
+  OODGNN_CHECK_EQ(out->rows(), static_cast<int>(xi.size()));
+  OODGNN_CHECK_EQ(out->cols(), 1);
+  const int edges = static_cast<int>(xi.size());
+  const std::int64_t flops = 2ll * edges * x.cols();
+  KernelScope scope(KernelOp::kEdgeDot, flops,
+                    WouldParallelize(edges, flops));
+  ForCost(edges, flops, [&](int e0, int e1) {
+    kernels::EdgeDotAcc(x, y, xi, yi, out, e0, e1);
+  });
+}
+
+void Backend::SegmentExtremePlanned(const Tensor& a, const SegmentPlan& plan,
+                                    bool is_max, Tensor* out,
+                                    std::vector<int>* argrow) const {
+  OODGNN_CHECK_EQ(a.rows(), plan.num_items());
+  OODGNN_CHECK_EQ(a.cols(), out->cols());
+  OODGNN_CHECK_EQ(out->rows(), plan.num_segments);
+  OODGNN_CHECK_EQ(static_cast<int>(argrow->size()), out->size());
+  KernelScope scope(
+      KernelOp::kSegmentExtremePlanned, a.size(),
+      WouldParallelize(plan.num_segments, static_cast<std::int64_t>(a.size())));
+  ForCost(plan.num_segments, static_cast<std::int64_t>(a.size()),
+          [&](int s0, int s1) {
+            kernels::SegmentExtremePlanned(a, plan.perm, plan.offsets, is_max,
+                                           out, argrow, s0, s1);
           });
 }
 

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/tensor/segment_plan.h"
 #include "src/tensor/tensor.h"
 
 namespace oodgnn {
@@ -95,9 +96,35 @@ class Backend {
   /// out[r,:] += g[index[r],:].
   void GatherRowsAcc(const Tensor& g, const std::vector<int>& index,
                      Tensor* out) const;
-  /// out[index[i],:] += a[i,:] (segment sum / scatter-add).
+  /// out[index[i],:] += a[i,:] (segment sum / scatter-add). Full-scan
+  /// fallback for ad-hoc indices: every chunk scans the whole index
+  /// vector. Prefer the planned variant when a SegmentPlan exists.
   void ScatterAddRowsAcc(const Tensor& a, const std::vector<int>& index,
                          Tensor* out) const;
+  /// Planned scatter-add: out[s,:] += Σ a[plan-ordered rows of s,:].
+  /// Parallelizes over destination segments; bitwise identical to
+  /// ScatterAddRowsAcc over plan.items, with no full-E scans.
+  void ScatterAddRowsPlanned(const Tensor& a, const SegmentPlan& plan,
+                             Tensor* out) const;
+  /// Fused gather→scatter: out[s,:] += Σ_j h[gather[j],:] over the
+  /// plan's segment j-ranges. `gather` must be pre-permuted into plan
+  /// order (MessagePlan::src_by_dst / dst_by_src).
+  void GatherScatterAcc(const Tensor& h, const std::vector<int>& gather,
+                        const SegmentPlan& plan, Tensor* out) const;
+  /// Weighted fused gather→scatter: out[s,:] += Σ_j h[gather[j],:] ·
+  /// w[plan.perm[j],0] (w is [E,1], indexed by original edge).
+  void GatherScatterWeightedAcc(const Tensor& h, const Tensor& w,
+                                const std::vector<int>& gather,
+                                const SegmentPlan& plan, Tensor* out) const;
+  /// out[e,0] += ⟨x[xi[e],:], y[yi[e],:]⟩ per edge.
+  void EdgeDotAcc(const Tensor& x, const Tensor& y,
+                  const std::vector<int>& xi, const std::vector<int>& yi,
+                  Tensor* out) const;
+  /// Planned per-segment max/min; same semantics/tie-breaking as
+  /// SegmentExtreme but without full-E scans per chunk.
+  void SegmentExtremePlanned(const Tensor& a, const SegmentPlan& plan,
+                             bool is_max, Tensor* out,
+                             std::vector<int>* argrow) const;
   /// Per-segment max/min with argmax rows recorded for the backward.
   void SegmentExtreme(const Tensor& a, const std::vector<int>& segment,
                       bool is_max, Tensor* out,

@@ -231,6 +231,98 @@ void ScatterAddRowsAcc(const Tensor& a, const std::vector<int>& index,
   }
 }
 
+void ScatterAddRowsPlanned(const Tensor& a, const std::vector<int>& perm,
+                           const std::vector<int>& offsets, Tensor* out,
+                           int s0, int s1) {
+  const int cols = a.cols();
+  for (int s = s0; s < s1; ++s) {
+    float* orow = out->row(s);
+    const int begin = offsets[static_cast<size_t>(s)];
+    const int end = offsets[static_cast<size_t>(s) + 1];
+    for (int j = begin; j < end; ++j) {
+      const float* src = a.row(perm[static_cast<size_t>(j)]);
+      for (int c = 0; c < cols; ++c) orow[c] += src[c];
+    }
+  }
+}
+
+void GatherScatterAcc(const Tensor& h, const std::vector<int>& gather,
+                      const std::vector<int>& offsets, Tensor* out, int s0,
+                      int s1) {
+  const int cols = h.cols();
+  for (int s = s0; s < s1; ++s) {
+    float* orow = out->row(s);
+    const int begin = offsets[static_cast<size_t>(s)];
+    const int end = offsets[static_cast<size_t>(s) + 1];
+    for (int j = begin; j < end; ++j) {
+      const float* src = h.row(gather[static_cast<size_t>(j)]);
+      for (int c = 0; c < cols; ++c) orow[c] += src[c];
+    }
+  }
+}
+
+void GatherScatterWeightedAcc(const Tensor& h, const Tensor& w,
+                              const std::vector<int>& perm,
+                              const std::vector<int>& gather,
+                              const std::vector<int>& offsets, Tensor* out,
+                              int e_s0, int e_s1) {
+  const int cols = h.cols();
+  for (int s = e_s0; s < e_s1; ++s) {
+    float* orow = out->row(s);
+    const int begin = offsets[static_cast<size_t>(s)];
+    const int end = offsets[static_cast<size_t>(s) + 1];
+    for (int j = begin; j < end; ++j) {
+      const float* src = h.row(gather[static_cast<size_t>(j)]);
+      const float wv = w.at(perm[static_cast<size_t>(j)], 0);
+      for (int c = 0; c < cols; ++c) orow[c] += src[c] * wv;
+    }
+  }
+}
+
+void EdgeDotAcc(const Tensor& x, const Tensor& y, const std::vector<int>& xi,
+                const std::vector<int>& yi, Tensor* out, int e0, int e1) {
+  const int cols = x.cols();
+  for (int e = e0; e < e1; ++e) {
+    const float* xrow = x.row(xi[static_cast<size_t>(e)]);
+    const float* yrow = y.row(yi[static_cast<size_t>(e)]);
+    float acc = 0.f;
+    for (int c = 0; c < cols; ++c) acc += xrow[c] * yrow[c];
+    out->at(e, 0) += acc;
+  }
+}
+
+void SegmentExtremePlanned(const Tensor& a, const std::vector<int>& perm,
+                           const std::vector<int>& offsets, bool is_max,
+                           Tensor* out, std::vector<int>* argrow, int s0,
+                           int s1) {
+  const int cols = a.cols();
+  const float init = is_max ? -std::numeric_limits<float>::infinity()
+                            : std::numeric_limits<float>::infinity();
+  for (int s = s0; s < s1; ++s) {
+    float* orow = out->row(s);
+    std::fill(orow, orow + cols, init);
+    std::fill(argrow->begin() + static_cast<size_t>(s) * cols,
+              argrow->begin() + static_cast<size_t>(s + 1) * cols, -1);
+    const int begin = offsets[static_cast<size_t>(s)];
+    const int end = offsets[static_cast<size_t>(s) + 1];
+    for (int j = begin; j < end; ++j) {
+      const int r = perm[static_cast<size_t>(j)];
+      const float* arow = a.row(r);
+      for (int c = 0; c < cols; ++c) {
+        const bool better = is_max ? arow[c] > orow[c] : arow[c] < orow[c];
+        if (better) {
+          orow[c] = arow[c];
+          (*argrow)[static_cast<size_t>(s) * cols + c] = r;
+        }
+      }
+    }
+    // Empty segments: replace ±inf sentinels with zeros.
+    for (int c = 0; c < cols; ++c) {
+      if ((*argrow)[static_cast<size_t>(s) * cols + c] < 0) orow[c] = 0.f;
+    }
+  }
+}
+
 void SegmentExtreme(const Tensor& a, const std::vector<int>& segment,
                     bool is_max, Tensor* out, std::vector<int>* argrow,
                     int s0, int s1) {

@@ -111,6 +111,48 @@ void GatherRowsAcc(const Tensor& g, const std::vector<int>& index, Tensor* out,
 void ScatterAddRowsAcc(const Tensor& a, const std::vector<int>& index,
                        Tensor* out, int out_r0, int out_r1);
 
+/// Planned scatter-add: out[s,:] += Σ_j a[perm[j],:] for j in
+/// [offsets[s], offsets[s+1]), for every segment s in [s0, s1); range
+/// over *segments* of out. perm/offsets come from a SegmentPlan, whose
+/// stable order makes the per-row accumulation identical to the
+/// ascending-i full-scan of ScatterAddRowsAcc — without scanning rows
+/// outside the chunk's segments.
+void ScatterAddRowsPlanned(const Tensor& a, const std::vector<int>& perm,
+                           const std::vector<int>& offsets, Tensor* out,
+                           int s0, int s1);
+
+/// Fused gather→scatter: out[s,:] += Σ_j h[gather[j],:] for j in
+/// [offsets[s], offsets[s+1]); range over segments. `gather` is the
+/// pre-permuted source array (MessagePlan::src_by_dst for the forward,
+/// dst_by_src for the h gradient), so the gathered edge tensor is never
+/// materialized.
+void GatherScatterAcc(const Tensor& h, const std::vector<int>& gather,
+                      const std::vector<int>& offsets, Tensor* out, int s0,
+                      int s1);
+
+/// Weighted fused gather→scatter: out[s,:] += Σ_j h[gather[j],:] ·
+/// w[perm[j],0]; range over segments. w is indexed by original edge id
+/// via perm.
+void GatherScatterWeightedAcc(const Tensor& h, const Tensor& w,
+                              const std::vector<int>& perm,
+                              const std::vector<int>& gather,
+                              const std::vector<int>& offsets, Tensor* out,
+                              int e_s0, int e_s1);
+
+/// Per-edge row dot products: out[e,0] += ⟨x[xi[e],:], y[yi[e],:]⟩;
+/// range over edges. The weight gradient of the weighted fused op.
+void EdgeDotAcc(const Tensor& x, const Tensor& y, const std::vector<int>& xi,
+                const std::vector<int>& yi, Tensor* out, int e0, int e1);
+
+/// Planned SegmentExtreme: identical semantics and tie-breaking to
+/// SegmentExtreme (ascending original row within each segment, strict
+/// improvement), but visits each segment's rows via perm/offsets
+/// instead of scanning all of a; range over segments.
+void SegmentExtremePlanned(const Tensor& a, const std::vector<int>& perm,
+                           const std::vector<int>& offsets, bool is_max,
+                           Tensor* out, std::vector<int>* argrow, int s0,
+                           int s1);
+
 /// Per-segment column-wise max (is_max) or min. Writes extreme values
 /// into out rows [s0, s1) (zero for empty segments) and the supplying
 /// row index into argrow[s·cols + c] (-1 for empty); range over

@@ -499,6 +499,129 @@ Variable SegmentMin(const Variable& a, const std::vector<int>& segment,
   return SegmentExtreme(a, segment, num_segments, /*is_max=*/false);
 }
 
+// --- planned overloads ---
+//
+// Each planned op keeps the exact graph structure (parents, closure
+// count) of its unplanned twin and swaps only the kernel driving the
+// scatter direction, so gradient accumulation order — and therefore
+// every float — is unchanged (DESIGN.md §12).
+
+Variable RowGather(const Variable& a, const SegmentPlanPtr& plan) {
+  OODGNN_CHECK(plan != nullptr);
+  OODGNN_CHECK_EQ(plan->num_segments, a.rows());
+  Tensor out(plan->num_items(), a.cols());
+  GetBackend().GatherRows(a.value(), plan->items, &out);
+  NodePtr pa = a.node();
+  return Variable::MakeOp(
+      std::move(out), {pa}, [pa, plan](const VariableNode& self) {
+        if (!pa->requires_grad) return;
+        GetBackend().ScatterAddRowsPlanned(self.grad, *plan, &pa->grad);
+      });
+}
+
+Variable ScatterAddRows(const Variable& a, const SegmentPlanPtr& plan) {
+  OODGNN_CHECK(plan != nullptr);
+  OODGNN_CHECK_EQ(plan->num_items(), a.rows());
+  Tensor out(plan->num_segments, a.cols());
+  GetBackend().ScatterAddRowsPlanned(a.value(), *plan, &out);
+  NodePtr pa = a.node();
+  return Variable::MakeOp(
+      std::move(out), {pa}, [pa, plan](const VariableNode& self) {
+        if (!pa->requires_grad) return;
+        GetBackend().GatherRowsAcc(self.grad, plan->items, &pa->grad);
+      });
+}
+
+Variable SegmentSum(const Variable& a, const SegmentPlanPtr& plan) {
+  return ScatterAddRows(a, plan);
+}
+
+Variable SegmentMean(const Variable& a, const SegmentPlanPtr& plan) {
+  OODGNN_CHECK(plan != nullptr);
+  // 1/count from the plan offsets; identical to the unplanned op's
+  // repeated +1.f counting for any count below 2^24.
+  std::vector<float> inv_count(static_cast<size_t>(plan->num_segments));
+  for (int s = 0; s < plan->num_segments; ++s) {
+    const int count = plan->SegmentSize(s);
+    inv_count[static_cast<size_t>(s)] =
+        count > 0 ? 1.f / static_cast<float>(count) : 0.f;
+  }
+  Variable sum = ScatterAddRows(a, plan);
+  Variable scale = Variable::Constant(Tensor::ColVector(inv_count));
+  return MulColVec(sum, scale);
+}
+
+namespace {
+
+Variable SegmentExtremePlannedImpl(const Variable& a,
+                                   const SegmentPlanPtr& plan, bool is_max) {
+  OODGNN_CHECK(plan != nullptr);
+  OODGNN_CHECK_EQ(plan->num_items(), a.rows());
+  Tensor out(plan->num_segments, a.cols());
+  auto argrow = std::make_shared<std::vector<int>>(
+      static_cast<size_t>(plan->num_segments) * a.cols(), -1);
+  GetBackend().SegmentExtremePlanned(a.value(), *plan, is_max, &out,
+                                     argrow.get());
+  NodePtr pa = a.node();
+  return Variable::MakeOp(
+      std::move(out), {pa}, [pa, argrow](const VariableNode& self) {
+        if (!pa->requires_grad) return;
+        GetBackend().SegmentExtremeBackwardAcc(self.grad, *argrow, &pa->grad);
+      });
+}
+
+}  // namespace
+
+Variable SegmentMax(const Variable& a, const SegmentPlanPtr& plan) {
+  return SegmentExtremePlannedImpl(a, plan, /*is_max=*/true);
+}
+
+Variable SegmentMin(const Variable& a, const SegmentPlanPtr& plan) {
+  return SegmentExtremePlannedImpl(a, plan, /*is_max=*/false);
+}
+
+Variable GatherScatter(const Variable& h, const MessagePlanPtr& plan) {
+  OODGNN_CHECK(plan != nullptr);
+  OODGNN_CHECK_EQ(plan->num_rows, h.rows());
+  Tensor out(plan->num_rows, h.cols());
+  GetBackend().GatherScatterAcc(h.value(), plan->src_by_dst, plan->by_dst,
+                                &out);
+  NodePtr ph = h.node();
+  return Variable::MakeOp(
+      std::move(out), {ph}, [ph, plan](const VariableNode& self) {
+        if (!ph->requires_grad) return;
+        // The adjoint is the transposed message pass: gradient rows
+        // gathered by dst, accumulated into src segments.
+        GetBackend().GatherScatterAcc(self.grad, plan->dst_by_src,
+                                      plan->by_src, &ph->grad);
+      });
+}
+
+Variable GatherScatterWeighted(const Variable& h, const Variable& w,
+                               const MessagePlanPtr& plan) {
+  OODGNN_CHECK(plan != nullptr);
+  OODGNN_CHECK_EQ(plan->num_rows, h.rows());
+  OODGNN_CHECK_EQ(w.rows(), plan->num_edges());
+  OODGNN_CHECK_EQ(w.cols(), 1);
+  Tensor out(plan->num_rows, h.cols());
+  GetBackend().GatherScatterWeightedAcc(h.value(), w.value(), plan->src_by_dst,
+                                        plan->by_dst, &out);
+  NodePtr ph = h.node();
+  NodePtr pw = w.node();
+  return Variable::MakeOp(
+      std::move(out), {ph, pw}, [ph, pw, plan](const VariableNode& self) {
+        if (ph->requires_grad) {
+          GetBackend().GatherScatterWeightedAcc(self.grad, pw->value,
+                                                plan->dst_by_src, plan->by_src,
+                                                &ph->grad);
+        }
+        if (pw->requires_grad) {
+          GetBackend().EdgeDotAcc(self.grad, ph->value, plan->dst(),
+                                  plan->src(), &pw->grad);
+        }
+      });
+}
+
 Variable ConcatCols(const std::vector<Variable>& parts) {
   OODGNN_CHECK(!parts.empty());
   const int rows = parts[0].rows();

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "src/tensor/segment_plan.h"
 #include "src/tensor/variable.h"
 
 namespace oodgnn {
@@ -110,6 +111,39 @@ Variable SegmentMax(const Variable& a, const std::vector<int>& segment,
 /// Per-segment element-wise min (same conventions as SegmentMax).
 Variable SegmentMin(const Variable& a, const std::vector<int>& segment,
                     int num_segments);
+
+// --- planned overloads (CSR segment plans, DESIGN.md §12) ---
+//
+// Bitwise identical to the unplanned ops above at every thread count,
+// but their scatters parallelize over contiguous destination segments
+// instead of scanning the full index vector per chunk. The unplanned
+// overloads remain the fallback for ad-hoc indices (batches without
+// plans, hand-assembled topologies).
+
+/// RowGather over plan->items whose backward scatters through the plan
+/// (plan->num_segments must equal a.rows()).
+Variable RowGather(const Variable& a, const SegmentPlanPtr& plan);
+
+/// ScatterAddRows over plan->items into plan->num_segments rows.
+Variable ScatterAddRows(const Variable& a, const SegmentPlanPtr& plan);
+
+/// Planned SegmentSum / SegmentMean / SegmentMax / SegmentMin over
+/// plan->items.
+Variable SegmentSum(const Variable& a, const SegmentPlanPtr& plan);
+Variable SegmentMean(const Variable& a, const SegmentPlanPtr& plan);
+Variable SegmentMax(const Variable& a, const SegmentPlanPtr& plan);
+Variable SegmentMin(const Variable& a, const SegmentPlanPtr& plan);
+
+/// Fused RowGather(h, plan->src()) → ScatterAddRows(·, plan->dst()):
+/// out[v,:] = Σ_{e: dst[e]=v} h[src[e],:] without materializing the
+/// [E, d] gathered tensor in either direction.
+Variable GatherScatter(const Variable& h, const MessagePlanPtr& plan);
+
+/// Weighted fusion of RowGather → MulColVec(·, w) → ScatterAddRows:
+/// out[v,:] = Σ_{e: dst[e]=v} h[src[e],:]·w[e,0]. w is [E,1]; gradients
+/// flow to both h and w (per-edge dot products for the latter).
+Variable GatherScatterWeighted(const Variable& h, const Variable& w,
+                               const MessagePlanPtr& plan);
 
 /// Horizontal concatenation [m,n1],[m,n2],... -> [m, Σn].
 Variable ConcatCols(const std::vector<Variable>& parts);

@@ -1,0 +1,62 @@
+#include "src/tensor/segment_plan.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace oodgnn {
+
+std::vector<int> SegmentPlan::SegmentCounts() const {
+  std::vector<int> counts(static_cast<size_t>(num_segments));
+  for (int s = 0; s < num_segments; ++s) {
+    counts[static_cast<size_t>(s)] = SegmentSize(s);
+  }
+  return counts;
+}
+
+SegmentPlan SegmentPlan::Build(std::vector<int> items, int num_segments) {
+  OODGNN_CHECK_GE(num_segments, 0);
+  SegmentPlan plan;
+  plan.num_segments = num_segments;
+  plan.items = std::move(items);
+  plan.offsets.assign(static_cast<size_t>(num_segments) + 1, 0);
+  // Counting sort: count, prefix-sum, then a cursor fill that visits
+  // items in ascending position — so perm is stable by construction.
+  for (int s : plan.items) {
+    OODGNN_CHECK(s >= 0 && s < num_segments) << "segment id out of range";
+    ++plan.offsets[static_cast<size_t>(s) + 1];
+  }
+  for (int s = 0; s < num_segments; ++s) {
+    plan.offsets[static_cast<size_t>(s) + 1] +=
+        plan.offsets[static_cast<size_t>(s)];
+  }
+  plan.perm.resize(plan.items.size());
+  std::vector<int> cursor(plan.offsets.begin(), plan.offsets.end() - 1);
+  for (size_t i = 0; i < plan.items.size(); ++i) {
+    const int s = plan.items[i];
+    plan.perm[static_cast<size_t>(cursor[static_cast<size_t>(s)]++)] =
+        static_cast<int>(i);
+  }
+  return plan;
+}
+
+MessagePlan MessagePlan::Build(std::vector<int> src, std::vector<int> dst,
+                               int num_rows) {
+  OODGNN_CHECK_EQ(src.size(), dst.size());
+  MessagePlan plan;
+  plan.num_rows = num_rows;
+  plan.by_dst = SegmentPlan::Build(std::move(dst), num_rows);
+  plan.by_src = SegmentPlan::Build(std::move(src), num_rows);
+  const size_t edges = plan.by_dst.items.size();
+  plan.src_by_dst.resize(edges);
+  plan.dst_by_src.resize(edges);
+  for (size_t j = 0; j < edges; ++j) {
+    plan.src_by_dst[j] =
+        plan.by_src.items[static_cast<size_t>(plan.by_dst.perm[j])];
+    plan.dst_by_src[j] =
+        plan.by_dst.items[static_cast<size_t>(plan.by_src.perm[j])];
+  }
+  return plan;
+}
+
+}  // namespace oodgnn

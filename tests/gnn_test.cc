@@ -58,8 +58,9 @@ GraphBatch PermuteBatch(const GraphBatch& batch,
     out.edge_src[e] = perm[static_cast<size_t>(batch.edge_src[e])];
     out.edge_dst[e] = perm[static_cast<size_t>(batch.edge_dst[e])];
   }
-  out.in_degree.assign(static_cast<size_t>(batch.num_nodes), 0);
-  for (int v : out.edge_dst) ++out.in_degree[static_cast<size_t>(v)];
+  // Rebuild in_degree and the cached message-passing plans for the
+  // permuted topology (copied plans would silently index the old one).
+  out.FinalizePlans();
   return out;
 }
 

@@ -1,15 +1,20 @@
 // Benchmarks of the grad-free inference path (src/serve).
 //
-// Prints three sections:
+// Prints four sections:
 //   1. taped vs no-grad forward on a full eval batch — the measured
 //      speedup from skipping tape construction in eval, plus a bitwise
 //      check that both paths produce identical logits;
 //   2. single-graph latency percentiles (p50/p90/p99) through the
-//      InferenceEngine versus a direct no-grad forward;
+//      InferenceEngine versus a direct no-grad forward, for the eager
+//      engine and the plan-then-execute (compiled) engine;
 //   3. batched throughput (graphs/sec): a serial one-graph-at-a-time
 //      loop versus the engine coalescing concurrent submissions into
-//      dynamic micro-batches, with the engine outputs checked bitwise
-//      against the tape-based reference.
+//      dynamic micro-batches, eager vs compiled, with every engine
+//      output checked bitwise against the tape-based reference;
+//   4. the compiled engine's plan report: arena footprint, slot count,
+//      liveness reuse ratio, and the steady-state allocation counters
+//      (fallback_heap_allocs must be 0 — the zero-allocation serving
+//      guarantee).
 //
 // Flags: --threads N   compute-backend pool size (default 4)
 //        --workers N   engine worker count for the pooled run (default 4)
@@ -17,6 +22,9 @@
 //        --wait-us N   engine batching window in microseconds (default 200)
 //        --requests N  total graphs submitted in the throughput run
 //                      (default 2000)
+//        --json PATH   also write the machine-readable report to PATH
+//                      (scripts/run_bench_inference.sh wraps this into
+//                      BENCH_inference.json)
 
 #include <algorithm>
 #include <chrono>
@@ -25,6 +33,7 @@
 #include <cstring>
 #include <functional>
 #include <future>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -32,8 +41,10 @@
 #include "src/data/triangles.h"
 #include "src/gnn/model_zoo.h"
 #include "src/graph/batch.h"
+#include "src/obs/json.h"
 #include "src/serve/inference.h"
 #include "src/tensor/backend.h"
+#include "src/tensor/exec_plan.h"
 #include "src/tensor/variable.h"
 #include "src/util/flags.h"
 #include "src/util/rng.h"
@@ -70,10 +81,82 @@ bool BitwiseEqual(const Tensor& a, const Tensor& b) {
                      sizeof(float) * static_cast<size_t>(a.size())) == 0;
 }
 
-double Percentile(std::vector<double> sorted, double p) {
+double Percentile(const std::vector<double>& sorted, double p) {
   const size_t idx = static_cast<size_t>(
       p / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
   return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+struct LatencyReport {
+  double p50_us = 0;
+  double p90_us = 0;
+  double p99_us = 0;
+};
+
+/// Sorted single-graph Predict latencies through a one-worker,
+/// batch-of-one engine (queue handoff + one forward per sample).
+LatencyReport MeasureLatency(serve::InferenceEngine* engine,
+                             const std::vector<const Graph*>& graphs,
+                             int samples) {
+  engine->Predict(*graphs[0]);  // Warm-up (worker spin-up, plan touch).
+  std::vector<double> latencies_us;
+  latencies_us.reserve(static_cast<size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    const Graph& g = *graphs[static_cast<size_t>(i) % graphs.size()];
+    const auto t0 = std::chrono::steady_clock::now();
+    engine->Predict(g);
+    latencies_us.push_back(std::chrono::duration<double, std::micro>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count());
+  }
+  std::sort(latencies_us.begin(), latencies_us.end());
+  LatencyReport report;
+  report.p50_us = Percentile(latencies_us, 50);
+  report.p90_us = Percentile(latencies_us, 90);
+  report.p99_us = Percentile(latencies_us, 99);
+  return report;
+}
+
+struct ThroughputReport {
+  double seconds = 0;
+  bool bitwise_ok = true;
+  serve::InferenceStats stats;
+};
+
+/// `total_requests` graphs through `engine` from 4 submitter threads,
+/// every returned row checked bitwise against `reference`.
+ThroughputReport MeasureThroughput(serve::InferenceEngine* engine,
+                                   const std::vector<const Graph*>& graphs,
+                                   const std::vector<Tensor>& reference,
+                                   int total_requests) {
+  engine->Predict(*graphs[0]);  // Warm-up off the clock.
+  ThroughputReport report;
+  const int submitters = 4;
+  std::vector<std::thread> threads;
+  std::vector<std::vector<std::pair<size_t, std::future<Tensor>>>> futures(
+      static_cast<size_t>(submitters));
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int s = 0; s < submitters; ++s) {
+    threads.emplace_back([&, s] {
+      for (int i = s; i < total_requests; i += submitters) {
+        const size_t gi = static_cast<size_t>(i) % graphs.size();
+        futures[static_cast<size_t>(s)].emplace_back(
+            gi, engine->Submit(*graphs[gi]));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (auto& shard : futures) {
+    for (auto& [gi, future] : shard) {
+      const Tensor row = future.get();
+      if (!BitwiseEqual(row, reference[gi])) report.bitwise_ok = false;
+    }
+  }
+  report.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  report.stats = engine->stats();
+  return report;
 }
 
 void RunBench(const Flags& flags) {
@@ -81,6 +164,7 @@ void RunBench(const Flags& flags) {
   const int max_batch = flags.GetInt("batch", 32);
   const int wait_us = flags.GetInt("wait-us", 200);
   const int total_requests = flags.GetInt("requests", 2000);
+  const std::string json_path = flags.GetString("json", "");
 
   // Dataset + model at the paper's Triangles scale (scaled-down test
   // split: the serving path only touches eval graphs).
@@ -108,6 +192,17 @@ void RunBench(const Flags& flags) {
   const GraphBatch eval_batch = GraphBatch::FromGraphs(eval_graphs);
   Rng eval_rng(23);
 
+  // Plan envelope sized from the known graph population (the serving
+  // operator's job): a worst-case batch of max_batch copies of the
+  // biggest eval graph. Keeps every batch inside the plan, so the
+  // steady state allocates nothing.
+  int max_graph_nodes = 0;
+  int max_graph_edges = 0;
+  for (const Graph* g : eval_graphs) {
+    max_graph_nodes = std::max(max_graph_nodes, g->num_nodes());
+    max_graph_edges = std::max(max_graph_edges, g->num_edges());
+  }
+
   const unsigned cores = std::thread::hardware_concurrency();
   std::printf("Inference-path benchmark: %s, %zu eval graphs, hidden=%d, "
               "layers=%d, backend threads=%d\n",
@@ -128,6 +223,7 @@ void RunBench(const Flags& flags) {
     nograd_logits =
         model.Predict(eval_batch, /*training=*/false, &eval_rng).value();
   }
+  const bool nograd_bitwise = BitwiseEqual(taped_logits, nograd_logits);
   const double taped_s = TimePerCall(
       [&] { model.Predict(eval_batch, /*training=*/false, &eval_rng); });
   const double nograd_s = TimePerCall([&] {
@@ -138,32 +234,32 @@ void RunBench(const Flags& flags) {
   std::printf("  taped:   %9.3f ms/call\n", taped_s * 1e3);
   std::printf("  no-grad: %9.3f ms/call   speedup %.2fx   bitwise %s\n\n",
               nograd_s * 1e3, taped_s / nograd_s,
-              BitwiseEqual(taped_logits, nograd_logits) ? "OK" : "DIVERGED");
+              nograd_bitwise ? "OK" : "DIVERGED");
 
-  // --- 2. single-graph latency percentiles ---------------------------
+  // --- 2. single-graph latency percentiles: eager vs compiled --------
   // One worker, batch size 1, no batching window: each Predict measures
   // queue handoff + one forward.
+  LatencyReport eager_latency;
+  LatencyReport planned_latency;
+  double direct_us = 0;
   {
+    const int samples = 400;
     serve::InferenceOptions options;
     options.num_workers = 1;
     options.max_batch_graphs = 1;
     options.max_batch_wait_us = 0;
-    serve::InferenceEngine engine(spec, options);
-    engine.SyncFrom(model);
 
-    const int samples = 400;
-    std::vector<double> latencies_us;
-    latencies_us.reserve(static_cast<size_t>(samples));
-    for (int i = 0; i < samples; ++i) {
-      const Graph& g =
-          *eval_graphs[static_cast<size_t>(i) % eval_graphs.size()];
-      const auto t0 = std::chrono::steady_clock::now();
-      engine.Predict(g);
-      latencies_us.push_back(std::chrono::duration<double, std::micro>(
-                                 std::chrono::steady_clock::now() - t0)
-                                 .count());
-    }
-    std::sort(latencies_us.begin(), latencies_us.end());
+    options.compiled = false;
+    serve::InferenceEngine eager(spec, options);
+    eager.SyncFrom(model);
+    eager_latency = MeasureLatency(&eager, eval_graphs, samples);
+
+    options.compiled = true;
+    options.plan_max_nodes = max_graph_nodes;
+    options.plan_max_edges = max_graph_edges;
+    serve::InferenceEngine planned(spec, options);
+    planned.SyncFrom(model);
+    planned_latency = MeasureLatency(&planned, eval_graphs, samples);
 
     const Graph& probe = *eval_graphs[0];
     const GraphBatch probe_batch = GraphBatch::FromGraphs({&probe});
@@ -171,14 +267,18 @@ void RunBench(const Flags& flags) {
       NoGradGuard no_grad;
       model.Predict(probe_batch, /*training=*/false, &eval_rng);
     });
+    direct_us = direct_s * 1e6;
     std::printf("single-graph latency (engine, %d samples)\n", samples);
-    std::printf("  p50 %8.1f us   p90 %8.1f us   p99 %8.1f us   "
+    std::printf("  eager:    p50 %8.1f us   p90 %8.1f us   p99 %8.1f us\n",
+                eager_latency.p50_us, eager_latency.p90_us,
+                eager_latency.p99_us);
+    std::printf("  compiled: p50 %8.1f us   p90 %8.1f us   p99 %8.1f us   "
                 "(direct no-grad forward: %.1f us)\n\n",
-                Percentile(latencies_us, 50), Percentile(latencies_us, 90),
-                Percentile(latencies_us, 99), direct_s * 1e6);
+                planned_latency.p50_us, planned_latency.p90_us,
+                planned_latency.p99_us, direct_us);
   }
 
-  // --- 3. batched throughput: serial loop vs pooled engine -----------
+  // --- 3. batched throughput: serial loop vs pooled engines ----------
   // Reference rows for the bitwise check, via the tape-based path.
   std::vector<Tensor> reference;
   for (const Graph* g : eval_graphs) {
@@ -203,55 +303,126 @@ void RunBench(const Flags& flags) {
   options.num_workers = workers;
   options.max_batch_graphs = max_batch;
   options.max_batch_wait_us = wait_us;
-  serve::InferenceEngine engine(spec, options);
-  engine.SyncFrom(model);
-  // Warm-up so thread creation/first-touch costs are off the clock.
-  engine.Predict(*eval_graphs[0]);
 
-  bool bitwise_ok = true;
-  double pooled_s;
-  {
-    const int submitters = 4;
-    std::vector<std::thread> threads;
-    std::vector<std::vector<std::pair<size_t, std::future<Tensor>>>> futures(
-        static_cast<size_t>(submitters));
-    const auto t0 = std::chrono::steady_clock::now();
-    for (int s = 0; s < submitters; ++s) {
-      threads.emplace_back([&, s] {
-        for (int i = s; i < total_requests; i += submitters) {
-          const size_t gi = static_cast<size_t>(i) % eval_graphs.size();
-          futures[static_cast<size_t>(s)].emplace_back(
-              gi, engine.Submit(*eval_graphs[gi]));
-        }
-      });
-    }
-    for (std::thread& t : threads) t.join();
-    for (auto& shard : futures) {
-      for (auto& [gi, future] : shard) {
-        const Tensor row = future.get();
-        if (!BitwiseEqual(row, reference[gi])) bitwise_ok = false;
-      }
-    }
-    pooled_s =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
+  options.compiled = false;
+  serve::InferenceEngine eager_engine(spec, options);
+  eager_engine.SyncFrom(model);
+  const ThroughputReport eager_tp =
+      MeasureThroughput(&eager_engine, eval_graphs, reference, total_requests);
+
+  options.compiled = true;
+  options.plan_max_nodes = max_batch * max_graph_nodes;
+  options.plan_max_edges = max_batch * max_graph_edges;
+  serve::InferenceEngine planned_engine(spec, options);
+  planned_engine.SyncFrom(model);
+  const ThroughputReport planned_tp = MeasureThroughput(
+      &planned_engine, eval_graphs, reference, total_requests);
+
+  std::printf("batched throughput (%d requests)\n", total_requests);
+  std::printf("  serial loop:     %10.1f graphs/sec\n",
+              total_requests / serial_s);
+  std::printf("  eager engine:    %10.1f graphs/sec   speedup %.2fx   "
+              "bitwise %s\n",
+              total_requests / eager_tp.seconds, serial_s / eager_tp.seconds,
+              eager_tp.bitwise_ok ? "OK" : "DIVERGED");
+  std::printf("  compiled engine: %10.1f graphs/sec   speedup %.2fx   "
+              "bitwise %s   (vs eager %.2fx)\n",
+              total_requests / planned_tp.seconds,
+              serial_s / planned_tp.seconds,
+              planned_tp.bitwise_ok ? "OK" : "DIVERGED",
+              eager_tp.seconds / planned_tp.seconds);
+  std::printf("  engine: %d workers, batch<=%d, wait %d us, "
+              "%lld batches (%.1f graphs/batch avg)\n\n",
+              workers, max_batch, wait_us,
+              static_cast<long long>(planned_tp.stats.batches),
+              planned_tp.stats.batches > 0
+                  ? static_cast<double>(planned_tp.stats.requests) /
+                        static_cast<double>(planned_tp.stats.batches)
+                  : 0.0);
+
+  // --- 4. compiled plan report ---------------------------------------
+  const std::shared_ptr<const ComputePlan> plan = planned_engine.plan();
+  const serve::InferenceStats ps = planned_tp.stats;
+  if (plan != nullptr) {
+    std::printf("compiled plan (per worker)\n");
+    std::printf("  arena %.1f KiB, %zu slots (%.1f KiB demand, reuse "
+                "%.2fx), %zu kernels, %zu ops\n",
+                static_cast<double>(plan->capacity_bytes()) / 1024.0,
+                plan->slots.size(),
+                static_cast<double>(plan->slot_floats_total) * 4.0 / 1024.0,
+                plan->reuse_ratio(), plan->kernels.size(), plan->ops.size());
+    std::printf("  planned %lld / eager %lld / diverged %lld batches, "
+                "fallback heap allocs %lld%s\n\n",
+                static_cast<long long>(ps.planned_batches),
+                static_cast<long long>(ps.eager_batches),
+                static_cast<long long>(ps.diverged_batches),
+                static_cast<long long>(ps.fallback_heap_allocs),
+                ps.fallback_heap_allocs == 0
+                    ? "  (zero-allocation steady state: OK)"
+                    : "");
   }
 
-  const serve::InferenceStats stats = engine.stats();
-  std::printf("batched throughput (%d requests)\n", total_requests);
-  std::printf("  serial loop:   %10.1f graphs/sec\n",
-              total_requests / serial_s);
-  std::printf("  pooled engine: %10.1f graphs/sec   speedup %.2fx   "
-              "bitwise %s\n",
-              total_requests / pooled_s, serial_s / pooled_s,
-              bitwise_ok ? "OK" : "DIVERGED");
-  std::printf("  engine: %d workers, batch<=%d, wait %d us, "
-              "%lld batches (%.1f graphs/batch avg)\n",
-              workers, max_batch, wait_us,
-              static_cast<long long>(stats.batches),
-              stats.batches > 0 ? static_cast<double>(stats.requests) /
-                                      static_cast<double>(stats.batches)
-                                : 0.0);
+  if (!json_path.empty()) {
+    const bool bitwise_ok =
+        nograd_bitwise && eager_tp.bitwise_ok && planned_tp.bitwise_ok;
+    obs::JsonObjectWriter plan_json;
+    if (plan != nullptr) {
+      plan_json.Put("arena_bytes", static_cast<std::int64_t>(ps.arena_bytes))
+          .Put("slots", static_cast<std::int64_t>(plan->slots.size()))
+          .Put("kernels", static_cast<std::int64_t>(plan->kernels.size()))
+          .Put("ops", static_cast<std::int64_t>(plan->ops.size()))
+          .Put("reuse_ratio", plan->reuse_ratio())
+          .Put("planned_batches", ps.planned_batches)
+          .Put("eager_batches", ps.eager_batches)
+          .Put("diverged_batches", ps.diverged_batches)
+          .Put("fallback_heap_allocs", ps.fallback_heap_allocs)
+          .Put("recompiles", ps.plan_recompiles);
+    }
+    const std::string report =
+        obs::JsonObjectWriter()
+            .Put("bench", "inference")
+            .Put("method", MethodName(spec.method))
+            .Put("eval_graphs", static_cast<std::int64_t>(eval_graphs.size()))
+            .Put("hidden_dim", spec.encoder.hidden_dim)
+            .Put("num_layers", spec.encoder.num_layers)
+            .Put("threads", GetBackend().num_threads())
+            .Put("hardware_concurrency", static_cast<int>(cores))
+            .Put("workers", workers)
+            .Put("max_batch", max_batch)
+            .Put("wait_us", wait_us)
+            .Put("requests", total_requests)
+            .Put("taped_ms", taped_s * 1e3)
+            .Put("nograd_ms", nograd_s * 1e3)
+            .Put("nograd_speedup", taped_s / nograd_s)
+            .PutRaw("latency_us",
+                    obs::JsonObjectWriter()
+                        .Put("direct", direct_us)
+                        .Put("eager_p50", eager_latency.p50_us)
+                        .Put("eager_p90", eager_latency.p90_us)
+                        .Put("eager_p99", eager_latency.p99_us)
+                        .Put("compiled_p50", planned_latency.p50_us)
+                        .Put("compiled_p90", planned_latency.p90_us)
+                        .Put("compiled_p99", planned_latency.p99_us)
+                        .Build())
+            .PutRaw("throughput_gps",
+                    obs::JsonObjectWriter()
+                        .Put("serial", total_requests / serial_s)
+                        .Put("eager", total_requests / eager_tp.seconds)
+                        .Put("compiled", total_requests / planned_tp.seconds)
+                        .Put("compiled_vs_eager",
+                             eager_tp.seconds / planned_tp.seconds)
+                        .Build())
+            .PutRaw("plan", plan_json.Build())
+            .Put("bitwise_ok", bitwise_ok)
+            .Build();
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      std::fprintf(f, "%s\n", report.c_str());
+      std::fclose(f);
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::printf("ERROR: cannot write %s\n", json_path.c_str());
+    }
+  }
 }
 
 }  // namespace

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Builds the project under a sanitizer and runs the hardened-surface
 # suites (ctest label "sanitize": serialize_test, kernels_test,
-# checkpoint_test, serve_test, golden_test — the untrusted-byte
-# parsers, the parallel kernels, and the concurrent inference engine).
-# The "thread" build is the TSan pass over the engine's request queue
-# and shared-weight locking.
+# checkpoint_test, serve_test, golden_test, exec_plan_test — the
+# untrusted-byte parsers, the parallel kernels, the concurrent
+# inference engine, and the arena allocator / plan record-replay layer,
+# whose pointer arithmetic over shared slabs is exactly what ASan is
+# for). The "thread" build is the TSan pass over the engine's request
+# queue, shared-weight locking, and plan/arena swaps.
 #
 # Usage: scripts/sanitize_tests.sh [address|undefined|thread]
 set -euo pipefail

@@ -21,6 +21,50 @@ namespace {
 /// are bitwise identical to each other even before any SyncFrom/Load.
 constexpr uint64_t kReplicaInitSeed = 0x00D64E2A11CE5EEDull;
 
+/// True when `graphs` matches the profile the plan was recorded at
+/// closely enough that replaying it can only diverge per-block (size
+/// overflow), never structurally. Structural mismatches — a target
+/// arity the batch constructor would allocate differently for, or an
+/// edgeless batch taking the conv layers' empty-edge branch — run
+/// eager instead.
+bool PlanAdmits(const ComputePlan& plan,
+                const std::vector<const Graph*>& graphs) {
+  if (graphs.empty()) return false;
+  if (static_cast<int>(graphs[0]->targets.size()) != plan.num_targets) {
+    return false;
+  }
+  std::int64_t edges = 0;
+  for (const Graph* g : graphs) edges += g->num_edges();
+  return edges > 0;
+}
+
+/// Deterministic reference batch at the plan envelope: `num_graphs`
+/// graphs totalling `max_nodes` nodes (the first takes the bulk) and
+/// `max_edges` directed edges laid along a cycle of the first graph.
+std::vector<Graph> MakeReferenceGraphs(int num_graphs, int max_nodes,
+                                       int max_edges, int feature_dim,
+                                       int num_targets) {
+  std::vector<Graph> graphs;
+  graphs.reserve(static_cast<size_t>(num_graphs));
+  const int bulk = std::max(1, max_nodes - (num_graphs - 1));
+  for (int i = 0; i < num_graphs; ++i) {
+    Graph g(i == 0 ? bulk : 1, feature_dim);
+    g.x.Fill(1.f);
+    g.label = 0;
+    if (num_targets > 0) g.targets.assign(static_cast<size_t>(num_targets), 0.f);
+    graphs.push_back(std::move(g));
+  }
+  Graph& first = graphs[0];
+  for (int e = 0; first.num_edges() < max_edges; ++e) {
+    // Walks the cycle with an increasing stride, so edge count is
+    // exact even past 2 * bulk edges (duplicates are legal multigraph
+    // edges for every plan/normalization path).
+    const int stride = 1 + e / std::max(1, bulk);
+    first.AddEdge(e % bulk, (e + stride) % bulk);
+  }
+  return graphs;
+}
+
 /// Copies `src` tensors into a module's parameters and buffers
 /// (registration order). Caller has already validated counts/shapes.
 void ApplyState(const std::vector<Tensor>& params,
@@ -50,12 +94,17 @@ InferenceEngine::InferenceEngine(const ModelSpec& spec,
   OODGNN_CHECK_GE(options_.max_batch_wait_us, 0);
   replicas_.reserve(static_cast<size_t>(options_.num_workers));
   worker_rngs_.reserve(static_cast<size_t>(options_.num_workers));
+  arenas_.reserve(static_cast<size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
     Rng init_rng(kReplicaInitSeed);
     replicas_.push_back(std::make_unique<GraphPredictionModel>(
         spec_.method, spec_.encoder, spec_.output_dim, &init_rng));
     worker_rngs_.push_back(std::make_unique<Rng>(kReplicaInitSeed + i));
+    arenas_.push_back(std::make_unique<PlanArena>());
   }
+  // Workers have not started yet, so no lock is needed for the initial
+  // compile.
+  if (options_.compiled) RecompilePlanLocked();
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back(&InferenceEngine::WorkerLoop, this, i);
@@ -85,6 +134,10 @@ void InferenceEngine::SyncFrom(const GraphPredictionModel& model) {
   for (auto& replica : replicas_) {
     ApplyState(params, buffers, replica.get());
   }
+  // One writer critical section swaps the weights AND the plan traced
+  // against them; a worker can never see new weights with a stale plan
+  // (or vice versa).
+  if (options_.compiled) RecompilePlanLocked();
 }
 
 bool InferenceEngine::LoadModelFile(const std::string& path) {
@@ -101,6 +154,7 @@ bool InferenceEngine::LoadModelFile(const std::string& path) {
   for (size_t i = 1; i < replicas_.size(); ++i) {
     ApplyState(params, buffers, replicas_[i].get());
   }
+  if (options_.compiled) RecompilePlanLocked();
   return true;
 }
 
@@ -134,6 +188,7 @@ bool InferenceEngine::LoadCheckpoint(const std::string& path) {
   for (auto& replica : replicas_) {
     ApplyState(state.params, state.buffers, replica.get());
   }
+  if (options_.compiled) RecompilePlanLocked();
   return true;
 }
 
@@ -162,7 +217,79 @@ InferenceStats InferenceEngine::stats() const {
   InferenceStats stats;
   stats.requests = requests_.load(std::memory_order_relaxed);
   stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.planned_batches = planned_batches_.load(std::memory_order_relaxed);
+  stats.eager_batches = eager_batches_.load(std::memory_order_relaxed);
+  stats.diverged_batches = diverged_batches_.load(std::memory_order_relaxed);
+  stats.fallback_heap_allocs =
+      fallback_heap_allocs_.load(std::memory_order_relaxed);
+  stats.plan_recompiles = plan_recompiles_.load(std::memory_order_relaxed);
+  stats.arena_bytes = arena_bytes_.load(std::memory_order_relaxed);
   return stats;
+}
+
+std::shared_ptr<const ComputePlan> InferenceEngine::plan() const {
+  std::shared_lock<std::shared_mutex> lock(weights_mu_);
+  return plan_;
+}
+
+void InferenceEngine::RecompilePlanLocked() {
+  OODGNN_TRACE_SCOPE("serve/plan_compile");
+  const int num_graphs = options_.max_batch_graphs;
+  const int max_nodes = std::max(
+      options_.plan_max_nodes > 0 ? options_.plan_max_nodes : 32 * num_graphs,
+      num_graphs);
+  const int max_edges = std::max(
+      options_.plan_max_edges > 0 ? options_.plan_max_edges : 4 * max_nodes,
+      2);
+  const std::vector<Graph> ref_graphs =
+      MakeReferenceGraphs(num_graphs, max_nodes, max_edges,
+                          spec_.encoder.feature_dim, spec_.num_targets);
+  std::vector<const Graph*> ptrs;
+  ptrs.reserve(ref_graphs.size());
+  for (const Graph& g : ref_graphs) ptrs.push_back(&g);
+
+  NoGradGuard no_grad;
+  // Warm-up forward through every replica first: module-internal
+  // caches created lazily on a replica's first forward (e.g. FactorGCN
+  // attention) must already exist when the stream is recorded, or
+  // workers' first replays would see extra allocations the plan does
+  // not have.
+  for (auto& replica : replicas_) {
+    const GraphBatch batch = GraphBatch::FromGraphs(ptrs);
+    Rng rng(kReplicaInitSeed);
+    (void)replica->Predict(batch, /*training=*/false, &rng);
+  }
+
+  ComputePlan plan;
+  {
+    PlanRecordScope record;
+    {
+      const GraphBatch batch = GraphBatch::FromGraphs(ptrs);
+      Rng rng(kReplicaInitSeed);
+      const Tensor logits =
+          replicas_[0]->Predict(batch, /*training=*/false, &rng).value();
+      (void)logits;
+    }  // Intermediates die here: their extents become reusable holes.
+    plan = record.Finish();
+  }
+  plan.max_graphs = num_graphs;
+  plan.max_nodes = max_nodes;
+  plan.max_edges = max_edges;
+  plan.num_targets = spec_.num_targets;
+  plan_ = std::make_shared<const ComputePlan>(std::move(plan));
+  for (auto& arena : arenas_) arena->Resize(plan_->capacity_floats);
+  plan_recompiles_.fetch_add(1, std::memory_order_relaxed);
+  arena_bytes_.store(plan_->capacity_bytes(), std::memory_order_relaxed);
+  if (obs::ProfilingEnabled()) {
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.GetGauge("serve/plan/arena_bytes")
+        .Set(static_cast<double>(plan_->capacity_bytes()));
+    registry.GetGauge("serve/plan/slots")
+        .Set(static_cast<double>(plan_->slots.size()));
+    registry.GetGauge("serve/plan/reuse_x1000")
+        .Set(1000.0 * plan_->reuse_ratio());
+    registry.GetCounter("serve/plan/recompiles").Increment();
+  }
 }
 
 void InferenceEngine::WorkerLoop(int worker_index) {
@@ -210,7 +337,6 @@ void InferenceEngine::ExecuteBatch(int worker_index,
   std::vector<const Graph*> graphs;
   graphs.reserve(batch.size());
   for (const Request& request : batch) graphs.push_back(request.graph);
-  const GraphBatch graph_batch = GraphBatch::FromGraphs(graphs);
 
   Tensor logits;
   {
@@ -218,9 +344,55 @@ void InferenceEngine::ExecuteBatch(int worker_index,
     NoGradGuard no_grad;
     Rng* rng = worker_rngs_[static_cast<size_t>(worker_index)].get();
     const std::string rng_before = rng->SaveState();
-    logits = replicas_[static_cast<size_t>(worker_index)]
-                 ->Predict(graph_batch, /*training=*/false, rng)
-                 .value();
+    GraphPredictionModel* model =
+        replicas_[static_cast<size_t>(worker_index)].get();
+    // plan_ / arenas_ are stable while the shared lock is held; the
+    // replay scope pins the arena buffer beyond it through the logits'
+    // storage.
+    const std::shared_ptr<const ComputePlan> plan = plan_;
+    if (plan != nullptr && PlanAdmits(*plan, graphs)) {
+      PlanReplayScope replay(plan, arenas_[static_cast<size_t>(worker_index)].get());
+      {
+        // Batch construction is part of the recorded stream: its
+        // tensors (features, GCN coefficients, targets) occupy plan
+        // slots like any forward intermediate.
+        const GraphBatch graph_batch = GraphBatch::FromGraphs(graphs);
+        logits = model->Predict(graph_batch, /*training=*/false, rng).value();
+      }
+      const PlanReplayStats& replay_stats = replay.stats();
+      planned_batches_.fetch_add(1, std::memory_order_relaxed);
+      if (replay_stats.diverged) {
+        diverged_batches_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (replay_stats.heap_allocs > 0) {
+        fallback_heap_allocs_.fetch_add(replay_stats.heap_allocs,
+                                        std::memory_order_relaxed);
+      }
+      if (obs::ProfilingEnabled()) {
+        auto& registry = obs::MetricsRegistry::Global();
+        registry.GetGauge("serve/plan/peak_bytes")
+            .Set(static_cast<double>(replay_stats.peak_floats) *
+                 static_cast<double>(sizeof(float)));
+        if (replay_stats.diverged) {
+          registry.GetCounter("serve/plan/diverged_batches").Increment();
+        }
+        if (replay_stats.heap_allocs > 0) {
+          registry.GetCounter("serve/plan/fallback_heap_allocs")
+              .Add(replay_stats.heap_allocs);
+        }
+      }
+    } else {
+      const GraphBatch graph_batch = GraphBatch::FromGraphs(graphs);
+      logits = model->Predict(graph_batch, /*training=*/false, rng).value();
+      if (plan != nullptr) {
+        eager_batches_.fetch_add(1, std::memory_order_relaxed);
+        if (obs::ProfilingEnabled()) {
+          obs::MetricsRegistry::Global()
+              .GetCounter("serve/plan/eager_batches")
+              .Increment();
+        }
+      }
+    }
     OODGNN_CHECK(rng->SaveState() == rng_before)
         << "eval-mode Predict consumed randomness";
   }

@@ -16,6 +16,8 @@
 #include "src/gnn/encoder.h"
 #include "src/gnn/model_zoo.h"
 #include "src/graph/graph.h"
+#include "src/tensor/arena.h"
+#include "src/tensor/exec_plan.h"
 #include "src/tensor/tensor.h"
 #include "src/util/rng.h"
 
@@ -30,6 +32,12 @@ struct ModelSpec {
   Method method = Method::kGin;
   EncoderConfig encoder;
   int output_dim = 0;
+  /// Vector-target arity of the graphs this engine will serve (the
+  /// Graph::targets length; 0 for class-label-only graphs). Batch
+  /// construction allocates targets/mask tensors only when nonzero, so
+  /// a compiled plan is specific to one arity; batches with a
+  /// different arity run eager.
+  int num_targets = 0;
 };
 
 /// Micro-batching policy. A worker that picks up a request waits at
@@ -41,6 +49,23 @@ struct InferenceOptions {
   int num_workers = 1;
   int max_batch_graphs = 32;
   int max_batch_wait_us = 200;
+
+  /// Plan-then-execute mode (DESIGN.md §13): trace one reference
+  /// forward at the envelope batch shape into a static ComputePlan and
+  /// serve every same-structured batch from a per-worker preallocated
+  /// arena with zero steady-state heap allocation. Batches outside the
+  /// envelope (or structurally different, e.g. edgeless) transparently
+  /// run eager. Defaults to the process-wide toggle
+  /// (--compiled / OODGNN_COMPILED).
+  bool compiled = CompiledEnabled();
+
+  /// Reference-batch envelope the plan is recorded at: total nodes and
+  /// directed edges across the batch. 0 = auto (scaled from
+  /// max_batch_graphs). Batches larger than the envelope still execute
+  /// correctly — oversized intermediates fall back to the heap
+  /// block-by-block.
+  int plan_max_nodes = 0;
+  int plan_max_edges = 0;
 };
 
 /// Aggregate counters since construction (atomic snapshots; safe to
@@ -48,6 +73,17 @@ struct InferenceOptions {
 struct InferenceStats {
   std::int64_t requests = 0;  ///< Graphs submitted.
   std::int64_t batches = 0;   ///< Micro-batches executed.
+
+  // Compiled-execution counters (all zero when options.compiled is
+  // off).
+  std::int64_t planned_batches = 0;   ///< Served through a replay scope.
+  std::int64_t eager_batches = 0;     ///< Batch profile failed the plan pre-check.
+  std::int64_t diverged_batches = 0;  ///< Replay left the recorded stream.
+  /// Heap blocks allocated inside replay scopes (0 in steady state —
+  /// the zero-allocation serving guarantee the tests pin).
+  std::int64_t fallback_heap_allocs = 0;
+  std::int64_t plan_recompiles = 0;   ///< Compiles (construction + syncs).
+  std::int64_t arena_bytes = 0;       ///< Per-worker arena capacity.
 };
 
 /// Grad-free serving front end over the existing kernel backend.
@@ -106,6 +142,10 @@ class InferenceEngine {
   const ModelSpec& spec() const { return spec_; }
   const InferenceOptions& options() const { return options_; }
 
+  /// The currently compiled plan (null when options.compiled is off).
+  /// Takes the weight lock shared; safe while serving.
+  std::shared_ptr<const ComputePlan> plan() const;
+
  private:
   struct Request {
     const Graph* graph;
@@ -114,6 +154,12 @@ class InferenceEngine {
 
   void WorkerLoop(int worker_index);
   void ExecuteBatch(int worker_index, std::vector<Request> batch);
+
+  /// (Re)traces the reference forward into plan_ and resizes every
+  /// worker arena. Caller holds weights_mu_ exclusively (or no workers
+  /// are running yet), so the plan and the weights it was traced
+  /// against swap as one unit.
+  void RecompilePlanLocked();
 
   const ModelSpec spec_;
   const InferenceOptions options_;
@@ -127,8 +173,15 @@ class InferenceEngine {
   std::vector<std::unique_ptr<Rng>> worker_rngs_;
 
   /// Workers hold this shared during a forward; weight updates
-  /// (SyncFrom / Load*) hold it exclusively.
-  std::shared_mutex weights_mu_;
+  /// (SyncFrom / Load*) hold it exclusively. The compiled plan and the
+  /// worker arenas are guarded by the same lock: a sync swaps weights
+  /// and the plan traced against them atomically (a forward that
+  /// started on the old weights pins the old arena buffer through its
+  /// tensors, so the swap cannot invalidate it).
+  mutable std::shared_mutex weights_mu_;
+
+  std::shared_ptr<const ComputePlan> plan_;        // guarded by weights_mu_
+  std::vector<std::unique_ptr<PlanArena>> arenas_; // guarded by weights_mu_
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
@@ -137,6 +190,12 @@ class InferenceEngine {
 
   std::atomic<std::int64_t> requests_{0};
   std::atomic<std::int64_t> batches_{0};
+  std::atomic<std::int64_t> planned_batches_{0};
+  std::atomic<std::int64_t> eager_batches_{0};
+  std::atomic<std::int64_t> diverged_batches_{0};
+  std::atomic<std::int64_t> fallback_heap_allocs_{0};
+  std::atomic<std::int64_t> plan_recompiles_{0};
+  std::atomic<std::int64_t> arena_bytes_{0};
 
   std::vector<std::thread> workers_;
 };

@@ -1,0 +1,182 @@
+#include "src/tensor/arena.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/util/check.h"
+
+namespace oodgnn {
+namespace {
+
+thread_local std::int64_t tls_heap_allocs = 0;
+thread_local TensorAllocSink* tls_alloc_sink = nullptr;
+
+void AlignedFree(float* p) { std::free(p); }
+
+bool CompiledFromEnv() {
+  const char* env = std::getenv("OODGNN_COMPILED");
+  return env != nullptr && *env != '\0' && std::atoi(env) != 0;
+}
+
+/// Lazily env-initialized, overridable toggle (same pattern as the
+/// backend's OODGNN_THREADS).
+std::mutex g_compiled_mu;
+bool g_compiled_init = false;
+bool g_compiled = false;  // guarded by g_compiled_mu
+
+}  // namespace
+
+std::shared_ptr<float> AllocateAlignedHeapBlock(std::size_t n_floats) {
+  const std::size_t bytes =
+      std::max<std::size_t>(AlignUpFloats(n_floats), kTensorStorageAlignFloats) *
+      sizeof(float);
+  // aligned_alloc requires the size to be a multiple of the alignment;
+  // AlignUpFloats guarantees it.
+  float* p = static_cast<float*>(
+      std::aligned_alloc(kTensorStorageAlignBytes, bytes));
+  OODGNN_CHECK(p != nullptr) << "aligned tensor allocation of " << bytes
+                             << " bytes failed";
+  ++tls_heap_allocs;
+  return std::shared_ptr<float>(p, AlignedFree);
+}
+
+std::int64_t TensorHeapAllocsThisThread() { return tls_heap_allocs; }
+
+std::shared_ptr<float> AllocateTensorStorage(std::size_t n_floats) {
+  if (tls_alloc_sink != nullptr) return tls_alloc_sink->Allocate(n_floats);
+  return AllocateAlignedHeapBlock(n_floats);
+}
+
+ScopedAllocSink::ScopedAllocSink(TensorAllocSink* sink)
+    : previous_(tls_alloc_sink) {
+  tls_alloc_sink = sink;
+}
+
+ScopedAllocSink::~ScopedAllocSink() { tls_alloc_sink = previous_; }
+
+// ---------------------------------------------------------------------------
+// Arena (dynamic first-fit slab allocator)
+// ---------------------------------------------------------------------------
+
+struct Arena::State {
+  struct Slab {
+    std::shared_ptr<float> base;
+    std::size_t capacity = 0;  // floats
+    /// Free extents, offset -> length (floats); adjacent holes are
+    /// coalesced on free.
+    std::map<std::size_t, std::size_t> holes;
+  };
+
+  mutable std::mutex mu;
+  std::vector<Slab> slabs;  // guarded by mu
+  ArenaStats stats;         // guarded by mu
+
+  void Free(std::size_t slab_index, std::size_t offset, std::size_t n) {
+    std::lock_guard<std::mutex> lock(mu);
+    Slab& slab = slabs[slab_index];
+    auto [it, inserted] = slab.holes.emplace(offset, n);
+    OODGNN_CHECK(inserted) << "double free in arena";
+    // Coalesce with the following hole, then with the preceding one.
+    auto next = std::next(it);
+    if (next != slab.holes.end() && it->first + it->second == next->first) {
+      it->second += next->second;
+      slab.holes.erase(next);
+    }
+    if (it != slab.holes.begin()) {
+      auto prev = std::prev(it);
+      if (prev->first + prev->second == it->first) {
+        prev->second += it->second;
+        slab.holes.erase(it);
+      }
+    }
+    stats.live_floats -= static_cast<std::int64_t>(n);
+  }
+};
+
+Arena::Arena(std::size_t initial_floats) : state_(std::make_shared<State>()) {
+  const std::size_t capacity =
+      std::max(AlignUpFloats(initial_floats), kTensorStorageAlignFloats);
+  State::Slab slab;
+  slab.base = AllocateAlignedHeapBlock(capacity);
+  slab.capacity = capacity;
+  slab.holes.emplace(0, capacity);
+  state_->slabs.push_back(std::move(slab));
+  state_->stats.slab_bytes =
+      static_cast<std::int64_t>(capacity * sizeof(float));
+  state_->stats.slab_count = 1;
+}
+
+std::shared_ptr<float> Arena::Allocate(std::size_t n_floats) {
+  const std::size_t n =
+      std::max(AlignUpFloats(n_floats), kTensorStorageAlignFloats);
+  std::shared_ptr<State> state = state_;
+  std::lock_guard<std::mutex> lock(state->mu);
+
+  float* ptr = nullptr;
+  std::size_t slab_index = 0;
+  std::size_t offset = 0;
+  for (std::size_t si = 0; si < state->slabs.size() && ptr == nullptr; ++si) {
+    State::Slab& slab = state->slabs[si];
+    for (auto it = slab.holes.begin(); it != slab.holes.end(); ++it) {
+      if (it->second < n) continue;
+      slab_index = si;
+      offset = it->first;
+      ptr = slab.base.get() + offset;
+      const std::size_t remaining = it->second - n;
+      const std::size_t tail_offset = it->first + n;
+      slab.holes.erase(it);
+      if (remaining > 0) slab.holes.emplace(tail_offset, remaining);
+      break;
+    }
+  }
+  if (ptr == nullptr) {
+    // No hole fits: grow by a doubling slab (at least n).
+    const std::size_t last = state->slabs.back().capacity;
+    const std::size_t capacity = std::max(n, last * 2);
+    State::Slab slab;
+    slab.base = AllocateAlignedHeapBlock(capacity);
+    slab.capacity = capacity;
+    if (capacity > n) slab.holes.emplace(n, capacity - n);
+    slab_index = state->slabs.size();
+    offset = 0;
+    ptr = slab.base.get();
+    state->slabs.push_back(std::move(slab));
+    state->stats.slab_bytes +=
+        static_cast<std::int64_t>(capacity * sizeof(float));
+    state->stats.slab_count += 1;
+  }
+
+  state->stats.allocs += 1;
+  state->stats.live_floats += static_cast<std::int64_t>(n);
+  state->stats.peak_live_floats =
+      std::max(state->stats.peak_live_floats, state->stats.live_floats);
+
+  // The deleter holds the arena state (and through it the slab), so a
+  // block may outlive the Arena handle itself.
+  return std::shared_ptr<float>(
+      ptr, [state, slab_index, offset, n](float*) {
+        state->Free(slab_index, offset, n);
+      });
+}
+
+ArenaStats Arena::stats() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->stats;
+}
+
+bool CompiledEnabled() {
+  std::lock_guard<std::mutex> lock(g_compiled_mu);
+  if (!g_compiled_init) {
+    g_compiled = CompiledFromEnv();
+    g_compiled_init = true;
+  }
+  return g_compiled;
+}
+
+void SetCompiledEnabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(g_compiled_mu);
+  g_compiled = enabled;
+  g_compiled_init = true;
+}
+
+}  // namespace oodgnn

@@ -7,6 +7,7 @@
 
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/tensor/exec_plan.h"
 #include "src/tensor/kernels.h"
 #include "src/util/check.h"
 #include "src/util/thread_pool.h"
@@ -171,6 +172,10 @@ class KernelScope {
  public:
   KernelScope(KernelOp op, std::int64_t elems, bool parallel)
       : active_(obs::ProfilingEnabled()) {
+    // Compiled-plan hook: records the dispatch while a plan is being
+    // traced, verifies the stream cursor while one is replayed, and is
+    // a single thread-local load otherwise.
+    ExecPlanOnKernel(static_cast<int>(op), KernelOpName(op), elems);
     if (!active_) return;
     op_ = op;
     elems_ = elems;

@@ -1,0 +1,266 @@
+#include "src/tensor/exec_plan.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace oodgnn {
+namespace {
+
+/// At most one record or replay scope is active per thread; the hooks
+/// below are a single thread-local load when neither is.
+thread_local PlanRecordScope* tls_record_scope = nullptr;
+thread_local PlanReplayScope* tls_replay_scope = nullptr;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ComputePlan
+// ---------------------------------------------------------------------------
+
+std::string ComputePlan::Summary() const {
+  std::ostringstream out;
+  out << "ComputePlan{slots=" << slots.size() << ", kernels=" << kernels.size()
+      << ", ops=" << ops.size() << ", arena=" << capacity_bytes() << "B"
+      << ", demand=" << slot_floats_total * sizeof(float) << "B"
+      << ", reuse=" << reuse_ratio() << "x"
+      << ", envelope=" << max_graphs << "g/" << max_nodes << "n/" << max_edges
+      << "e}";
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// PlanRecordScope
+// ---------------------------------------------------------------------------
+
+struct PlanRecordScope::State {
+  std::mutex mu;
+  bool finished = false;
+
+  std::vector<PlanSlot> slots;
+  std::vector<PlanKernelNode> kernels;
+  std::vector<PlanOpNode> ops;
+
+  /// Virtual arena space being assigned: free extents offset -> length,
+  /// plus the bump top. First-fit over the holes, bump on miss — the
+  /// same policy the dynamic Arena uses, but over offsets instead of
+  /// real memory, driven by the actual death of each recorded block
+  /// (last-use liveness).
+  std::map<std::size_t, std::size_t> holes;
+  std::size_t top = 0;
+
+  std::int64_t live_floats = 0;
+  std::int64_t peak_live_floats = 0;
+  std::int64_t slot_floats_total = 0;
+
+  std::size_t AssignOffset(std::size_t n) {
+    for (auto it = holes.begin(); it != holes.end(); ++it) {
+      if (it->second < n) continue;
+      const std::size_t offset = it->first;
+      const std::size_t remaining = it->second - n;
+      holes.erase(it);
+      if (remaining > 0) holes.emplace(offset + n, remaining);
+      return offset;
+    }
+    const std::size_t offset = top;
+    top += n;
+    return offset;
+  }
+
+  void Free(std::size_t offset, std::size_t n) {
+    std::lock_guard<std::mutex> lock(mu);
+    live_floats -= static_cast<std::int64_t>(n);
+    if (finished) return;  // Plan already built; extent stays reserved.
+    auto [it, inserted] = holes.emplace(offset, n);
+    OODGNN_CHECK(inserted) << "double free while recording a plan";
+    auto next = std::next(it);
+    if (next != holes.end() && it->first + it->second == next->first) {
+      it->second += next->second;
+      holes.erase(next);
+    }
+    if (it != holes.begin()) {
+      auto prev = std::prev(it);
+      if (prev->first + prev->second == it->first) {
+        prev->second += it->second;
+        holes.erase(it);
+      }
+    }
+  }
+};
+
+PlanRecordScope::PlanRecordScope()
+    : state_(std::make_shared<State>()), install_(this) {
+  OODGNN_CHECK(tls_record_scope == nullptr && tls_replay_scope == nullptr)
+      << "nested plan scopes are not supported";
+  tls_record_scope = this;
+}
+
+PlanRecordScope::~PlanRecordScope() { tls_record_scope = nullptr; }
+
+std::shared_ptr<float> PlanRecordScope::Allocate(std::size_t n_floats) {
+  const std::size_t n =
+      std::max(AlignUpFloats(n_floats), kTensorStorageAlignFloats);
+  // Recording executes on ordinary heap blocks; only the offsets are
+  // simulated. This keeps the recording forward identical to an eager
+  // one (results are bitwise equal by construction).
+  std::shared_ptr<float> heap = AllocateAlignedHeapBlock(n);
+  std::shared_ptr<State> state = state_;
+  std::size_t offset = 0;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    OODGNN_CHECK(!state->finished) << "allocation after Finish() in scope";
+    offset = state->AssignOffset(n);
+    PlanSlot slot;
+    slot.offset = static_cast<std::int64_t>(offset);
+    slot.capacity = static_cast<std::int64_t>(n);
+    slot.op_index = static_cast<std::int64_t>(state->kernels.size());
+    state->slots.push_back(slot);
+    state->slot_floats_total += static_cast<std::int64_t>(n);
+    state->live_floats += static_cast<std::int64_t>(n);
+    state->peak_live_floats =
+        std::max(state->peak_live_floats, state->live_floats);
+  }
+  return std::shared_ptr<float>(heap.get(),
+                                [state, heap, offset, n](float*) mutable {
+                                  state->Free(offset, n);
+                                  heap.reset();
+                                });
+}
+
+void PlanRecordScope::OnKernel(int kernel_id, const char* name,
+                               std::int64_t elems) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->finished) return;
+  PlanKernelNode node;
+  node.kernel_id = kernel_id;
+  node.name = name;
+  node.elems = elems;
+  state_->kernels.push_back(node);
+}
+
+void PlanRecordScope::OnOp(int rows, int cols) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->finished) return;
+  PlanOpNode node;
+  node.rows = rows;
+  node.cols = cols;
+  node.kernels_before = static_cast<std::int64_t>(state_->kernels.size());
+  state_->ops.push_back(node);
+}
+
+ComputePlan PlanRecordScope::Finish() {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  OODGNN_CHECK(!state_->finished) << "Finish() called twice";
+  state_->finished = true;
+  ComputePlan plan;
+  plan.slots = std::move(state_->slots);
+  plan.kernels = std::move(state_->kernels);
+  plan.ops = std::move(state_->ops);
+  plan.capacity_floats =
+      static_cast<std::int64_t>(AlignUpFloats(state_->top));
+  plan.slot_floats_total = state_->slot_floats_total;
+  plan.peak_live_floats = state_->peak_live_floats;
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// PlanArena / PlanReplayScope
+// ---------------------------------------------------------------------------
+
+void PlanArena::Resize(std::int64_t capacity_floats) {
+  capacity_floats_ = static_cast<std::int64_t>(
+      AlignUpFloats(static_cast<std::size_t>(std::max<std::int64_t>(
+          capacity_floats, 0))));
+  buffer_ = capacity_floats_ > 0
+                ? AllocateAlignedHeapBlock(
+                      static_cast<std::size_t>(capacity_floats_))
+                : nullptr;
+}
+
+PlanReplayScope::PlanReplayScope(std::shared_ptr<const ComputePlan> plan,
+                                 const PlanArena* arena)
+    : plan_(std::move(plan)),
+      buffer_(arena != nullptr ? arena->buffer() : nullptr),
+      buffer_capacity_(arena != nullptr ? arena->capacity_floats() : 0),
+      install_(this) {
+  OODGNN_CHECK(tls_record_scope == nullptr && tls_replay_scope == nullptr)
+      << "nested plan scopes are not supported";
+  // A missing plan or an undersized arena cannot serve any slot: run
+  // the whole scope on the heap (recorded as divergence).
+  if (plan_ == nullptr || buffer_ == nullptr ||
+      buffer_capacity_ < plan_->capacity_floats) {
+    stats_.diverged = true;
+  }
+  tls_replay_scope = this;
+}
+
+PlanReplayScope::~PlanReplayScope() { tls_replay_scope = nullptr; }
+
+std::shared_ptr<float> PlanReplayScope::Allocate(std::size_t n_floats) {
+  const std::size_t n =
+      std::max(AlignUpFloats(n_floats), kTensorStorageAlignFloats);
+  if (!stats_.diverged) {
+    if (alloc_cursor_ >= plan_->slots.size()) {
+      // More allocations than the plan recorded: structural divergence.
+      stats_.diverged = true;
+    } else {
+      const PlanSlot& slot = plan_->slots[alloc_cursor_];
+      if (slot.op_index != kernel_cursor_) {
+        // The op stream shifted relative to the recording (a branch the
+        // reference batch did not take). Blocks placed so far followed
+        // the recorded liveness exactly, and everything from here on
+        // comes from the heap, so no two live blocks can alias.
+        stats_.diverged = true;
+      } else if (static_cast<std::int64_t>(n) > slot.capacity) {
+        // Envelope overflow on this one intermediate; alignment with
+        // the plan is intact, so only this block leaves the arena.
+        ++alloc_cursor_;
+        ++stats_.heap_allocs;
+        return AllocateAlignedHeapBlock(n);
+      } else {
+        ++alloc_cursor_;
+        ++stats_.arena_allocs;
+        stats_.peak_floats =
+            std::max(stats_.peak_floats,
+                     slot.offset + static_cast<std::int64_t>(n));
+        // The no-op deleter pins the backing buffer; liveness was
+        // decided at record time, so death returns nothing.
+        std::shared_ptr<float> buffer = buffer_;
+        return std::shared_ptr<float>(
+            buffer.get() + slot.offset, [buffer](float*) {});
+      }
+    }
+  }
+  ++stats_.heap_allocs;
+  return AllocateAlignedHeapBlock(n);
+}
+
+void PlanReplayScope::OnKernel(int kernel_id) {
+  if (stats_.diverged) return;
+  if (kernel_cursor_ >= static_cast<std::int64_t>(plan_->kernels.size()) ||
+      plan_->kernels[static_cast<std::size_t>(kernel_cursor_)].kernel_id !=
+          kernel_id) {
+    stats_.diverged = true;
+    return;
+  }
+  ++kernel_cursor_;
+}
+
+// ---------------------------------------------------------------------------
+// Hooks
+// ---------------------------------------------------------------------------
+
+void ExecPlanOnKernel(int kernel_id, const char* name, std::int64_t out_elems) {
+  if (tls_record_scope != nullptr) {
+    tls_record_scope->OnKernel(kernel_id, name, out_elems);
+  } else if (tls_replay_scope != nullptr) {
+    tls_replay_scope->OnKernel(kernel_id);
+  }
+}
+
+void ExecPlanOnOp(int rows, int cols) {
+  if (tls_record_scope != nullptr) tls_record_scope->OnOp(rows, cols);
+}
+
+}  // namespace oodgnn

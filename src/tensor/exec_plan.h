@@ -1,0 +1,196 @@
+#ifndef OODGNN_TENSOR_EXEC_PLAN_H_
+#define OODGNN_TENSOR_EXEC_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/tensor/arena.h"
+
+namespace oodgnn {
+
+// ---------------------------------------------------------------------------
+// Plan-then-execute inference (DESIGN.md §13).
+//
+// A no-grad forward is traced once at a reference (envelope) batch
+// shape into a static ComputePlan: the topologically ordered op/kernel
+// stream plus, for every intermediate tensor, a static offset into a
+// single preallocated arena. Offsets come from last-use liveness — a
+// block's extent is returned to a first-fit hole list the moment its
+// last owner dies during recording, so later intermediates reuse it.
+// Replaying the plan serves every intermediate of a same-structured
+// forward from the arena with zero heap allocation; any structural
+// divergence (an op sequence the plan has not seen, or a block larger
+// than its recorded envelope slot) degrades transparently to heap
+// allocation for the rest of that forward.
+// ---------------------------------------------------------------------------
+
+/// One intermediate tensor in a compiled plan, in allocation order.
+struct PlanSlot {
+  std::int64_t offset = 0;    ///< Arena offset (floats, 64B-aligned).
+  std::int64_t capacity = 0;  ///< Recorded envelope size (floats, aligned).
+  /// Number of Backend kernels dispatched before this allocation — the
+  /// structural tag replay verifies before placing a block here.
+  std::int64_t op_index = 0;
+};
+
+/// One Backend kernel dispatch in the recorded stream (execution order
+/// == topological order of the forward graph).
+struct PlanKernelNode {
+  int kernel_id = 0;        ///< Backend KernelOp ordinal.
+  const char* name = "";    ///< Static kernel name ("matmul", ...).
+  std::int64_t elems = 0;   ///< Output elements at the reference shape.
+};
+
+/// One autograd-op node recorded from Variable::MakeOp (no-grad mode):
+/// the op-level view of the same stream, with output shapes at the
+/// reference batch.
+struct PlanOpNode {
+  int rows = 0;
+  int cols = 0;
+  /// Kernel dispatches observed before this op completed.
+  std::int64_t kernels_before = 0;
+};
+
+/// Immutable result of recording one reference forward. Shared by all
+/// engine workers; each worker replays it against its own PlanArena.
+class ComputePlan {
+ public:
+  std::vector<PlanSlot> slots;        ///< In allocation order.
+  std::vector<PlanKernelNode> kernels;
+  std::vector<PlanOpNode> ops;
+
+  /// Arena floats needed to hold every slot at its offset (the peak of
+  /// the liveness-scanned first-fit assignment, fragmentation
+  /// included).
+  std::int64_t capacity_floats = 0;
+  /// Sum of slot capacities: what the forward would allocate without
+  /// buffer reuse. reuse_ratio() = this / capacity_floats.
+  std::int64_t slot_floats_total = 0;
+  /// Peak simultaneously-live floats during recording (<= capacity).
+  std::int64_t peak_live_floats = 0;
+
+  // Reference-batch envelope the plan was recorded at, plus the batch
+  // profile replays must match (profile divergence means a different
+  // op stream, so such batches run eager instead).
+  int max_graphs = 0;
+  int max_nodes = 0;
+  int max_edges = 0;
+  int num_targets = 0;
+
+  std::int64_t capacity_bytes() const {
+    return capacity_floats * static_cast<std::int64_t>(sizeof(float));
+  }
+  double reuse_ratio() const {
+    return capacity_floats > 0
+               ? static_cast<double>(slot_floats_total) /
+                     static_cast<double>(capacity_floats)
+               : 0.0;
+  }
+
+  /// Human-readable one-line summary (slot/kernel/op counts, bytes,
+  /// reuse).
+  std::string Summary() const;
+};
+
+/// Records every tensor allocation, free, kernel dispatch and op built
+/// on the calling thread while in scope, running the underlying
+/// forward on ordinary heap blocks. Finish() runs the liveness-driven
+/// first-fit assignment and returns the plan. Use around exactly one
+/// reference forward.
+class PlanRecordScope : public TensorAllocSink {
+ public:
+  PlanRecordScope();
+  ~PlanRecordScope() override;
+  PlanRecordScope(const PlanRecordScope&) = delete;
+  PlanRecordScope& operator=(const PlanRecordScope&) = delete;
+
+  std::shared_ptr<float> Allocate(std::size_t n_floats) override;
+
+  /// Finalizes the plan. Call after the recorded forward's
+  /// intermediates have been destroyed (blocks still alive keep their
+  /// extents reserved forever — correct, just less reusable).
+  ComputePlan Finish();
+
+  /// Hook entry points (via ExecPlanOnKernel / ExecPlanOnOp).
+  void OnKernel(int kernel_id, const char* name, std::int64_t elems);
+  void OnOp(int rows, int cols);
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+  ScopedAllocSink install_;
+};
+
+/// The preallocated backing buffer a worker replays a plan against.
+/// Resize() is called under the engine's exclusive weight lock when a
+/// plan is (re)compiled; blocks handed out by a replay scope pin the
+/// buffer, so a forward that raced an old buffer keeps valid memory.
+class PlanArena {
+ public:
+  PlanArena() = default;
+
+  void Resize(std::int64_t capacity_floats);
+  std::int64_t capacity_floats() const { return capacity_floats_; }
+  float* base() const { return buffer_.get(); }
+  const std::shared_ptr<float>& buffer() const { return buffer_; }
+
+ private:
+  std::shared_ptr<float> buffer_;
+  std::int64_t capacity_floats_ = 0;
+};
+
+/// Per-forward statistics a replay scope accumulates.
+struct PlanReplayStats {
+  std::int64_t arena_allocs = 0;  ///< Blocks served at static offsets.
+  std::int64_t heap_allocs = 0;   ///< Fallback heap blocks (0 in steady state).
+  std::int64_t peak_floats = 0;   ///< High-water arena offset touched.
+  bool diverged = false;          ///< Op stream left the recorded plan.
+};
+
+/// Replays a compiled plan on the calling thread: the k-th tensor
+/// allocation in scope is served at plan->slots[k].offset inside
+/// `arena` after verifying the structural tag and the size envelope.
+/// The first structural mismatch permanently (for this scope) reroutes
+/// allocation to the heap — blocks already placed stay valid and the
+/// forward completes with identical results, just without the arena.
+class PlanReplayScope : public TensorAllocSink {
+ public:
+  PlanReplayScope(std::shared_ptr<const ComputePlan> plan,
+                  const PlanArena* arena);
+  ~PlanReplayScope() override;
+  PlanReplayScope(const PlanReplayScope&) = delete;
+  PlanReplayScope& operator=(const PlanReplayScope&) = delete;
+
+  std::shared_ptr<float> Allocate(std::size_t n_floats) override;
+
+  const PlanReplayStats& stats() const { return stats_; }
+
+  /// Hook entry point (via ExecPlanOnKernel).
+  void OnKernel(int kernel_id);
+
+ private:
+  std::shared_ptr<const ComputePlan> plan_;
+  std::shared_ptr<float> buffer_;  ///< Pins the arena backing buffer.
+  std::int64_t buffer_capacity_ = 0;
+  std::size_t alloc_cursor_ = 0;
+  std::int64_t kernel_cursor_ = 0;
+  PlanReplayStats stats_;
+  ScopedAllocSink install_;
+};
+
+// --- instrumentation hooks (called by backend.cc / variable.cc) -----------
+
+/// Backend kernel dispatch: recorded into the active record scope's
+/// kernel stream, or checked against the active replay scope's cursor.
+/// A single thread-local load when neither is active.
+void ExecPlanOnKernel(int kernel_id, const char* name, std::int64_t out_elems);
+
+/// Variable::MakeOp in no-grad mode: appends an op node while
+/// recording.
+void ExecPlanOnOp(int rows, int cols);
+
+}  // namespace oodgnn
+
+#endif  // OODGNN_TENSOR_EXEC_PLAN_H_

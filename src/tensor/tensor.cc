@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
+#include "src/tensor/arena.h"
 #include "src/util/check.h"
 #include "src/util/rng.h"
 
@@ -11,12 +13,53 @@ namespace oodgnn {
 
 Tensor::Tensor(int rows, int cols) : Tensor(rows, cols, 0.f) {}
 
-Tensor::Tensor(int rows, int cols, float fill)
-    : rows_(rows),
-      cols_(cols),
-      data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), fill) {
+Tensor::Tensor(int rows, int cols, float fill) : rows_(rows), cols_(cols) {
   OODGNN_CHECK_GE(rows, 0);
   OODGNN_CHECK_GE(cols, 0);
+  const size_t n = static_cast<size_t>(rows) * static_cast<size_t>(cols);
+  if (n > 0) {
+    storage_ = AllocateTensorStorage(n);
+    std::fill_n(storage_.get(), n, fill);
+  }
+}
+
+Tensor::Tensor(const Tensor& other) : rows_(other.rows_), cols_(other.cols_) {
+  const size_t n = static_cast<size_t>(other.size());
+  if (n > 0) {
+    storage_ = AllocateTensorStorage(n);
+    std::memcpy(storage_.get(), other.storage_.get(), n * sizeof(float));
+  }
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  const size_t n = static_cast<size_t>(other.size());
+  if (n > 0) {
+    storage_ = AllocateTensorStorage(n);
+    std::memcpy(storage_.get(), other.storage_.get(), n * sizeof(float));
+  } else {
+    storage_.reset();
+  }
+  return *this;
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : rows_(other.rows_), cols_(other.cols_),
+      storage_(std::move(other.storage_)) {
+  other.rows_ = 0;
+  other.cols_ = 0;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this == &other) return *this;
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  storage_ = std::move(other.storage_);
+  other.rows_ = 0;
+  other.cols_ = 0;
+  return *this;
 }
 
 Tensor Tensor::FromData(int rows, int cols, std::vector<float> data) {
@@ -25,7 +68,10 @@ Tensor Tensor::FromData(int rows, int cols, std::vector<float> data) {
   Tensor t;
   t.rows_ = rows;
   t.cols_ = cols;
-  t.data_ = std::move(data);
+  if (!data.empty()) {
+    t.storage_ = AllocateTensorStorage(data.size());
+    std::memcpy(t.storage_.get(), data.data(), data.size() * sizeof(float));
+  }
   return t;
 }
 
@@ -65,36 +111,41 @@ Tensor Tensor::RandomUniform(int rows, int cols, Rng* rng, float lo,
 
 float& Tensor::at(int r, int c) {
   OODGNN_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
-  return data_[static_cast<size_t>(r) * cols_ + c];
+  return storage_.get()[static_cast<size_t>(r) * cols_ + c];
 }
 
 float Tensor::at(int r, int c) const {
   OODGNN_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
-  return data_[static_cast<size_t>(r) * cols_ + c];
+  return storage_.get()[static_cast<size_t>(r) * cols_ + c];
 }
 
 void Tensor::Fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
+  std::fill_n(storage_.get(), static_cast<size_t>(size()), value);
 }
 
 void Tensor::Add(const Tensor& other) {
   OODGNN_CHECK(SameShape(other));
-  for (int i = 0; i < size(); ++i) data_[static_cast<size_t>(i)] += other[i];
+  float* dst = storage_.get();
+  const float* src = other.storage_.get();
+  for (int i = 0; i < size(); ++i) dst[i] += src[i];
 }
 
 void Tensor::Scale(float s) {
-  for (float& v : data_) v *= s;
+  float* dst = storage_.get();
+  for (int i = 0; i < size(); ++i) dst[i] *= s;
 }
 
 float Tensor::Sum() const {
   double acc = 0.0;
-  for (float v : data_) acc += v;
+  const float* src = storage_.get();
+  for (int i = 0; i < size(); ++i) acc += src[i];
   return static_cast<float>(acc);
 }
 
 float Tensor::MaxAbs() const {
   float m = 0.f;
-  for (float v : data_) m = std::max(m, std::fabs(v));
+  const float* src = storage_.get();
+  for (int i = 0; i < size(); ++i) m = std::max(m, std::fabs(src[i]));
   return m;
 }
 

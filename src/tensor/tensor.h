@@ -2,6 +2,7 @@
 #define OODGNN_TENSOR_TENSOR_H_
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -13,9 +14,16 @@ class Rng;
 /// 1×N matrices. This is the plain value type; automatic
 /// differentiation lives in `Variable` (src/tensor/variable.h), which
 /// wraps Tensors in a backward graph.
+///
+/// Storage is a 64-byte-aligned block obtained through
+/// AllocateTensorStorage (src/tensor/arena.h), so a thread-local
+/// execution scope — the dynamic eval arena or a compiled-plan
+/// record/replay scope — can transparently take over where
+/// intermediates live. Tensor keeps strict value semantics regardless:
+/// copies are deep, moves leave the source empty (0×0).
 class Tensor {
  public:
-  /// Empty 0×0 tensor.
+  /// Empty 0×0 tensor (no storage).
   Tensor() = default;
 
   /// Zero-initialized rows×cols matrix.
@@ -24,10 +32,10 @@ class Tensor {
   /// rows×cols matrix filled with `fill`.
   Tensor(int rows, int cols, float fill);
 
-  Tensor(const Tensor&) = default;
-  Tensor& operator=(const Tensor&) = default;
-  Tensor(Tensor&&) = default;
-  Tensor& operator=(Tensor&&) = default;
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept;
+  Tensor& operator=(Tensor&& other) noexcept;
 
   /// Builds a tensor from explicit data (row-major); data.size() must
   /// equal rows*cols.
@@ -60,16 +68,18 @@ class Tensor {
   float at(int r, int c) const;
 
   /// Flat (row-major) element access.
-  float& operator[](int i) { return data_[static_cast<size_t>(i)]; }
-  float operator[](int i) const { return data_[static_cast<size_t>(i)]; }
+  float& operator[](int i) { return storage_.get()[static_cast<size_t>(i)]; }
+  float operator[](int i) const {
+    return storage_.get()[static_cast<size_t>(i)];
+  }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
+  float* data() { return storage_.get(); }
+  const float* data() const { return storage_.get(); }
 
   /// Pointer to the start of row r.
-  float* row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  float* row(int r) { return storage_.get() + static_cast<size_t>(r) * cols_; }
   const float* row(int r) const {
-    return data_.data() + static_cast<size_t>(r) * cols_;
+    return storage_.get() + static_cast<size_t>(r) * cols_;
   }
 
   /// True if this tensor has the same shape as `other`.
@@ -105,7 +115,7 @@ class Tensor {
  private:
   int rows_ = 0;
   int cols_ = 0;
-  std::vector<float> data_;
+  std::shared_ptr<float> storage_;  ///< Null iff size() == 0.
 };
 
 /// Returns true if every element differs by at most `tol`.

@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "src/tensor/exec_plan.h"
 #include "src/util/check.h"
 
 namespace oodgnn {
@@ -127,7 +128,12 @@ Variable Variable::MakeOp(
   // Grad-free mode: the result carries only its forward value. Parents
   // and the backward closure are dropped before they can pin the graph,
   // so eval/serving passes allocate nothing beyond forward tensors.
-  if (!tls_grad_enabled) return out;
+  if (!tls_grad_enabled) {
+    // Compiled-plan hook: adds an op node to the plan being recorded
+    // (no-op outside a record scope).
+    ExecPlanOnOp(out.node_->value.rows(), out.node_->value.cols());
+    return out;
+  }
   bool any_grad = false;
   for (const auto& parent : parents) {
     OODGNN_CHECK(parent != nullptr);

@@ -8,6 +8,7 @@
 #include "src/obs/journal.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/tensor/arena.h"
 #include "src/tensor/backend.h"
 #include "src/util/check.h"
 
@@ -140,6 +141,10 @@ BenchOptions BenchOptions::FromFlags(const Flags& flags) {
   // Shared --threads handling: every benchmark binary picks its compute
   // backend here (serial for 1, pooled workers otherwise).
   SetBackendThreads(flags.GetThreads(1));
+  // Shared --compiled handling: arena-backed no-grad execution for eval
+  // batches and the serving engine (also reachable via
+  // OODGNN_COMPILED).
+  SetCompiledEnabled(flags.GetCompiled(CompiledEnabled()));
   // Shared observability handling: --profile turns on the tracer and
   // the per-kernel counters (also reachable via OODGNN_PROFILE) and
   // schedules the final profile tables; --trace-json=<path> opens the

@@ -16,6 +16,7 @@
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/tensor/arena.h"
 #include "src/tensor/backend.h"
 #include "src/tensor/ops.h"
 #include "src/tensor/variable.h"
@@ -57,10 +58,22 @@ Tensor PredictSplit(GraphPredictionModel* model, const GraphDataset& dataset,
                     Tensor* mask) {
   NoGradGuard no_grad;
   const std::string rng_before = rng->SaveState();
+  // Accumulators are allocated before the arena scope below: they
+  // outlive the per-batch intermediates and must stay on the heap.
   Tensor all_logits(static_cast<int>(indices.size()), model->output_dim());
   if (targets->empty() && dataset.task_type != TaskType::kMulticlass) {
     *targets = Tensor(static_cast<int>(indices.size()), dataset.num_tasks);
     *mask = Tensor(static_cast<int>(indices.size()), dataset.num_tasks, 1.f);
+  }
+  // Compiled mode routes every per-batch intermediate through a
+  // thread-local dynamic arena: after the first batch sizes the slabs,
+  // subsequent batches of the split perform zero tensor-heap
+  // allocations (first-fit hole reuse; see src/tensor/arena.h).
+  static thread_local std::unique_ptr<Arena> eval_arena;
+  std::unique_ptr<ScopedAllocSink> arena_scope;
+  if (CompiledEnabled()) {
+    if (eval_arena == nullptr) eval_arena = std::make_unique<Arena>();
+    arena_scope = std::make_unique<ScopedAllocSink>(eval_arena.get());
   }
   int row = 0;
   for (size_t begin = 0; begin < indices.size();

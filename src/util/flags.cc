@@ -61,4 +61,11 @@ int Flags::GetThreads(int fallback) const {
   return fallback;
 }
 
+bool Flags::GetCompiled(bool fallback) const {
+  if (Has("compiled")) return GetBool("compiled", fallback);
+  const char* env = std::getenv("OODGNN_COMPILED");
+  if (env != nullptr && *env != '\0') return std::atoi(env) != 0;
+  return fallback;
+}
+
 }  // namespace oodgnn

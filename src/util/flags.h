@@ -32,6 +32,12 @@ class Flags {
   /// (src/tensor/backend.h); values <= 1 select the serial backend.
   int GetThreads(int fallback = 1) const;
 
+  /// Compiled/arena execution toggle for no-grad forwards: the
+  /// `--compiled` flag if given, else the OODGNN_COMPILED environment
+  /// variable, else `fallback`. Pass the result to
+  /// SetCompiledEnabled() (src/tensor/arena.h).
+  bool GetCompiled(bool fallback = false) const;
+
   const std::vector<std::string>& positional() const { return positional_; }
 
  private:

@@ -1,0 +1,531 @@
+#include "src/tensor/exec_plan.h"
+
+#include <cctype>
+#include <cstdint>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/data/triangles.h"
+#include "src/gnn/model_zoo.h"
+#include "src/graph/batch.h"
+#include "src/serve/inference.h"
+#include "src/tensor/arena.h"
+#include "src/tensor/tensor.h"
+#include "src/tensor/variable.h"
+#include "src/util/rng.h"
+
+namespace oodgnn {
+namespace {
+
+using serve::InferenceEngine;
+using serve::InferenceOptions;
+using serve::InferenceStats;
+using serve::ModelSpec;
+
+// Pinned compiled-arena footprints for the reference envelope in
+// ExecPlanRegressionTest (4-graph batch, 64 nodes, 256 edges, hidden 8,
+// 2 layers). Update alongside any change that legitimately grows a
+// model's set of live intermediates.
+// (The two values coincide today because OOD-GNN's decorrelation is
+// train-only: its inference stream is the shared encoder backbone.)
+constexpr std::int64_t kPinnedGinArenaBytes = 26368;
+constexpr std::int64_t kPinnedOodGnnArenaBytes = 26368;
+
+/// gtest param names must be alphanumeric ("OOD-GNN" is not).
+std::string ParamName(Method method) {
+  std::string name;
+  for (const char* p = MethodName(method); *p != '\0'; ++p) {
+    if (std::isalnum(static_cast<unsigned char>(*p)) != 0) name.push_back(*p);
+  }
+  return name;
+}
+
+GraphDataset TinyDataset() {
+  TrianglesConfig config;
+  config.num_train = 24;
+  config.num_valid = 8;
+  config.num_test = 8;
+  config.train_max_nodes = 12;
+  config.test_max_nodes = 20;
+  return MakeTrianglesDataset(config, 77);
+}
+
+EncoderConfig TinyEncoder(int feature_dim) {
+  EncoderConfig config;
+  config.feature_dim = feature_dim;
+  config.hidden_dim = 8;
+  config.num_layers = 2;
+  config.dropout = 0.5f;  // Identity in eval mode; must not matter.
+  return config;
+}
+
+bool BitwiseEqual(const Tensor& a, const Tensor& b) {
+  return a.SameShape(b) &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(),
+                      static_cast<size_t>(a.size()) * sizeof(float)) == 0);
+}
+
+/// Eval-mode logits of `graphs` as one eager (heap) batch.
+Tensor EagerLogits(GraphPredictionModel* model,
+                   const std::vector<const Graph*>& graphs) {
+  NoGradGuard no_grad;
+  GraphBatch batch = GraphBatch::FromGraphs(graphs);
+  Rng rng(999);
+  return model->Predict(batch, /*training=*/false, &rng).value();
+}
+
+// ---------------------------------------------------------------------------
+// Storage alignment (every tensor, every allocation mode).
+// ---------------------------------------------------------------------------
+
+TEST(TensorStorageTest, AllStorageIs64ByteAligned) {
+  auto aligned = [](const float* p) {
+    return reinterpret_cast<std::uintptr_t>(p) % kTensorStorageAlignBytes == 0;
+  };
+  Tensor heap(3, 5, 1.f);
+  EXPECT_TRUE(aligned(heap.data()));
+  Tensor copy = heap;
+  EXPECT_TRUE(aligned(copy.data()));
+  EXPECT_NE(copy.data(), heap.data());  // Deep copy.
+  Tensor from = Tensor::FromData(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_TRUE(aligned(from.data()));
+
+  Arena arena;
+  ScopedAllocSink install(&arena);
+  Tensor pooled(7, 9, 2.f);
+  EXPECT_TRUE(aligned(pooled.data()));
+}
+
+TEST(TensorStorageTest, MoveLeavesSourceEmpty) {
+  Tensor a(4, 4, 3.f);
+  Tensor b = std::move(a);
+  EXPECT_EQ(b.rows(), 4);
+  EXPECT_EQ(b.at(0, 0), 3.f);
+  EXPECT_EQ(a.rows(), 0);
+  EXPECT_EQ(a.cols(), 0);
+  EXPECT_TRUE(a.empty());
+  a = Tensor(2, 2, 1.f);  // Moved-from tensor is assignable again.
+  EXPECT_EQ(a.Sum(), 4.f);
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic Arena.
+// ---------------------------------------------------------------------------
+
+TEST(ArenaTest, FirstFitReusesFreedExtents) {
+  Arena arena(1024);
+  std::shared_ptr<float> a = arena.Allocate(100);
+  float* first = a.get();
+  a.reset();
+  std::shared_ptr<float> b = arena.Allocate(80);
+  EXPECT_EQ(b.get(), first);
+  const ArenaStats stats = arena.stats();
+  EXPECT_EQ(stats.slab_count, 1);
+  EXPECT_EQ(stats.allocs, 2);
+}
+
+TEST(ArenaTest, CoalescesAdjacentHoles) {
+  Arena arena(4096);
+  std::shared_ptr<float> a = arena.Allocate(64);
+  std::shared_ptr<float> b = arena.Allocate(64);
+  std::shared_ptr<float> keep = arena.Allocate(64);
+  float* first = a.get();
+  a.reset();
+  b.reset();
+  // 64+64 adjacent frees must satisfy a 128 request at the old offset.
+  std::shared_ptr<float> c = arena.Allocate(128);
+  EXPECT_EQ(c.get(), first);
+  (void)keep;
+}
+
+TEST(ArenaTest, GrowsBySlabsAndBlocksOutliveTheArena) {
+  std::shared_ptr<float> survivor;
+  {
+    Arena arena(64);
+    survivor = arena.Allocate(64);
+    std::shared_ptr<float> big = arena.Allocate(1 << 14);
+    big.get()[0] = 1.f;
+    EXPECT_GE(arena.stats().slab_count, 2);
+  }
+  // The deleter holds the arena state alive; the block stays valid.
+  survivor.get()[0] = 2.f;
+  EXPECT_EQ(survivor.get()[0], 2.f);
+}
+
+TEST(ArenaTest, SteadyStateForwardsAllocateNothingFromTheHeap) {
+  GraphDataset dataset = TinyDataset();
+  Rng rng(5);
+  GraphPredictionModel model(Method::kGin, TinyEncoder(dataset.feature_dim),
+                             dataset.OutputDim(), &rng);
+  std::vector<const Graph*> graphs;
+  for (size_t idx : dataset.test_idx) graphs.push_back(&dataset.graphs[idx]);
+
+  NoGradGuard no_grad;
+  Arena arena;
+  ScopedAllocSink install(&arena);
+  Rng fwd(1);
+  auto forward = [&] {
+    GraphBatch batch = GraphBatch::FromGraphs(graphs);
+    return model.Predict(batch, /*training=*/false, &fwd).value();
+  };
+  const Tensor warm = forward();  // Sizes the slabs.
+  const std::int64_t heap_before = TensorHeapAllocsThisThread();
+  Tensor again;
+  for (int round = 0; round < 5; ++round) again = forward();
+  EXPECT_EQ(TensorHeapAllocsThisThread(), heap_before);
+  EXPECT_TRUE(BitwiseEqual(warm, again));
+}
+
+// ---------------------------------------------------------------------------
+// Record / replay.
+// ---------------------------------------------------------------------------
+
+TEST(ExecPlanTest, ReplayIsBitwiseIdenticalAndHeapFree) {
+  GraphDataset dataset = TinyDataset();
+  Rng rng(8);
+  GraphPredictionModel model(Method::kGin, TinyEncoder(dataset.feature_dim),
+                             dataset.OutputDim(), &rng);
+  std::vector<const Graph*> graphs;
+  for (size_t idx : dataset.test_idx) graphs.push_back(&dataset.graphs[idx]);
+  const Tensor eager = EagerLogits(&model, graphs);
+
+  NoGradGuard no_grad;
+  Tensor recorded;
+  ComputePlan built;
+  {
+    PlanRecordScope record;
+    {
+      GraphBatch batch = GraphBatch::FromGraphs(graphs);
+      Rng fwd(999);
+      recorded = model.Predict(batch, /*training=*/false, &fwd).value();
+    }  // Intermediates die; their extents become reusable holes.
+    built = record.Finish();
+  }
+  EXPECT_TRUE(BitwiseEqual(recorded, eager));
+  EXPECT_GT(built.slots.size(), 0u);
+  EXPECT_GT(built.kernels.size(), 0u);
+  EXPECT_GT(built.ops.size(), 0u);
+  EXPECT_GT(built.capacity_floats, 0);
+  // Liveness-driven reuse: total slot demand exceeds the arena size.
+  EXPECT_GT(built.reuse_ratio(), 1.0);
+  EXPECT_LE(built.peak_live_floats, built.capacity_floats);
+
+  auto plan = std::make_shared<const ComputePlan>(std::move(built));
+  PlanArena arena;
+  arena.Resize(plan->capacity_floats);
+
+  Tensor replayed;
+  PlanReplayStats stats;
+  const std::int64_t heap_before = TensorHeapAllocsThisThread();
+  {
+    PlanReplayScope replay(plan, &arena);
+    {
+      GraphBatch batch = GraphBatch::FromGraphs(graphs);
+      Rng fwd(999);
+      replayed = model.Predict(batch, /*training=*/false, &fwd).value();
+    }
+    stats = replay.stats();
+  }
+  // The allocation-counting hook: the whole replayed forward touched
+  // the heap zero times.
+  EXPECT_EQ(TensorHeapAllocsThisThread(), heap_before);
+  EXPECT_FALSE(stats.diverged);
+  EXPECT_EQ(stats.heap_allocs, 0);
+  EXPECT_EQ(stats.arena_allocs,
+            static_cast<std::int64_t>(plan->slots.size()));
+  EXPECT_LE(stats.peak_floats, plan->capacity_floats);
+  EXPECT_TRUE(BitwiseEqual(replayed, eager));
+}
+
+TEST(ExecPlanTest, StructuralDivergenceFallsBackAndStaysCorrect) {
+  GraphDataset dataset = TinyDataset();
+  Rng rng(8);
+  GraphPredictionModel model(Method::kGin, TinyEncoder(dataset.feature_dim),
+                             dataset.OutputDim(), &rng);
+  std::vector<const Graph*> edged;
+  for (size_t idx : dataset.test_idx) edged.push_back(&dataset.graphs[idx]);
+
+  NoGradGuard no_grad;
+  ComputePlan built;
+  {
+    PlanRecordScope record;
+    {
+      GraphBatch batch = GraphBatch::FromGraphs(edged);
+      Rng fwd(999);
+      (void)model.Predict(batch, /*training=*/false, &fwd).value();
+    }
+    built = record.Finish();
+  }
+  auto plan = std::make_shared<const ComputePlan>(std::move(built));
+  PlanArena arena;
+  arena.Resize(plan->capacity_floats);
+
+  // An edgeless batch takes the conv layers' empty-edge branch — an op
+  // stream the plan never saw. Replay must detect the divergence and
+  // finish on the heap with bitwise-correct results.
+  Graph lonely(3, dataset.feature_dim);
+  lonely.x.Fill(0.5f);
+  std::vector<const Graph*> edgeless = {&lonely};
+  const Tensor eager = EagerLogits(&model, edgeless);
+
+  Tensor replayed;
+  PlanReplayStats stats;
+  {
+    PlanReplayScope replay(plan, &arena);
+    {
+      GraphBatch batch = GraphBatch::FromGraphs(edgeless);
+      Rng fwd(999);
+      replayed = model.Predict(batch, /*training=*/false, &fwd).value();
+    }
+    stats = replay.stats();
+  }
+  EXPECT_TRUE(stats.diverged);
+  EXPECT_GT(stats.heap_allocs, 0);
+  EXPECT_TRUE(BitwiseEqual(replayed, eager));
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration.
+// ---------------------------------------------------------------------------
+
+/// Compiled engine + reference model sharing one weight state.
+struct EnginePair {
+  std::unique_ptr<GraphPredictionModel> model;
+  std::unique_ptr<InferenceEngine> engine;
+};
+
+EnginePair MakeCompiledEngine(Method method, const GraphDataset& dataset,
+                              InferenceOptions options, uint64_t seed = 8) {
+  ModelSpec spec;
+  spec.method = method;
+  spec.encoder = TinyEncoder(dataset.feature_dim);
+  spec.output_dim = dataset.OutputDim();
+  options.compiled = true;
+  EnginePair pair;
+  Rng rng(seed);
+  pair.model = std::make_unique<GraphPredictionModel>(
+      method, spec.encoder, spec.output_dim, &rng);
+  pair.engine = std::make_unique<InferenceEngine>(spec, options);
+  pair.engine->SyncFrom(*pair.model);
+  return pair;
+}
+
+class SteadyStateZeroAlloc : public ::testing::TestWithParam<Method> {};
+
+TEST_P(SteadyStateZeroAlloc, ServesEveryRequestFromTheArena) {
+  GraphDataset dataset = TinyDataset();
+  InferenceOptions options;
+  options.num_workers = 1;
+  options.max_batch_graphs = 1;
+  options.max_batch_wait_us = 0;
+  EnginePair pair = MakeCompiledEngine(GetParam(), dataset, options);
+
+  std::int64_t expected_batches = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (size_t idx : dataset.test_idx) {
+      const Graph& graph = dataset.graphs[idx];
+      std::vector<const Graph*> single = {&graph};
+      const Tensor reference = EagerLogits(pair.model.get(), single);
+      const Tensor row = pair.engine->Predict(graph);
+      EXPECT_TRUE(BitwiseEqual(row, reference));
+      ++expected_batches;
+    }
+  }
+  const InferenceStats stats = pair.engine->stats();
+  EXPECT_EQ(stats.planned_batches, expected_batches);
+  EXPECT_EQ(stats.eager_batches, 0);
+  EXPECT_EQ(stats.diverged_batches, 0);
+  // The zero-allocation serving guarantee: across every request, no
+  // replay scope ever touched the heap.
+  EXPECT_EQ(stats.fallback_heap_allocs, 0);
+  EXPECT_GT(stats.arena_bytes, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(GinAndOodGnn, SteadyStateZeroAlloc,
+                         ::testing::Values(Method::kGin, Method::kOodGnn),
+                         [](const ::testing::TestParamInfo<Method>& info) {
+                           return ParamName(info.param);
+                         });
+
+TEST(ExecPlanEngineTest, EnvelopeOverflowFallsBackPerBlockAndMatchesEager) {
+  GraphDataset dataset = TinyDataset();
+  InferenceOptions options;
+  options.num_workers = 1;
+  options.max_batch_graphs = 1;
+  options.max_batch_wait_us = 0;
+  options.plan_max_nodes = 4;  // Far below the test graphs' sizes.
+  options.plan_max_edges = 6;
+  EnginePair pair = MakeCompiledEngine(Method::kGin, dataset, options);
+
+  const Graph& big = dataset.graphs[dataset.test_idx[0]];
+  ASSERT_GT(big.num_nodes(), 4);
+  std::vector<const Graph*> single = {&big};
+  const Tensor reference = EagerLogits(pair.model.get(), single);
+  const Tensor row = pair.engine->Predict(big);
+  EXPECT_TRUE(BitwiseEqual(row, reference));
+  const InferenceStats stats = pair.engine->stats();
+  EXPECT_EQ(stats.planned_batches, 1);
+  EXPECT_GT(stats.fallback_heap_allocs, 0);  // Oversized blocks went to heap.
+}
+
+TEST(ExecPlanEngineTest, EdgelessBatchRunsEagerButCorrect) {
+  GraphDataset dataset = TinyDataset();
+  InferenceOptions options;
+  options.num_workers = 1;
+  options.max_batch_graphs = 1;
+  options.max_batch_wait_us = 0;
+  EnginePair pair = MakeCompiledEngine(Method::kGin, dataset, options);
+
+  Graph lonely(1, dataset.feature_dim);  // Single node, zero edges.
+  lonely.x.Fill(1.f);
+  std::vector<const Graph*> single = {&lonely};
+  const Tensor reference = EagerLogits(pair.model.get(), single);
+  const Tensor row = pair.engine->Predict(lonely);
+  EXPECT_TRUE(BitwiseEqual(row, reference));
+  const InferenceStats stats = pair.engine->stats();
+  EXPECT_EQ(stats.planned_batches, 0);
+  EXPECT_EQ(stats.eager_batches, 1);  // Pre-check rerouted the batch.
+}
+
+TEST(ExecPlanEngineTest, WeightSwapRecompilesPlanUnderOneLock) {
+  GraphDataset dataset = TinyDataset();
+  InferenceOptions options;
+  options.num_workers = 2;
+  options.max_batch_graphs = 2;
+  options.max_batch_wait_us = 0;
+  EnginePair pair = MakeCompiledEngine(Method::kGin, dataset, options);
+  // One compile at construction, one at the initial SyncFrom.
+  EXPECT_EQ(pair.engine->stats().plan_recompiles, 2);
+  const auto plan_before = pair.engine->plan();
+  ASSERT_NE(plan_before, nullptr);
+
+  const Graph& graph = dataset.graphs[dataset.test_idx[1]];
+  std::vector<const Graph*> single = {&graph};
+  EXPECT_TRUE(BitwiseEqual(pair.engine->Predict(graph),
+                           EagerLogits(pair.model.get(), single)));
+
+  // Different weights: predictions must track the swap and the plan
+  // must have been re-traced against them.
+  Rng other_rng(4242);
+  GraphPredictionModel other(Method::kGin, TinyEncoder(dataset.feature_dim),
+                             dataset.OutputDim(), &other_rng);
+  pair.engine->SyncFrom(other);
+  EXPECT_EQ(pair.engine->stats().plan_recompiles, 3);
+  EXPECT_NE(pair.engine->plan(), plan_before);
+  EXPECT_TRUE(
+      BitwiseEqual(pair.engine->Predict(graph), EagerLogits(&other, single)));
+  EXPECT_EQ(pair.engine->stats().diverged_batches, 0);
+}
+
+class CompiledFuzz : public ::testing::TestWithParam<Method> {};
+
+TEST_P(CompiledFuzz, RandomizedBatchesBitwiseMatchEager) {
+  GraphDataset dataset = TinyDataset();
+  InferenceOptions options;
+  options.num_workers = 2;
+  options.max_batch_graphs = 3;
+  options.max_batch_wait_us = 50;
+  options.plan_max_nodes = 24;  // Small envelope: some graphs overflow.
+  options.plan_max_edges = 64;
+  EnginePair pair = MakeCompiledEngine(GetParam(), dataset, options);
+
+  // Graph pool: dataset graphs plus adversarial shapes — single-node,
+  // edgeless, self-loop-only, and an envelope-busting blob.
+  std::vector<Graph> extra;
+  {
+    Graph g1(1, dataset.feature_dim);
+    g1.x.Fill(0.25f);
+    extra.push_back(std::move(g1));  // Single node, no edges.
+    Graph g2(5, dataset.feature_dim);
+    g2.x.Fill(-1.f);
+    extra.push_back(std::move(g2));  // Multi-node, edgeless.
+    Graph g3(2, dataset.feature_dim);
+    g3.x.Fill(0.75f);
+    g3.AddEdge(0, 0);
+    g3.AddEdge(1, 1);
+    extra.push_back(std::move(g3));  // Self loops only.
+    Rng gen(31);
+    Graph g4(40, dataset.feature_dim);
+    for (int v = 0; v < 40; ++v) {
+      for (int f = 0; f < dataset.feature_dim; ++f) {
+        g4.x.at(v, f) = static_cast<float>(gen.Uniform(-1.0, 1.0));
+      }
+      g4.AddUndirectedEdge(v, (v + 1) % 40);
+      g4.AddUndirectedEdge(v, (v + 7) % 40);
+    }
+    extra.push_back(std::move(g4));  // Past the plan envelope.
+  }
+  std::vector<const Graph*> pool;
+  for (size_t idx : dataset.test_idx) pool.push_back(&dataset.graphs[idx]);
+  for (const Graph& g : extra) pool.push_back(&g);
+
+  // Per-graph eager references (engine outputs are batch-independent).
+  std::vector<Tensor> references;
+  references.reserve(pool.size());
+  for (const Graph* g : pool) {
+    std::vector<const Graph*> single = {g};
+    references.push_back(EagerLogits(pair.model.get(), single));
+  }
+
+  Rng order(91);
+  for (int round = 0; round < 4; ++round) {
+    std::vector<size_t> picks;
+    std::vector<std::future<Tensor>> futures;
+    const int burst = 1 + static_cast<int>(order.UniformInt(1, 8));
+    for (int i = 0; i < burst; ++i) {
+      const size_t pick =
+          static_cast<size_t>(order.UniformInt(0, static_cast<int64_t>(pool.size()) - 1));
+      picks.push_back(pick);
+      futures.push_back(pair.engine->Submit(*pool[pick]));
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+      EXPECT_TRUE(BitwiseEqual(futures[i].get(), references[picks[i]]))
+          << MethodName(GetParam()) << " round " << round << " request " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, CompiledFuzz,
+                         ::testing::Values(Method::kGin, Method::kOodGnn,
+                                           Method::kFactorGcn),
+                         [](const ::testing::TestParamInfo<Method>& info) {
+                           return ParamName(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Pinned arena-footprint regressions: the liveness-analyzed arena for
+// the reference envelope below must not silently grow. If a layer
+// legitimately adds intermediates, update the constants alongside the
+// change that grew them.
+// ---------------------------------------------------------------------------
+
+std::int64_t PlannedArenaBytes(Method method) {
+  GraphDataset dataset = TinyDataset();
+  InferenceOptions options;
+  options.num_workers = 1;
+  options.max_batch_graphs = 4;
+  options.max_batch_wait_us = 0;
+  options.plan_max_nodes = 64;
+  options.plan_max_edges = 256;
+  EnginePair pair = MakeCompiledEngine(method, dataset, options);
+  const auto plan = pair.engine->plan();
+  EXPECT_NE(plan, nullptr);
+  EXPECT_GT(plan->reuse_ratio(), 1.0);
+  return plan == nullptr ? 0 : plan->capacity_bytes();
+}
+
+TEST(ExecPlanRegressionTest, PinnedPeakArenaBytesGin) {
+  EXPECT_EQ(PlannedArenaBytes(Method::kGin), kPinnedGinArenaBytes);
+}
+
+TEST(ExecPlanRegressionTest, PinnedPeakArenaBytesOodGnn) {
+  EXPECT_EQ(PlannedArenaBytes(Method::kOodGnn), kPinnedOodGnnArenaBytes);
+}
+
+}  // namespace
+}  // namespace oodgnn

@@ -1,3 +1,5 @@
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -28,6 +30,14 @@ namespace {
 using serve::InferenceEngine;
 using serve::InferenceOptions;
 using serve::ModelSpec;
+
+/// Process-unique temp path so the env-variant re-runs of this binary
+/// (serve_test_threads4/_profile) don't race on shared files under a
+/// parallel ctest.
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/pid" +
+         std::to_string(static_cast<long>(::getpid())) + "_" + name;
+}
 
 /// Small deterministic dataset shared by the equivalence tests.
 GraphDataset TinyDataset() {
@@ -310,7 +320,7 @@ TEST(InferenceEngineTest, LoadModelFileReproducesSourceModel) {
     }
   }
 
-  const std::string path = ::testing::TempDir() + "/serve_model_state.bin";
+  const std::string path = TempPath("serve_model_state.bin");
   ASSERT_TRUE(SaveModelState(path, model));
 
   std::vector<const Graph*> graphs;
@@ -339,7 +349,7 @@ TEST(InferenceEngineTest, LoadModelFileRejectsCorruptAndMismatchedFiles) {
   spec.encoder = TinyEncoder(dataset.feature_dim);
   spec.output_dim = dataset.OutputDim();
   GraphPredictionModel model(spec.method, spec.encoder, spec.output_dim, &rng);
-  const std::string path = ::testing::TempDir() + "/serve_corrupt.bin";
+  const std::string path = TempPath("serve_corrupt.bin");
   ASSERT_TRUE(SaveModelState(path, model));
 
   // Flip one payload byte: the checksum must catch it.
@@ -375,7 +385,7 @@ TEST(InferenceEngineTest, LoadCheckpointRestoresTrainedWeights) {
   config.seed = 3;
   config.encoder = TinyEncoder(dataset.feature_dim);
   config.checkpoint_every = 1;
-  config.checkpoint_dir = ::testing::TempDir() + "/serve_ckpt";
+  config.checkpoint_dir = TempPath("serve_ckpt");
   TrainAndEvaluate(Method::kGin, dataset, config);
   const std::string path =
       CheckpointPath(config.checkpoint_dir, dataset.name,
@@ -421,7 +431,7 @@ TEST(ModelStateTest, RoundTripPreservesParametersAndBuffers) {
   for (Tensor* buffer : model.Buffers()) {
     for (int i = 0; i < buffer->size(); ++i) (*buffer)[i] = 0.125f * i;
   }
-  const std::string path = ::testing::TempDir() + "/model_state_rt.bin";
+  const std::string path = TempPath("model_state_rt.bin");
   ASSERT_TRUE(SaveModelState(path, model));
 
   Rng rng2(15);

@@ -25,6 +25,9 @@
 //        --json PATH   also write the machine-readable report to PATH
 //                      (scripts/run_bench_inference.sh wraps this into
 //                      BENCH_inference.json)
+//        --metrics-out PREFIX   stream the global metrics registry to
+//                      PREFIX.prom / PREFIX.jsonl while the bench runs
+//        --metrics-json PATH    final global-registry snapshot at exit
 
 #include <algorithm>
 #include <chrono>
@@ -41,6 +44,7 @@
 #include "src/data/triangles.h"
 #include "src/gnn/model_zoo.h"
 #include "src/graph/batch.h"
+#include "src/obs/exporter.h"
 #include "src/obs/json.h"
 #include "src/serve/inference.h"
 #include "src/tensor/backend.h"
@@ -431,6 +435,16 @@ void RunBench(const Flags& flags) {
 int main(int argc, char** argv) {
   oodgnn::Flags flags(argc, argv);
   oodgnn::SetBackendThreads(flags.GetThreads(4));
+  // Uniform observability flags (same surface as the table binaries).
+  const std::string metrics_out = flags.GetMetricsOut();
+  if (!metrics_out.empty()) {
+    oodgnn::obs::StartGlobalExporter(metrics_out,
+                                     flags.GetMetricsIntervalMs());
+  }
+  const std::string metrics_json = flags.GetString("metrics-json", "");
+  if (!metrics_json.empty()) {
+    oodgnn::obs::RegisterMetricsJsonDumpAtExit(metrics_json);
+  }
   oodgnn::RunBench(flags);
   return 0;
 }

@@ -1,0 +1,498 @@
+// Open-loop load generator for the serving path (src/serve) and its
+// request-span telemetry (src/obs/span.h).
+//
+// Unlike bench_inference's closed-loop throughput run (submitters wait
+// for completions before issuing more work), this bench drives the
+// engine the way production traffic does: arrivals follow a Poisson
+// process at a fixed offered rate, independent of how fast the engine
+// drains them. Under overload the queue grows and latency explodes —
+// exactly the regime the SLO trackers and queue-depth gauges exist to
+// expose, and one a closed-loop bench can never reach.
+//
+// Procedure:
+//   1. Calibrate capacity: a closed-loop burst through the eager engine
+//      measures the saturation throughput in graphs/sec.
+//   2. For each mode (eager, compiled) and each rate tier
+//      (0.5x / 0.8x / 1.2x of capacity — the last deliberately past
+//      saturation), replay the same Poisson arrival schedule and
+//      heavy-tailed graph mix through a fresh engine.
+//   3. Report, per tier: exact client-side percentiles (p50/p95/p99)
+//      for every span phase (queue wait, batch build, execute, e2e),
+//      goodput (within-SLO completions/sec), and the queue-depth
+//      trajectory sampled from the engine's live gauge.
+//
+// Percentiles come from RequestSpan mirrors captured via
+// Submit(graph, &span) — exact timestamps, not the engine histograms'
+// factor-of-2 buckets. Each tier gets a private MetricsRegistry so
+// per-tier gauges never bleed across runs.
+//
+// Flags: --threads N        compute-backend pool size (default 1)
+//        --workers N        engine workers (default 2)
+//        --batch N          micro-batch size cutoff (default 16)
+//        --wait-us N        batching window in microseconds (default 200)
+//        --requests N       arrivals per tier (default 400; long enough
+//                           that the overload tier's queue ramp pushes
+//                           e2e past the SLO and goodput detaches from
+//                           raw throughput)
+//        --calib N          burst size for capacity calibration (default 512)
+//        --slo-ms N         e2e goodput threshold in ms (default 50 —
+//                           comfortably above steady-state p99 but
+//                           inside the overload tier's queue ramp)
+//        --seed N           arrival-schedule / graph-mix seed (default 42)
+//        --json PATH        machine-readable report
+//                           (scripts/run_bench_serving.sh wraps this
+//                           into BENCH_serving.json)
+//        --metrics-out P    stream the global registry to P.prom/P.jsonl
+//        --metrics-json P   final global-registry snapshot at exit
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <future>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/data/triangles.h"
+#include "src/gnn/model_zoo.h"
+#include "src/obs/exporter.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/slo.h"
+#include "src/obs/span.h"
+#include "src/serve/inference.h"
+#include "src/tensor/backend.h"
+#include "src/tensor/tensor.h"
+#include "src/util/flags.h"
+#include "src/util/rng.h"
+
+namespace oodgnn {
+namespace {
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(
+      p / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+struct PhaseQuantiles {
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+PhaseQuantiles Quantiles(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  PhaseQuantiles q;
+  q.p50 = Percentile(values, 50);
+  q.p95 = Percentile(values, 95);
+  q.p99 = Percentile(values, 99);
+  return q;
+}
+
+std::string PhaseJson(const PhaseQuantiles& q) {
+  return obs::JsonObjectWriter()
+      .Put("p50", q.p50)
+      .Put("p95", q.p95)
+      .Put("p99", q.p99)
+      .Build();
+}
+
+/// The per-tier workload, fixed up front so every (mode, tier) run
+/// replays identical arrivals: a heavy-tailed graph sequence and the
+/// cumulative Poisson arrival offsets in microseconds.
+struct Schedule {
+  std::vector<const Graph*> graphs;
+  std::vector<std::int64_t> arrival_us;
+};
+
+/// Heavy-tailed size mix: graphs sorted by node count, index drawn as
+/// floor(n * u^3) — mostly small graphs, occasionally the giants that
+/// dominate batch-build and execute time (the realistic shape for
+/// graph serving, and the one that stresses the plan envelope).
+Schedule MakeSchedule(const std::vector<const Graph*>& sorted_graphs,
+                      int requests, double rate_rps, Rng* rng) {
+  Schedule schedule;
+  schedule.graphs.reserve(static_cast<size_t>(requests));
+  schedule.arrival_us.reserve(static_cast<size_t>(requests));
+  double clock_us = 0.0;
+  const double mean_gap_us = 1e6 / rate_rps;
+  for (int i = 0; i < requests; ++i) {
+    const double u = rng->Uniform(0.0, 1.0);
+    const size_t idx = std::min(
+        static_cast<size_t>(static_cast<double>(sorted_graphs.size()) * u * u *
+                            u),
+        sorted_graphs.size() - 1);
+    schedule.graphs.push_back(sorted_graphs[idx]);
+    // Exponential inter-arrival gap: -ln(1 - v) * mean.
+    const double v = rng->Uniform(0.0, 1.0);
+    clock_us += -std::log(1.0 - v) * mean_gap_us;
+    schedule.arrival_us.push_back(static_cast<std::int64_t>(clock_us));
+  }
+  return schedule;
+}
+
+struct QueueTrajectory {
+  std::vector<double> samples;  ///< Depth every sample_interval_ms.
+  double mean = 0;
+  double max = 0;
+  int sample_interval_ms = 2;
+};
+
+struct TierResult {
+  double target_rps = 0;
+  double achieved_rps = 0;  ///< Completions / makespan.
+  double goodput_rps = 0;   ///< Within-SLO completions / makespan.
+  std::int64_t within_slo = 0;
+  double makespan_s = 0;
+  PhaseQuantiles queue_wait;
+  PhaseQuantiles batch_build;
+  PhaseQuantiles execute;
+  PhaseQuantiles e2e;
+  QueueTrajectory queue;
+  serve::InferenceStats stats;
+};
+
+/// Replays `schedule` through a fresh engine at its embedded offered
+/// rate. One submitter thread sleeps to each arrival offset and
+/// enqueues without waiting for completions (open loop); a sampler
+/// thread polls the live queue-depth gauge for the trajectory.
+TierResult RunTier(const serve::ModelSpec& spec,
+                   serve::InferenceOptions options,
+                   const GraphPredictionModel& model,
+                   const Schedule& schedule, double target_rps,
+                   double slo_us) {
+  obs::MetricsRegistry registry;
+  options.telemetry_registry = &registry;
+  serve::InferenceEngine engine(spec, options);
+  engine.SyncFrom(model);
+  engine.Predict(*schedule.graphs[0]);  // Warm-up off the clock.
+
+  const size_t n = schedule.graphs.size();
+  std::vector<obs::RequestSpan> spans(n);
+  std::vector<std::future<Tensor>> futures;
+  futures.reserve(n);
+
+  TierResult result;
+  result.target_rps = target_rps;
+  std::atomic<bool> sampling{true};
+  std::thread sampler([&] {
+    while (sampling.load(std::memory_order_relaxed)) {
+      result.queue.samples.push_back(engine.stats().queue_depth);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(result.queue.sample_interval_ms));
+    }
+  });
+
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < n; ++i) {
+    std::this_thread::sleep_until(
+        start + std::chrono::microseconds(schedule.arrival_us[i]));
+    futures.push_back(engine.Submit(*schedule.graphs[i], &spans[i]));
+  }
+  for (auto& f : futures) f.get();
+  sampling.store(false, std::memory_order_relaxed);
+  sampler.join();
+  result.stats = engine.stats();
+
+  // Exact client-side aggregates from the span mirrors (complete once
+  // every future resolved).
+  std::vector<double> queue_wait, batch_build, execute, e2e;
+  std::int64_t first_enqueue = std::numeric_limits<std::int64_t>::max();
+  std::int64_t last_done = 0;
+  for (const obs::RequestSpan& span : spans) {
+    queue_wait.push_back(static_cast<double>(span.queue_wait_us()));
+    batch_build.push_back(static_cast<double>(span.batch_build_us()));
+    execute.push_back(static_cast<double>(span.execute_dur_us()));
+    e2e.push_back(static_cast<double>(span.e2e_us()));
+    if (static_cast<double>(span.e2e_us()) <= slo_us) ++result.within_slo;
+    first_enqueue = std::min(first_enqueue, span.enqueue_us);
+    last_done = std::max(last_done, span.done_us);
+  }
+  result.queue_wait = Quantiles(std::move(queue_wait));
+  result.batch_build = Quantiles(std::move(batch_build));
+  result.execute = Quantiles(std::move(execute));
+  result.e2e = Quantiles(std::move(e2e));
+  result.makespan_s = static_cast<double>(last_done - first_enqueue) / 1e6;
+  if (result.makespan_s > 0) {
+    result.achieved_rps = static_cast<double>(n) / result.makespan_s;
+    result.goodput_rps =
+        static_cast<double>(result.within_slo) / result.makespan_s;
+  }
+  for (const double d : result.queue.samples) {
+    result.queue.mean += d;
+    result.queue.max = std::max(result.queue.max, d);
+  }
+  if (!result.queue.samples.empty()) {
+    result.queue.mean /= static_cast<double>(result.queue.samples.size());
+  }
+  return result;
+}
+
+/// Decimates the trajectory to at most `limit` points so the committed
+/// JSON stays small while keeping the ramp shape.
+std::vector<double> Decimate(const std::vector<double>& samples,
+                             size_t limit) {
+  if (samples.size() <= limit) return samples;
+  std::vector<double> out;
+  out.reserve(limit);
+  const double stride =
+      static_cast<double>(samples.size()) / static_cast<double>(limit);
+  for (size_t i = 0; i < limit; ++i) {
+    out.push_back(samples[static_cast<size_t>(static_cast<double>(i) *
+                                              stride)]);
+  }
+  return out;
+}
+
+std::string TierJson(const std::string& mode, const std::string& tier,
+                     int requests, double slo_ms, const TierResult& r) {
+  const serve::InferenceStats& s = r.stats;
+  return obs::JsonObjectWriter()
+      .Put("mode", mode)
+      .Put("tier", tier)
+      .Put("target_rps", r.target_rps)
+      .Put("requests", requests)
+      .Put("achieved_rps", r.achieved_rps)
+      .Put("goodput_rps", r.goodput_rps)
+      .Put("within_slo", r.within_slo)
+      .Put("slo_ms", slo_ms)
+      .Put("makespan_s", r.makespan_s)
+      .PutRaw("latency_us", obs::JsonObjectWriter()
+                                .PutRaw("queue_wait", PhaseJson(r.queue_wait))
+                                .PutRaw("batch_build",
+                                        PhaseJson(r.batch_build))
+                                .PutRaw("execute", PhaseJson(r.execute))
+                                .PutRaw("e2e", PhaseJson(r.e2e))
+                                .Build())
+      .PutRaw("queue_depth",
+              obs::JsonObjectWriter()
+                  .Put("mean", r.queue.mean)
+                  .Put("max", r.queue.max)
+                  .Put("sample_interval_ms", r.queue.sample_interval_ms)
+                  .Put("trajectory", Decimate(r.queue.samples, 64))
+                  .Build())
+      .PutRaw("engine",
+              obs::JsonObjectWriter()
+                  .Put("batches", s.batches)
+                  .Put("avg_batch_graphs",
+                       s.batches > 0 ? static_cast<double>(s.requests) /
+                                           static_cast<double>(s.batches)
+                                     : 0.0)
+                  .Put("planned_batches", s.planned_batches)
+                  .Put("eager_batches", s.eager_batches)
+                  .Put("fallback_heap_allocs", s.fallback_heap_allocs)
+                  .Build())
+      .Build();
+}
+
+void PrintTier(const std::string& mode, const std::string& tier,
+               int requests, const TierResult& r) {
+  std::printf("  %-8s %-5s  offered %7.1f rps  achieved %7.1f  goodput "
+              "%7.1f  (%lld/%d in SLO)\n",
+              mode.c_str(), tier.c_str(), r.target_rps, r.achieved_rps,
+              r.goodput_rps, static_cast<long long>(r.within_slo), requests);
+  std::printf("           e2e p50 %8.0f us  p95 %8.0f us  p99 %8.0f us   "
+              "queue depth mean %.1f max %.0f\n",
+              r.e2e.p50, r.e2e.p95, r.e2e.p99, r.queue.mean, r.queue.max);
+  std::printf("           wait p95 %7.0f us  build p95 %6.0f us  exec p95 "
+              "%7.0f us   %lld batches (%.1f graphs avg)\n",
+              r.queue_wait.p95, r.batch_build.p95, r.execute.p95,
+              static_cast<long long>(r.stats.batches),
+              r.stats.batches > 0
+                  ? static_cast<double>(r.stats.requests) /
+                        static_cast<double>(r.stats.batches)
+                  : 0.0);
+}
+
+void RunBench(const Flags& flags) {
+  const int workers = flags.GetInt("workers", 2);
+  const int max_batch = flags.GetInt("batch", 16);
+  const int wait_us = flags.GetInt("wait-us", 200);
+  const int requests = flags.GetInt("requests", 400);
+  const int calib_requests = flags.GetInt("calib", 512);
+  const double slo_ms = flags.GetDouble("slo-ms", 50.0);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const std::string json_path = flags.GetString("json", "");
+
+  TrianglesConfig data_config;
+  data_config.num_train = 64;
+  data_config.num_valid = 16;
+  data_config.num_test = 128;
+  GraphDataset dataset = MakeTrianglesDataset(data_config, 7);
+
+  serve::ModelSpec spec;
+  spec.method = Method::kGin;
+  spec.encoder.feature_dim = dataset.feature_dim;
+  spec.encoder.hidden_dim = 64;
+  spec.encoder.num_layers = 3;
+  spec.output_dim = dataset.OutputDim();
+
+  Rng model_rng(19);
+  GraphPredictionModel model(spec.method, spec.encoder, spec.output_dim,
+                             &model_rng);
+
+  // Eval graphs sorted by size: the heavy-tailed sampler indexes into
+  // this so low draws hit small graphs and rare high draws the giants.
+  std::vector<const Graph*> sorted_graphs;
+  for (const size_t idx : dataset.test_idx) {
+    sorted_graphs.push_back(&dataset.graphs[idx]);
+  }
+  std::sort(sorted_graphs.begin(), sorted_graphs.end(),
+            [](const Graph* a, const Graph* b) {
+              return a->num_nodes() < b->num_nodes();
+            });
+  int max_graph_nodes = 0;
+  int max_graph_edges = 0;
+  for (const Graph* g : sorted_graphs) {
+    max_graph_nodes = std::max(max_graph_nodes, g->num_nodes());
+    max_graph_edges = std::max(max_graph_edges, g->num_edges());
+  }
+
+  serve::InferenceOptions base_options;
+  base_options.num_workers = workers;
+  base_options.max_batch_graphs = max_batch;
+  base_options.max_batch_wait_us = wait_us;
+
+  std::printf("Serving load generator: %s, %zu eval graphs "
+              "(%d..%d nodes), hidden=%d, layers=%d, backend threads=%d\n",
+              MethodName(spec.method), sorted_graphs.size(),
+              sorted_graphs.front()->num_nodes(), max_graph_nodes,
+              spec.encoder.hidden_dim, spec.encoder.num_layers,
+              GetBackend().num_threads());
+  std::printf("engine: %d workers, batch<=%d, wait %d us; SLO: e2e <= "
+              "%.0f ms\n\n",
+              workers, max_batch, wait_us, slo_ms);
+
+  // --- Capacity calibration: closed-loop burst, eager engine ---------
+  // Everything submitted at once, so the engine coalesces maximal
+  // batches and the completion rate approximates saturation throughput.
+  double capacity_rps = 0;
+  {
+    obs::MetricsRegistry registry;
+    serve::InferenceOptions options = base_options;
+    options.compiled = false;
+    options.telemetry_registry = &registry;
+    serve::InferenceEngine engine(spec, options);
+    engine.SyncFrom(model);
+    engine.Predict(*sorted_graphs[0]);
+    Rng calib_rng(seed);
+    std::vector<std::future<Tensor>> futures;
+    futures.reserve(static_cast<size_t>(calib_requests));
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < calib_requests; ++i) {
+      const double u = calib_rng.Uniform(0.0, 1.0);
+      const size_t idx = std::min(
+          static_cast<size_t>(static_cast<double>(sorted_graphs.size()) * u *
+                              u * u),
+          sorted_graphs.size() - 1);
+      futures.push_back(engine.Submit(*sorted_graphs[idx]));
+    }
+    for (auto& f : futures) f.get();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    capacity_rps = static_cast<double>(calib_requests) / seconds;
+    std::printf("capacity (closed-loop burst, %d graphs, eager): %.1f "
+                "graphs/sec\n\n",
+                calib_requests, capacity_rps);
+  }
+
+  // --- Rate tiers, eager vs compiled ---------------------------------
+  // The same Poisson schedule per tier drives both modes, so the only
+  // difference between paired rows is the execution path. 1.2x sits
+  // past the calibrated saturation point on purpose: that is where the
+  // queue ramps and the SLO burns.
+  const std::vector<std::pair<std::string, double>> tiers = {
+      {"0.5x", 0.5}, {"0.8x", 0.8}, {"1.2x", 1.2}};
+  std::vector<std::string> tier_rows;
+  std::printf("open-loop Poisson tiers (%d arrivals each)\n", requests);
+  for (const auto& [tier_name, fraction] : tiers) {
+    const double rate = fraction * capacity_rps;
+    Rng schedule_rng(seed + static_cast<std::uint64_t>(fraction * 1000));
+    const Schedule schedule =
+        MakeSchedule(sorted_graphs, requests, rate, &schedule_rng);
+    for (const bool compiled : {false, true}) {
+      serve::InferenceOptions options = base_options;
+      options.compiled = compiled;
+      if (compiled) {
+        options.plan_max_nodes = max_batch * max_graph_nodes;
+        options.plan_max_edges = max_batch * max_graph_edges;
+      }
+      const std::string mode = compiled ? "compiled" : "eager";
+      const TierResult result =
+          RunTier(spec, options, model, schedule, rate, slo_ms * 1000.0);
+      PrintTier(mode, tier_name, requests, result);
+      tier_rows.push_back(
+          TierJson(mode, tier_name, requests, slo_ms, result));
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::string tiers_json = "[";
+    for (size_t i = 0; i < tier_rows.size(); ++i) {
+      if (i > 0) tiers_json += ",";
+      tiers_json += tier_rows[i];
+    }
+    tiers_json += "]";
+    const std::string report =
+        obs::JsonObjectWriter()
+            .Put("bench", "serving")
+            .Put("method", MethodName(spec.method))
+            .Put("eval_graphs",
+                 static_cast<std::int64_t>(sorted_graphs.size()))
+            .Put("hidden_dim", spec.encoder.hidden_dim)
+            .Put("num_layers", spec.encoder.num_layers)
+            .Put("threads", GetBackend().num_threads())
+            .Put("hardware_concurrency",
+                 static_cast<int>(std::thread::hardware_concurrency()))
+            .Put("workers", workers)
+            .Put("max_batch", max_batch)
+            .Put("wait_us", wait_us)
+            .Put("requests_per_tier", requests)
+            .Put("slo_ms", slo_ms)
+            .Put("seed", static_cast<std::int64_t>(seed))
+            .Put("capacity_rps", capacity_rps)
+            .PutRaw("tiers", tiers_json)
+            .Build();
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      std::fprintf(f, "%s\n", report.c_str());
+      std::fclose(f);
+      std::printf("\nwrote %s\n", json_path.c_str());
+    } else {
+      std::printf("\nERROR: cannot write %s\n", json_path.c_str());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oodgnn
+
+int main(int argc, char** argv) {
+  oodgnn::Flags flags(argc, argv);
+  oodgnn::SetBackendThreads(flags.GetThreads(1));
+  // Uniform observability flags (same surface as the table binaries):
+  // --metrics-out streams the global registry while tiers run;
+  // --metrics-json dumps one final snapshot at exit. Note the tier
+  // engines publish to private registries — the global stream carries
+  // the process-wide metrics (kernel counters, exporter health).
+  const std::string metrics_out = flags.GetMetricsOut();
+  if (!metrics_out.empty()) {
+    oodgnn::obs::StartGlobalExporter(metrics_out,
+                                     flags.GetMetricsIntervalMs());
+  }
+  const std::string metrics_json = flags.GetString("metrics-json", "");
+  if (!metrics_json.empty()) {
+    oodgnn::obs::RegisterMetricsJsonDumpAtExit(metrics_json);
+  }
+  oodgnn::RunBench(flags);
+  return 0;
+}

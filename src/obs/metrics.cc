@@ -49,11 +49,14 @@ void StreamingHistogram::Observe(double v) {
 
 StreamingHistogram::Summary StreamingHistogram::GetSummary() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return summary_;
+  Summary summary = summary_;
+  summary.p50 = QuantileLocked(0.50);
+  summary.p95 = QuantileLocked(0.95);
+  summary.p99 = QuantileLocked(0.99);
+  return summary;
 }
 
-double StreamingHistogram::ApproxQuantile(double q) const {
-  std::lock_guard<std::mutex> lock(mu_);
+double StreamingHistogram::QuantileLocked(double q) const {
   if (summary_.count == 0) return 0.0;
   const double target = q * static_cast<double>(summary_.count);
   std::int64_t seen = 0;
@@ -65,6 +68,11 @@ double StreamingHistogram::ApproxQuantile(double q) const {
     }
   }
   return summary_.max;
+}
+
+double StreamingHistogram::ApproxQuantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return QuantileLocked(q);
 }
 
 void StreamingHistogram::Reset() {
@@ -101,6 +109,9 @@ std::string MetricsSnapshot::ToJson() const {
                                      .Put("sum", s.sum)
                                      .Put("min", s.min)
                                      .Put("max", s.max)
+                                     .Put("p50", s.p50)
+                                     .Put("p95", s.p95)
+                                     .Put("p99", s.p99)
                                      .Build());
   }
   return JsonObjectWriter()

@@ -57,6 +57,12 @@ class StreamingHistogram {
     double sum = 0.0;
     double min = 0.0;
     double max = 0.0;
+    /// Bucket-approximated quantiles (upper bucket edges, exact within
+    /// a factor of 2 — see ApproxQuantile), captured with the counts so
+    /// snapshots and exporters see one consistent view.
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
     double mean() const {
       return count > 0 ? sum / static_cast<double>(count) : 0.0;
     }
@@ -70,6 +76,8 @@ class StreamingHistogram {
   void Reset();
 
  private:
+  double QuantileLocked(double q) const;  // caller holds mu_
+
   mutable std::mutex mu_;
   Summary summary_;                              // guarded by mu_
   std::int64_t buckets_[kNumBuckets] = {0};      // guarded by mu_

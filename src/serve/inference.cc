@@ -12,6 +12,7 @@
 #include "src/train/checkpoint.h"
 #include "src/util/check.h"
 #include "src/util/logging.h"
+#include "src/util/timer.h"
 
 namespace oodgnn {
 namespace serve {
@@ -101,6 +102,16 @@ InferenceEngine::InferenceEngine(const ModelSpec& spec,
         spec_.method, spec_.encoder, spec_.output_dim, &init_rng));
     worker_rngs_.push_back(std::make_unique<Rng>(kReplicaInitSeed + i));
     arenas_.push_back(std::make_unique<PlanArena>());
+  }
+  if (options_.telemetry) {
+    obs::MetricsRegistry* registry = options_.telemetry_registry != nullptr
+                                         ? options_.telemetry_registry
+                                         : &obs::MetricsRegistry::Global();
+    collector_ = std::make_unique<obs::SpanCollector>(registry);
+    slo_trackers_.reserve(options_.slos.size());
+    for (const obs::SloSpec& slo : options_.slos) {
+      slo_trackers_.push_back(std::make_unique<obs::SloTracker>(slo, registry));
+    }
   }
   // Workers have not started yet, so no lock is needed for the initial
   // compile.
@@ -193,19 +204,28 @@ bool InferenceEngine::LoadCheckpoint(const std::string& path) {
 }
 
 std::future<Tensor> InferenceEngine::Submit(const Graph& graph) {
+  return Submit(graph, nullptr);
+}
+
+std::future<Tensor> InferenceEngine::Submit(const Graph& graph,
+                                            obs::RequestSpan* span_out) {
   Request request;
   request.graph = &graph;
+  request.span_out = span_out;
+  request.span.request_id = requests_.fetch_add(1, std::memory_order_relaxed) + 1;
   std::future<Tensor> result = request.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     OODGNN_CHECK(!stop_) << "Submit after engine shutdown";
+    request.span.enqueue_us = NowMicros();
     queue_.push_back(std::move(request));
+    // Inside the lock so depth updates are totally ordered with the
+    // workers' pops — the gauge provably reads 0 once drained.
+    if (collector_ != nullptr) {
+      collector_->RecordEnqueue(static_cast<std::int64_t>(queue_.size()));
+    }
   }
   queue_cv_.notify_one();
-  requests_.fetch_add(1, std::memory_order_relaxed);
-  if (obs::ProfilingEnabled()) {
-    obs::MetricsRegistry::Global().GetCounter("serve/requests").Increment();
-  }
   return result;
 }
 
@@ -224,6 +244,18 @@ InferenceStats InferenceEngine::stats() const {
       fallback_heap_allocs_.load(std::memory_order_relaxed);
   stats.plan_recompiles = plan_recompiles_.load(std::memory_order_relaxed);
   stats.arena_bytes = arena_bytes_.load(std::memory_order_relaxed);
+  if (collector_ != nullptr) {
+    stats.queue_depth = collector_->queue_depth();
+    stats.inflight_batches = collector_->inflight_batches();
+    stats.queue_wait_us = collector_->queue_wait().GetSummary();
+    stats.batch_build_us = collector_->batch_build().GetSummary();
+    stats.execute_us = collector_->execute().GetSummary();
+    stats.e2e_us = collector_->e2e().GetSummary();
+    stats.slos.reserve(slo_trackers_.size());
+    for (const auto& tracker : slo_trackers_) {
+      stats.slos.push_back({tracker->spec().name, tracker->status()});
+    }
+  }
   return stats;
 }
 
@@ -280,15 +312,10 @@ void InferenceEngine::RecompilePlanLocked() {
   for (auto& arena : arenas_) arena->Resize(plan_->capacity_floats);
   plan_recompiles_.fetch_add(1, std::memory_order_relaxed);
   arena_bytes_.store(plan_->capacity_bytes(), std::memory_order_relaxed);
-  if (obs::ProfilingEnabled()) {
-    auto& registry = obs::MetricsRegistry::Global();
-    registry.GetGauge("serve/plan/arena_bytes")
-        .Set(static_cast<double>(plan_->capacity_bytes()));
-    registry.GetGauge("serve/plan/slots")
-        .Set(static_cast<double>(plan_->slots.size()));
-    registry.GetGauge("serve/plan/reuse_x1000")
-        .Set(1000.0 * plan_->reuse_ratio());
-    registry.GetCounter("serve/plan/recompiles").Increment();
+  if (collector_ != nullptr) {
+    collector_->RecordPlanCompile(plan_->capacity_bytes(),
+                                  static_cast<std::int64_t>(plan_->slots.size()),
+                                  plan_->reuse_ratio());
   }
 }
 
@@ -318,9 +345,14 @@ void InferenceEngine::WorkerLoop(int worker_index) {
       // an empty batch.
       if (take == 0) continue;
       batch.reserve(take);
+      const std::int64_t admit_us = NowMicros();
       for (size_t i = 0; i < take; ++i) {
+        queue_.front().span.admit_us = admit_us;
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
+      }
+      if (collector_ != nullptr) {
+        collector_->RecordQueueDepth(static_cast<std::int64_t>(queue_.size()));
       }
     }
     // More requests may remain; let a sibling start on them while this
@@ -333,12 +365,17 @@ void InferenceEngine::WorkerLoop(int worker_index) {
 void InferenceEngine::ExecuteBatch(int worker_index,
                                    std::vector<Request> batch) {
   OODGNN_TRACE_SCOPE("serve/batch");
-  const auto start = std::chrono::steady_clock::now();
+  if (collector_ != nullptr) collector_->RecordBatchBegin();
   std::vector<const Graph*> graphs;
   graphs.reserve(batch.size());
-  for (const Request& request : batch) graphs.push_back(request.graph);
+  std::int64_t total_nodes = 0;
+  for (const Request& request : batch) {
+    graphs.push_back(request.graph);
+    total_nodes += request.graph->num_nodes();
+  }
 
   Tensor logits;
+  std::int64_t execute_start_us = 0;
   {
     std::shared_lock<std::shared_mutex> weights(weights_mu_);
     NoGradGuard no_grad;
@@ -357,6 +394,7 @@ void InferenceEngine::ExecuteBatch(int worker_index,
         // tensors (features, GCN coefficients, targets) occupy plan
         // slots like any forward intermediate.
         const GraphBatch graph_batch = GraphBatch::FromGraphs(graphs);
+        execute_start_us = NowMicros();
         logits = model->Predict(graph_batch, /*training=*/false, rng).value();
       }
       const PlanReplayStats& replay_stats = replay.stats();
@@ -368,29 +406,19 @@ void InferenceEngine::ExecuteBatch(int worker_index,
         fallback_heap_allocs_.fetch_add(replay_stats.heap_allocs,
                                         std::memory_order_relaxed);
       }
-      if (obs::ProfilingEnabled()) {
-        auto& registry = obs::MetricsRegistry::Global();
-        registry.GetGauge("serve/plan/peak_bytes")
-            .Set(static_cast<double>(replay_stats.peak_floats) *
-                 static_cast<double>(sizeof(float)));
-        if (replay_stats.diverged) {
-          registry.GetCounter("serve/plan/diverged_batches").Increment();
-        }
-        if (replay_stats.heap_allocs > 0) {
-          registry.GetCounter("serve/plan/fallback_heap_allocs")
-              .Add(replay_stats.heap_allocs);
-        }
+      if (collector_ != nullptr) {
+        collector_->RecordReplay(
+            static_cast<std::int64_t>(replay_stats.peak_floats) *
+                static_cast<std::int64_t>(sizeof(float)),
+            replay_stats.diverged, replay_stats.heap_allocs);
       }
     } else {
       const GraphBatch graph_batch = GraphBatch::FromGraphs(graphs);
+      execute_start_us = NowMicros();
       logits = model->Predict(graph_batch, /*training=*/false, rng).value();
       if (plan != nullptr) {
         eager_batches_.fetch_add(1, std::memory_order_relaxed);
-        if (obs::ProfilingEnabled()) {
-          obs::MetricsRegistry::Global()
-              .GetCounter("serve/plan/eager_batches")
-              .Increment();
-        }
+        if (collector_ != nullptr) collector_->RecordEagerBatch();
       }
     }
     OODGNN_CHECK(rng->SaveState() == rng_before)
@@ -398,18 +426,6 @@ void InferenceEngine::ExecuteBatch(int worker_index,
   }
 
   batches_.fetch_add(1, std::memory_order_relaxed);
-  if (obs::ProfilingEnabled()) {
-    auto& registry = obs::MetricsRegistry::Global();
-    registry.GetCounter("serve/batches").Increment();
-    registry.GetCounter("serve/graphs")
-        .Add(static_cast<std::int64_t>(batch.size()));
-    registry.GetHistogram("serve/batch_graphs")
-        .Observe(static_cast<double>(batch.size()));
-    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
-        std::chrono::steady_clock::now() - start);
-    registry.GetHistogram("serve/batch_us")
-        .Observe(static_cast<double>(elapsed.count()));
-  }
 
   OODGNN_CHECK_EQ(logits.rows(), static_cast<int>(batch.size()));
   for (size_t i = 0; i < batch.size(); ++i) {
@@ -417,7 +433,48 @@ void InferenceEngine::ExecuteBatch(int worker_index,
     std::memcpy(row.data(),
                 logits.data() + static_cast<size_t>(i) * logits.cols(),
                 static_cast<size_t>(logits.cols()) * sizeof(float));
-    batch[i].promise.set_value(std::move(row));
+    Request& request = batch[i];
+    request.span.execute_us = execute_start_us;
+    request.span.done_us = NowMicros();
+    // The finished span is recorded (and mirrored to the caller's
+    // span_out) before the promise resolves, so totals reconcile the
+    // moment future.get() returns.
+    if (request.span_out != nullptr) *request.span_out = request.span;
+    if (collector_ != nullptr) {
+      collector_->RecordSpan(request.span);
+      ObserveSlos(request.span);
+    }
+    request.promise.set_value(std::move(row));
+  }
+  if (collector_ != nullptr) {
+    collector_->RecordBatchEnd(static_cast<std::int64_t>(batch.size()),
+                               total_nodes);
+  }
+}
+
+void InferenceEngine::ObserveSlos(const obs::RequestSpan& span) {
+  for (auto& tracker : slo_trackers_) {
+    double latency_us = 0.0;
+    switch (tracker->spec().phase) {
+      case obs::SloPhase::kE2e:
+        latency_us = static_cast<double>(span.e2e_us());
+        break;
+      case obs::SloPhase::kQueueWait:
+        latency_us = static_cast<double>(span.queue_wait_us());
+        break;
+      case obs::SloPhase::kExecute:
+        latency_us = static_cast<double>(span.execute_dur_us());
+        break;
+    }
+    if (tracker->Observe(latency_us)) {
+      const obs::SloStatus status = tracker->status();
+      OODGNN_LOG(Warning) << "SLO '" << tracker->spec().name
+                          << "' breached: burn rate " << status.burn_rate
+                          << " over the last " << tracker->spec().window
+                          << " requests (threshold "
+                          << tracker->spec().threshold_us << " us at p"
+                          << 100.0 * tracker->spec().quantile << ")";
+    }
   }
 }
 

@@ -16,6 +16,9 @@
 #include "src/gnn/encoder.h"
 #include "src/gnn/model_zoo.h"
 #include "src/graph/graph.h"
+#include "src/obs/metrics.h"
+#include "src/obs/slo.h"
+#include "src/obs/span.h"
 #include "src/tensor/arena.h"
 #include "src/tensor/exec_plan.h"
 #include "src/tensor/tensor.h"
@@ -66,6 +69,33 @@ struct InferenceOptions {
   /// block-by-block.
   int plan_max_nodes = 0;
   int plan_max_edges = 0;
+
+  /// Request-span telemetry (src/obs/span.h): per-phase latency
+  /// histograms, queue/in-flight gauges and SLO tracking, always on by
+  /// default. All metric handles are resolved at engine construction;
+  /// the per-request cost is a few clock reads, relaxed atomics and a
+  /// histogram bucket increment — no strings, maps, or heap, so the
+  /// compiled path's zero-allocation guarantee holds with telemetry
+  /// on. Engine outputs are bitwise identical either way (pinned by
+  /// tests/serve_telemetry_test.cc).
+  bool telemetry = true;
+
+  /// Registry the span collector and SLO trackers publish to; null
+  /// means MetricsRegistry::Global() (what exporters scrape). Tests
+  /// pass a private registry for per-engine accounting.
+  obs::MetricsRegistry* telemetry_registry = nullptr;
+
+  /// Latency objectives evaluated on every finished request (ignored
+  /// when telemetry is off). Default: p99 end-to-end under 100 ms over
+  /// 512-request windows. Breached windows are counted in stats() and
+  /// logged at Warning.
+  std::vector<obs::SloSpec> slos = {obs::SloSpec{}};
+};
+
+/// One tracked objective's spec name plus its live accounting.
+struct SloReport {
+  std::string name;
+  obs::SloStatus status;
 };
 
 /// Aggregate counters since construction (atomic snapshots; safe to
@@ -84,6 +114,17 @@ struct InferenceStats {
   std::int64_t fallback_heap_allocs = 0;
   std::int64_t plan_recompiles = 0;   ///< Compiles (construction + syncs).
   std::int64_t arena_bytes = 0;       ///< Per-worker arena capacity.
+
+  // Request-span telemetry (all zero / empty when options.telemetry is
+  // off). Histogram summaries carry count/sum/min/max plus
+  // bucket-approximate p50/p95/p99.
+  double queue_depth = 0.0;       ///< Queued requests right now.
+  double inflight_batches = 0.0;  ///< Micro-batches executing right now.
+  obs::StreamingHistogram::Summary queue_wait_us;   ///< Enqueue → admit.
+  obs::StreamingHistogram::Summary batch_build_us;  ///< Admit → tensors.
+  obs::StreamingHistogram::Summary execute_us;      ///< Tensors → done.
+  obs::StreamingHistogram::Summary e2e_us;          ///< Enqueue → done.
+  std::vector<SloReport> slos;    ///< One entry per tracked objective.
 };
 
 /// Grad-free serving front end over the existing kernel backend.
@@ -134,6 +175,14 @@ class InferenceEngine {
   /// until the future is ready. Thread-safe.
   std::future<Tensor> Submit(const Graph& graph);
 
+  /// Submit with span capture: when `span_out` is non-null, the
+  /// request's finished RequestSpan (all four phase timestamps) is
+  /// copied into it before the future is fulfilled, so after
+  /// future.get() returns the span is complete and race-free. The
+  /// load generator uses this for exact client-side percentiles; the
+  /// engine's own histograms are factor-of-2 bucket approximations.
+  std::future<Tensor> Submit(const Graph& graph, obs::RequestSpan* span_out);
+
   /// Submit + wait: single-graph blocking convenience.
   Tensor Predict(const Graph& graph);
 
@@ -150,10 +199,18 @@ class InferenceEngine {
   struct Request {
     const Graph* graph;
     std::promise<Tensor> promise;
+    obs::RequestSpan span;
+    /// Caller-owned mirror for the finished span (null for plain
+    /// Submit). Written before the promise is fulfilled.
+    obs::RequestSpan* span_out = nullptr;
   };
 
   void WorkerLoop(int worker_index);
   void ExecuteBatch(int worker_index, std::vector<Request> batch);
+
+  /// Feeds one finished span to every SLO tracker (selecting the phase
+  /// duration each spec targets) and logs breached windows.
+  void ObserveSlos(const obs::RequestSpan& span);
 
   /// (Re)traces the reference forward into plan_ and resizes every
   /// worker arena. Caller holds weights_mu_ exclusively (or no workers
@@ -196,6 +253,13 @@ class InferenceEngine {
   std::atomic<std::int64_t> fallback_heap_allocs_{0};
   std::atomic<std::int64_t> plan_recompiles_{0};
   std::atomic<std::int64_t> arena_bytes_{0};
+
+  /// Null when options.telemetry is off. The collector's handles point
+  /// into options.telemetry_registry (or the global registry), which
+  /// must outlive the engine.
+  std::unique_ptr<obs::SpanCollector> collector_;
+  /// One tracker per options.slos entry; empty when telemetry is off.
+  std::vector<std::unique_ptr<obs::SloTracker>> slo_trackers_;
 
   std::vector<std::thread> workers_;
 };

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "src/obs/exporter.h"
 #include "src/obs/journal.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -153,6 +154,15 @@ BenchOptions BenchOptions::FromFlags(const Flags& flags) {
   if (obs::ProfilingEnabled()) RegisterProfileReportAtExit();
   const std::string trace_json = flags.GetString("trace-json", "");
   if (!trace_json.empty()) obs::OpenGlobalJournal(trace_json);
+  // Shared metrics handling: --metrics-out=<prefix> streams the global
+  // registry to <prefix>.prom / <prefix>.jsonl on a background thread;
+  // --metrics-json=<path> writes one final snapshot at exit.
+  const std::string metrics_out = flags.GetMetricsOut();
+  if (!metrics_out.empty()) {
+    obs::StartGlobalExporter(metrics_out, flags.GetMetricsIntervalMs());
+  }
+  const std::string metrics_json = flags.GetString("metrics-json", "");
+  if (!metrics_json.empty()) obs::RegisterMetricsJsonDumpAtExit(metrics_json);
   return options;
 }
 

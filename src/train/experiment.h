@@ -33,9 +33,15 @@ std::string FormatCell(const std::vector<double>& values, bool percent);
 /// Shared command-line handling for the table/figure benchmark
 /// binaries: `--full` switches to paper-scale settings, `--seeds`,
 /// `--epochs`, `--scale`, `--hidden`, `--layers`, `--batch`,
-/// `--eval-every` override individual knobs. Observability: `--profile` enables the tracer and
-/// per-kernel counters (src/obs) and prints aggregate profile tables at
-/// exit; `--trace-json=<path>` writes the per-epoch JSONL run journal.
+/// `--eval-every` override individual knobs. Observability: `--profile`
+/// enables the tracer and per-kernel counters (src/obs) and prints
+/// aggregate profile tables at exit; `--trace-json=<path>` writes the
+/// per-epoch JSONL run journal; `--metrics-out=<prefix>` starts the
+/// background exporter publishing <prefix>.prom / <prefix>.jsonl every
+/// `--metrics-interval-ms` (default 1000, also reachable via
+/// OODGNN_METRICS_OUT / OODGNN_METRICS_INTERVAL_MS); and
+/// `--metrics-json=<path>` dumps one final registry snapshot as JSON
+/// when the binary exits.
 /// Fault tolerance: `--checkpoint-every=N` snapshots the full training
 /// state every N epochs into `--checkpoint-dir` (default "checkpoints")
 /// and `--resume` restores a compatible snapshot before training

@@ -515,6 +515,13 @@ TrainResult TrainAndEvaluate(Method method, const GraphDataset& dataset,
     result.epoch_losses.push_back(epoch_loss / num_batches);
     if (reweighter) {
       result.epoch_decorrelation_losses.push_back(epoch_decor / num_batches);
+      // HSIC drift gauge: the epoch-mean statistical dependence among
+      // representation dimensions (the quantity Algorithm 1 drives
+      // down). Exporters scraping the global registry can watch
+      // decorrelation progress live alongside the serving metrics.
+      obs::MetricsRegistry::Global()
+          .GetGauge("core/hsic/last_value")
+          .Set(result.epoch_decorrelation_losses.back());
     }
     const double train_phase_seconds = epoch_timer.ElapsedSeconds();
 

@@ -68,4 +68,20 @@ bool Flags::GetCompiled(bool fallback) const {
   return fallback;
 }
 
+std::string Flags::GetMetricsOut(const std::string& fallback) const {
+  if (Has("metrics-out")) return GetString("metrics-out", fallback);
+  const char* env = std::getenv("OODGNN_METRICS_OUT");
+  if (env != nullptr && *env != '\0') return env;
+  return fallback;
+}
+
+int Flags::GetMetricsIntervalMs(int fallback) const {
+  if (Has("metrics-interval-ms")) {
+    return GetInt("metrics-interval-ms", fallback);
+  }
+  const char* env = std::getenv("OODGNN_METRICS_INTERVAL_MS");
+  if (env != nullptr && *env != '\0') return std::atoi(env);
+  return fallback;
+}
+
 }  // namespace oodgnn

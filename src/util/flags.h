@@ -38,6 +38,17 @@ class Flags {
   /// SetCompiledEnabled() (src/tensor/arena.h).
   bool GetCompiled(bool fallback = false) const;
 
+  /// Metrics-exporter output prefix: the `--metrics-out` flag if
+  /// given, else the OODGNN_METRICS_OUT environment variable, else
+  /// `fallback` (empty means "exporter off"). Pass the result to
+  /// obs::StartGlobalExporter (src/obs/exporter.h).
+  std::string GetMetricsOut(const std::string& fallback = "") const;
+
+  /// Exporter tick interval: the `--metrics-interval-ms` flag if
+  /// given, else the OODGNN_METRICS_INTERVAL_MS environment variable,
+  /// else `fallback`.
+  int GetMetricsIntervalMs(int fallback = 1000) const;
+
   const std::vector<std::string>& positional() const { return positional_; }
 
  private:

@@ -15,24 +15,12 @@
 #include "src/train/trainer.h"
 #include "src/util/file.h"
 #include "src/util/rng.h"
+#include "tests/test_util.h"
 
 namespace oodgnn {
 namespace {
 
-std::string TempPath(const std::string& name) {
-  // Unique per top-level test process so the env-variant re-runs of
-  // this binary (checkpoint_test_threads4/_profile) don't race on
-  // shared files under a parallel ctest. Carried in the environment so
-  // crash-injection / death-test children resolve the parent's paths.
-  static const std::string token = [] {
-    const char* env = std::getenv("OODGNN_TEST_TMP_TOKEN");
-    if (env != nullptr && *env != '\0') return std::string(env);
-    const std::string fresh = std::to_string(static_cast<long>(::getpid()));
-    ::setenv("OODGNN_TEST_TMP_TOKEN", fresh.c_str(), 1);
-    return fresh;
-  }();
-  return std::string(::testing::TempDir()) + "/tok" + token + "_" + name;
-}
+using test::TempPath;
 
 /// Trivially separable dataset: label = 1 iff the graph has edges.
 /// Construction is deterministic and independent of any global state,

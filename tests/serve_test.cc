@@ -23,6 +23,7 @@
 #include "src/train/checkpoint.h"
 #include "src/train/trainer.h"
 #include "src/util/rng.h"
+#include "tests/test_util.h"
 
 namespace oodgnn {
 namespace {
@@ -30,14 +31,7 @@ namespace {
 using serve::InferenceEngine;
 using serve::InferenceOptions;
 using serve::ModelSpec;
-
-/// Process-unique temp path so the env-variant re-runs of this binary
-/// (serve_test_threads4/_profile) don't race on shared files under a
-/// parallel ctest.
-std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "/pid" +
-         std::to_string(static_cast<long>(::getpid())) + "_" + name;
-}
+using test::TempPath;
 
 /// Small deterministic dataset shared by the equivalence tests.
 GraphDataset TinyDataset() {

@@ -1,0 +1,36 @@
+#ifndef OODGNN_TESTS_TEST_UTIL_H_
+#define OODGNN_TESTS_TEST_UTIL_H_
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace oodgnn {
+namespace test {
+
+/// Process-unique temp path under gtest's TempDir.
+///
+/// Unique per top-level test process so the env-variant re-runs of a
+/// binary (<name>_threads4 / _profile / _compiled) don't race on
+/// shared files under a parallel ctest. The token is carried in the
+/// environment (OODGNN_TEST_TMP_TOKEN) so crash-injection /
+/// death-test children resolve the parent's paths instead of minting
+/// their own.
+inline std::string TempPath(const std::string& name) {
+  static const std::string token = [] {
+    const char* env = std::getenv("OODGNN_TEST_TMP_TOKEN");
+    if (env != nullptr && *env != '\0') return std::string(env);
+    const std::string fresh = std::to_string(static_cast<long>(::getpid()));
+    ::setenv("OODGNN_TEST_TMP_TOKEN", fresh.c_str(), 1);
+    return fresh;
+  }();
+  return std::string(::testing::TempDir()) + "/tok" + token + "_" + name;
+}
+
+}  // namespace test
+}  // namespace oodgnn
+
+#endif  // OODGNN_TESTS_TEST_UTIL_H_

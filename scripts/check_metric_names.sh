@@ -59,6 +59,33 @@ done < <(grep -rnE 'Get(Counter|Gauge|Histogram)\(' src \
            --include='*.cc' --include='*.h' \
          | grep -v '^src/obs/metrics\.')
 
+# Family-presence check: the scheduler's shed accounting and the
+# rollout manager's version accounting are exporter/dashboard contracts
+# — every name below must stay registered somewhere in src/. Renaming
+# one silently breaks alerts keyed on the old name, so the rename must
+# land here in the same change.
+required_names="
+serve/shed/total
+serve/shed/queue_full
+serve/shed/quota
+serve/shed/deadline
+serve/shed/slo
+serve/sched/submitted
+serve/sched/admitted
+serve/sched/dispatched
+serve/version/current
+serve/version/rollouts
+serve/version/rollbacks
+serve/version/requests
+"
+for name in $required_names; do
+  checked=$((checked + 1))
+  if ! grep -rqF "\"$name\"" src --include='*.cc' --include='*.h'; then
+    echo "required metric '$name' is no longer registered in src/" >&2
+    fail=1
+  fi
+done
+
 if [ "$fail" -ne 0 ]; then
   echo "check_metric_names: FAILED" >&2
   exit 1

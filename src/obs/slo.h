@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/obs/metrics.h"
+#include "src/util/clock.h"
 
 namespace oodgnn {
 namespace obs {
@@ -31,6 +32,21 @@ struct SloSpec {
   double quantile = 0.99;        ///< In (0, 1); budget is 1 - quantile.
   double threshold_us = 100000;  ///< Latency objective at that quantile.
   int window = 512;              ///< Requests per evaluation window.
+
+  /// Time-based sliding window: when nonzero, the burn rate is the
+  /// violating share of the requests observed in the last `window_us`
+  /// microseconds (instead of the last `window` requests), read off
+  /// the tracker's injected Clock. Window completion is event-driven:
+  /// every observation at least `window_us` after the current window's
+  /// anchor closes it (counting one breach at most), so breach totals
+  /// stay one-per-window just like count mode. Backward clock jumps
+  /// are clamped to the last seen time.
+  std::int64_t window_us = 0;
+  /// Ring capacity in time mode: at most this many events are held;
+  /// beyond it the oldest in-window event is evicted (the burn rate
+  /// degrades gracefully to a suffix of the window). Ignored in count
+  /// mode.
+  int max_window_events = 4096;
 };
 
 /// Lifetime accounting of one tracked objective (atomic snapshot; safe
@@ -60,8 +76,11 @@ struct SloStatus {
 class SloTracker {
  public:
   /// Aborts on malformed specs (empty/illegal name, quantile outside
-  /// (0, 1), window < 1).
-  SloTracker(const SloSpec& spec, MetricsRegistry* registry);
+  /// (0, 1), window < 1, or time mode with max_window_events < 1).
+  /// `clock` drives time-mode windows; null selects Clock::Real().
+  /// Count-mode trackers never read the clock.
+  SloTracker(const SloSpec& spec, MetricsRegistry* registry,
+             const Clock* clock = nullptr);
 
   SloTracker(const SloTracker&) = delete;
   SloTracker& operator=(const SloTracker&) = delete;
@@ -74,13 +93,31 @@ class SloTracker {
   const SloSpec& spec() const { return spec_; }
 
  private:
+  /// One time-mode ring entry: clamped observation time + outcome.
+  struct TimedEvent {
+    std::int64_t t_us = 0;
+    unsigned char violation = 0;
+  };
+
+  bool ObserveCountWindowLocked(bool violation);
+  bool ObserveTimeWindowLocked(bool violation);
+
   const SloSpec spec_;
+  const Clock* const clock_;  // never null
 
   mutable std::mutex mu_;
   std::vector<unsigned char> ring_;  // guarded by mu_; 1 = violation
   int ring_pos_ = 0;                 // guarded by mu_
   SloStatus status_;                 // guarded by mu_
   std::int64_t window_violations_ = 0;  // guarded by mu_
+
+  // Time-mode state (all guarded by mu_): a circular buffer of the
+  // events inside the sliding window, plus the running violation sum.
+  std::vector<TimedEvent> events_;
+  size_t events_head_ = 0;   ///< Index of the oldest event.
+  size_t events_count_ = 0;  ///< Events currently in the ring.
+  std::int64_t last_now_us_ = 0;       ///< Monotonic clamp.
+  std::int64_t window_anchor_us_ = 0;  ///< Current window's start (0 = unset).
 
   // Null when constructed without a registry.
   Gauge* burn_rate_gauge_ = nullptr;

@@ -18,9 +18,10 @@ namespace obs {
 ///   execute_us   the micro-batch tensors were built; forward starts
 ///   done_us      the caller's future was fulfilled
 ///
-/// All stamps come from the process-wide monotonic clock (NowMicros),
-/// so spans are directly comparable to the tracer's and the journal's
-/// timestamps. The struct is plain data with no ownership: the engine
+/// All stamps come from the engine's injected Clock (util/clock.h) —
+/// the real monotonic clock in production, so spans are directly
+/// comparable to the tracer's and the journal's timestamps, or a
+/// FakeClock in tests for deterministic deadline/latency behavior. The struct is plain data with no ownership: the engine
 /// embeds one per queued request (no extra heap), and Submit can
 /// optionally mirror the finished span into caller-owned storage for
 /// exact client-side percentile computation (the load generator does).
@@ -30,6 +31,14 @@ struct RequestSpan {
   std::int64_t admit_us = 0;
   std::int64_t execute_us = 0;
   std::int64_t done_us = 0;
+
+  /// Weight version that served the request (0 for requests that were
+  /// shed before reaching a worker). Tags every span with the rollout
+  /// state it observed, so a staggered weight swap is attributable
+  /// span-by-span.
+  std::int64_t model_version = 0;
+  /// Absolute deadline the request carried (0 = none).
+  std::int64_t deadline_us = 0;
 
   // Derived phase durations (valid once done_us is stamped).
   std::int64_t queue_wait_us() const { return admit_us - enqueue_us; }

@@ -12,7 +12,6 @@
 #include "src/train/checkpoint.h"
 #include "src/util/check.h"
 #include "src/util/logging.h"
-#include "src/util/timer.h"
 
 namespace oodgnn {
 namespace serve {
@@ -66,6 +65,31 @@ std::vector<Graph> MakeReferenceGraphs(int num_graphs, int max_nodes,
   return graphs;
 }
 
+/// Reference-batch envelope a plan is recorded at (slot_budget graphs,
+/// node/edge totals from the options or the auto scaling).
+struct Envelope {
+  int num_graphs = 0;
+  int max_nodes = 0;
+  int max_edges = 0;
+  std::vector<Graph> graphs;
+};
+
+Envelope MakeEnvelope(const ModelSpec& spec, const InferenceOptions& options,
+                      int slot_budget) {
+  Envelope env;
+  env.num_graphs = slot_budget;
+  env.max_nodes = std::max(options.plan_max_nodes > 0 ? options.plan_max_nodes
+                                                      : 32 * env.num_graphs,
+                           env.num_graphs);
+  env.max_edges = std::max(
+      options.plan_max_edges > 0 ? options.plan_max_edges : 4 * env.max_nodes,
+      2);
+  env.graphs = MakeReferenceGraphs(env.num_graphs, env.max_nodes,
+                                   env.max_edges, spec.encoder.feature_dim,
+                                   spec.num_targets);
+  return env;
+}
+
 /// Copies `src` tensors into a module's parameters and buffers
 /// (registration order). Caller has already validated counts/shapes.
 void ApplyState(const std::vector<Tensor>& params,
@@ -83,16 +107,29 @@ void ApplyState(const std::vector<Tensor>& params,
   }
 }
 
+obs::MetricsRegistry* TelemetryRegistry(const InferenceOptions& options) {
+  if (!options.telemetry) return nullptr;
+  return options.telemetry_registry != nullptr
+             ? options.telemetry_registry
+             : &obs::MetricsRegistry::Global();
+}
+
 }  // namespace
 
 InferenceEngine::InferenceEngine(const ModelSpec& spec,
                                  const InferenceOptions& options)
-    : spec_(spec), options_(options) {
+    : spec_(spec),
+      options_(options),
+      clock_(options.clock != nullptr ? options.clock : Clock::Real()),
+      versions_(TelemetryRegistry(options)) {
   OODGNN_CHECK_GT(spec_.output_dim, 0);
   OODGNN_CHECK_GT(spec_.encoder.feature_dim, 0);
   OODGNN_CHECK_GE(options_.num_workers, 1);
   OODGNN_CHECK_GE(options_.max_batch_graphs, 1);
   OODGNN_CHECK_GE(options_.max_batch_wait_us, 0);
+  OODGNN_CHECK_GE(options_.max_inflight, 0);
+  slot_budget_ = options_.max_inflight > 0 ? options_.max_inflight
+                                           : options_.max_batch_graphs;
   replicas_.reserve(static_cast<size_t>(options_.num_workers));
   worker_rngs_.reserve(static_cast<size_t>(options_.num_workers));
   arenas_.reserve(static_cast<size_t>(options_.num_workers));
@@ -103,19 +140,65 @@ InferenceEngine::InferenceEngine(const ModelSpec& spec,
     worker_rngs_.push_back(std::make_unique<Rng>(kReplicaInitSeed + i));
     arenas_.push_back(std::make_unique<PlanArena>());
   }
+  worker_plans_.resize(static_cast<size_t>(options_.num_workers));
+  worker_versions_.assign(static_cast<size_t>(options_.num_workers), 0);
+  {
+    Rng init_rng(kReplicaInitSeed);
+    master_ = std::make_unique<GraphPredictionModel>(
+        spec_.method, spec_.encoder, spec_.output_dim, &init_rng);
+  }
   if (options_.telemetry) {
-    obs::MetricsRegistry* registry = options_.telemetry_registry != nullptr
-                                         ? options_.telemetry_registry
-                                         : &obs::MetricsRegistry::Global();
+    obs::MetricsRegistry* registry = TelemetryRegistry(options_);
     collector_ = std::make_unique<obs::SpanCollector>(registry);
     slo_trackers_.reserve(options_.slos.size());
     for (const obs::SloSpec& slo : options_.slos) {
-      slo_trackers_.push_back(std::make_unique<obs::SloTracker>(slo, registry));
+      slo_trackers_.push_back(
+          std::make_unique<obs::SloTracker>(slo, registry, clock_));
     }
   }
-  // Workers have not started yet, so no lock is needed for the initial
-  // compile.
-  if (options_.compiled) RecompilePlanLocked();
+  scheduler_ = std::make_unique<Scheduler>(options_.scheduler,
+                                           TelemetryRegistry(options_), clock_);
+  if (options_.compiled) {
+    // Warm-up forward through the master and every replica once:
+    // module-internal caches created lazily on a model's first forward
+    // (e.g. FactorGCN attention) must already exist both when a stream
+    // is recorded (master) and when it is replayed (replicas), or the
+    // first replays would see extra allocations the plan does not
+    // have. One warm-up suffices for the engine's lifetime — adoption
+    // only copies tensors, never resets caches.
+    const Envelope env = MakeEnvelope(spec_, options_, slot_budget_);
+    std::vector<const Graph*> ptrs;
+    ptrs.reserve(env.graphs.size());
+    for (const Graph& g : env.graphs) ptrs.push_back(&g);
+    NoGradGuard no_grad;
+    {
+      Rng rng(kReplicaInitSeed);
+      (void)master_->Predict(GraphBatch::FromGraphs(ptrs), /*training=*/false,
+                             &rng);
+    }
+    for (auto& replica : replicas_) {
+      Rng rng(kReplicaInitSeed);
+      (void)replica->Predict(GraphBatch::FromGraphs(ptrs), /*training=*/false,
+                             &rng);
+    }
+  }
+  // Workers have not started yet, so master_mu_ is uncontended here.
+  {
+    std::lock_guard<std::mutex> lock(master_mu_);
+    PublishFromMasterLocked();
+  }
+  // Preload every worker with the initial snapshot: replicas are
+  // already bitwise identical to the master (same init seed), so the
+  // first batch needs no adoption copy — the compiled path is
+  // zero-allocation from request one.
+  const std::shared_ptr<const WeightSnapshot> initial = versions_.current();
+  for (int i = 0; i < options_.num_workers; ++i) {
+    worker_plans_[static_cast<size_t>(i)] = initial->plan;
+    if (initial->plan != nullptr) {
+      arenas_[static_cast<size_t>(i)]->Resize(initial->plan->capacity_floats);
+    }
+    worker_versions_[static_cast<size_t>(i)] = initial->version;
+  }
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back(&InferenceEngine::WorkerLoop, this, i);
@@ -141,31 +224,17 @@ void InferenceEngine::SyncFrom(const GraphPredictionModel& model) {
   buffers.reserve(src_buffers.size());
   for (const Tensor* b : src_buffers) buffers.push_back(*b);
 
-  std::unique_lock<std::shared_mutex> lock(weights_mu_);
-  for (auto& replica : replicas_) {
-    ApplyState(params, buffers, replica.get());
-  }
-  // One writer critical section swaps the weights AND the plan traced
-  // against them; a worker can never see new weights with a stale plan
-  // (or vice versa).
-  if (options_.compiled) RecompilePlanLocked();
+  std::lock_guard<std::mutex> lock(master_mu_);
+  ApplyState(params, buffers, master_.get());
+  PublishFromMasterLocked();
 }
 
 bool InferenceEngine::LoadModelFile(const std::string& path) {
-  std::unique_lock<std::shared_mutex> lock(weights_mu_);
-  // Validate + apply against the first replica, then mirror its state
-  // into the others (reads the file once).
-  if (!LoadModelState(path, replicas_[0].get())) return false;
-  std::vector<Tensor> params;
-  for (const Variable& p : replicas_[0]->Parameters()) {
-    params.push_back(p.value());
-  }
-  std::vector<Tensor> buffers;
-  for (const Tensor* b : replicas_[0]->Buffers()) buffers.push_back(*b);
-  for (size_t i = 1; i < replicas_.size(); ++i) {
-    ApplyState(params, buffers, replicas_[i].get());
-  }
-  if (options_.compiled) RecompilePlanLocked();
+  std::lock_guard<std::mutex> lock(master_mu_);
+  // Validate + apply against the master; nothing is published (and no
+  // worker is affected) unless the load succeeds in full.
+  if (!LoadModelState(path, master_.get())) return false;
+  PublishFromMasterLocked();
   return true;
 }
 
@@ -178,14 +247,14 @@ bool InferenceEngine::LoadCheckpoint(const std::string& path) {
                       << MethodName(spec_.method) << ")";
     return false;
   }
-  const std::vector<Variable> expected = replicas_[0]->Parameters();
+  std::lock_guard<std::mutex> lock(master_mu_);
+  const std::vector<Variable> expected = master_->Parameters();
   if (state.params.size() != expected.size() ||
-      state.buffers.size() != replicas_[0]->Buffers().size()) {
+      state.buffers.size() != master_->Buffers().size()) {
     OODGNN_LOG(Error) << path << ": checkpoint has " << state.params.size()
                       << " parameter and " << state.buffers.size()
                       << " buffer tensors; the spec's model expects "
-                      << expected.size() << " / "
-                      << replicas_[0]->Buffers().size();
+                      << expected.size() << " / " << master_->Buffers().size();
     return false;
   }
   for (size_t i = 0; i < expected.size(); ++i) {
@@ -195,42 +264,88 @@ bool InferenceEngine::LoadCheckpoint(const std::string& path) {
       return false;
     }
   }
-  std::unique_lock<std::shared_mutex> lock(weights_mu_);
-  for (auto& replica : replicas_) {
-    ApplyState(state.params, state.buffers, replica.get());
-  }
-  if (options_.compiled) RecompilePlanLocked();
+  ApplyState(state.params, state.buffers, master_.get());
+  PublishFromMasterLocked();
   return true;
 }
 
+bool InferenceEngine::RollbackWeights() {
+  // master_mu_ serializes rollbacks against publishes, so the
+  // previous/current pair the manager swaps is never mid-update.
+  std::lock_guard<std::mutex> lock(master_mu_);
+  return versions_.Rollback();
+}
+
 std::future<Tensor> InferenceEngine::Submit(const Graph& graph) {
-  return Submit(graph, nullptr);
+  return Submit(graph, static_cast<obs::RequestSpan*>(nullptr));
 }
 
 std::future<Tensor> InferenceEngine::Submit(const Graph& graph,
                                             obs::RequestSpan* span_out) {
-  Request request;
-  request.graph = &graph;
-  request.span_out = span_out;
-  request.span.request_id = requests_.fetch_add(1, std::memory_order_relaxed) + 1;
-  std::future<Tensor> result = request.promise.get_future();
+  return Submit(graph, SubmitOptions{}, span_out).future;
+}
+
+SubmitResult InferenceEngine::Submit(const Graph& graph,
+                                     const SubmitOptions& submit_options,
+                                     obs::RequestSpan* span_out) {
+  auto request = std::make_unique<Request>();
+  request->graph = &graph;
+  request->span_out = span_out;
+  request->span.request_id =
+      requests_.fetch_add(1, std::memory_order_relaxed) + 1;
+  SubmitResult result;
+  result.request_id = request->span.request_id;
+  result.future = request->promise.get_future();
+  ShedReason reason = ShedReason::kNone;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     OODGNN_CHECK(!stop_) << "Submit after engine shutdown";
-    request.span.enqueue_us = NowMicros();
-    queue_.push_back(std::move(request));
-    // Inside the lock so depth updates are totally ordered with the
-    // workers' pops — the gauge provably reads 0 once drained.
-    if (collector_ != nullptr) {
-      collector_->RecordEnqueue(static_cast<std::int64_t>(queue_.size()));
+    const std::int64_t now = clock_->NowMicros();
+    request->span.enqueue_us = now;
+    // Deadlines arrive relative to enqueue (a negative value means
+    // already expired — the chaos tests use that); the queue stores
+    // them absolute.
+    const std::int64_t relative =
+        submit_options.deadline_us != 0
+            ? submit_options.deadline_us
+            : scheduler_->options().default_deadline_us;
+    if (relative != 0) request->span.deadline_us = now + relative;
+    QueuedRequest queued;
+    queued.priority = submit_options.priority;
+    queued.deadline_us = request->span.deadline_us;
+    queued.tenant_index = scheduler_->TenantIndex(submit_options.tenant);
+    queued.payload = request.get();
+    reason = scheduler_->Admit(queued);
+    if (reason == ShedReason::kNone) {
+      // The queue owns the request until a worker pops it.
+      request.release();
+      // Inside the lock so depth updates are totally ordered with the
+      // workers' pops — the gauge provably reads 0 once drained.
+      if (collector_ != nullptr) {
+        collector_->RecordEnqueue(scheduler_->size());
+      }
     }
   }
-  queue_cv_.notify_one();
+  if (reason == ShedReason::kNone) {
+    result.admitted = true;
+    queue_cv_.notify_one();
+  } else {
+    result.shed = reason;
+    FailShed(std::move(request), reason);
+  }
   return result;
 }
 
 Tensor InferenceEngine::Predict(const Graph& graph) {
   return Submit(graph).get();
+}
+
+void InferenceEngine::FailShed(std::unique_ptr<Request> request,
+                               ShedReason reason) {
+  request->span.done_us = clock_->NowMicros();
+  if (request->span_out != nullptr) *request->span_out = request->span;
+  request->promise.set_exception(std::make_exception_ptr(
+      ShedError(reason, request->span.request_id)));
 }
 
 InferenceStats InferenceEngine::stats() const {
@@ -256,145 +371,169 @@ InferenceStats InferenceEngine::stats() const {
       stats.slos.push_back({tracker->spec().name, tracker->status()});
     }
   }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stats.scheduler = scheduler_->stats();
+  }
+  stats.weight_version = versions_.current_version();
+  stats.rollouts = versions_.rollouts();
+  stats.rollbacks = versions_.rollbacks();
+  stats.versions = versions_.counts();
   return stats;
 }
 
 std::shared_ptr<const ComputePlan> InferenceEngine::plan() const {
-  std::shared_lock<std::shared_mutex> lock(weights_mu_);
-  return plan_;
+  const std::shared_ptr<const WeightSnapshot> snapshot = versions_.current();
+  return snapshot != nullptr ? snapshot->plan : nullptr;
 }
 
-void InferenceEngine::RecompilePlanLocked() {
+std::shared_ptr<const ComputePlan> InferenceEngine::CompilePlanLocked() {
   OODGNN_TRACE_SCOPE("serve/plan_compile");
-  const int num_graphs = options_.max_batch_graphs;
-  const int max_nodes = std::max(
-      options_.plan_max_nodes > 0 ? options_.plan_max_nodes : 32 * num_graphs,
-      num_graphs);
-  const int max_edges = std::max(
-      options_.plan_max_edges > 0 ? options_.plan_max_edges : 4 * max_nodes,
-      2);
-  const std::vector<Graph> ref_graphs =
-      MakeReferenceGraphs(num_graphs, max_nodes, max_edges,
-                          spec_.encoder.feature_dim, spec_.num_targets);
+  const Envelope env = MakeEnvelope(spec_, options_, slot_budget_);
   std::vector<const Graph*> ptrs;
-  ptrs.reserve(ref_graphs.size());
-  for (const Graph& g : ref_graphs) ptrs.push_back(&g);
+  ptrs.reserve(env.graphs.size());
+  for (const Graph& g : env.graphs) ptrs.push_back(&g);
 
   NoGradGuard no_grad;
-  // Warm-up forward through every replica first: module-internal
-  // caches created lazily on a replica's first forward (e.g. FactorGCN
-  // attention) must already exist when the stream is recorded, or
-  // workers' first replays would see extra allocations the plan does
-  // not have.
-  for (auto& replica : replicas_) {
-    const GraphBatch batch = GraphBatch::FromGraphs(ptrs);
-    Rng rng(kReplicaInitSeed);
-    (void)replica->Predict(batch, /*training=*/false, &rng);
-  }
-
   ComputePlan plan;
   {
+    // Recording installs a thread-local allocation sink, so workers
+    // replaying the previous plan concurrently are untouched.
     PlanRecordScope record;
     {
       const GraphBatch batch = GraphBatch::FromGraphs(ptrs);
       Rng rng(kReplicaInitSeed);
       const Tensor logits =
-          replicas_[0]->Predict(batch, /*training=*/false, &rng).value();
+          master_->Predict(batch, /*training=*/false, &rng).value();
       (void)logits;
     }  // Intermediates die here: their extents become reusable holes.
     plan = record.Finish();
   }
-  plan.max_graphs = num_graphs;
-  plan.max_nodes = max_nodes;
-  plan.max_edges = max_edges;
+  plan.max_graphs = env.num_graphs;
+  plan.max_nodes = env.max_nodes;
+  plan.max_edges = env.max_edges;
   plan.num_targets = spec_.num_targets;
-  plan_ = std::make_shared<const ComputePlan>(std::move(plan));
-  for (auto& arena : arenas_) arena->Resize(plan_->capacity_floats);
+  auto shared = std::make_shared<const ComputePlan>(std::move(plan));
   plan_recompiles_.fetch_add(1, std::memory_order_relaxed);
-  arena_bytes_.store(plan_->capacity_bytes(), std::memory_order_relaxed);
+  arena_bytes_.store(shared->capacity_bytes(), std::memory_order_relaxed);
   if (collector_ != nullptr) {
-    collector_->RecordPlanCompile(plan_->capacity_bytes(),
-                                  static_cast<std::int64_t>(plan_->slots.size()),
-                                  plan_->reuse_ratio());
+    collector_->RecordPlanCompile(
+        shared->capacity_bytes(),
+        static_cast<std::int64_t>(shared->slots.size()),
+        shared->reuse_ratio());
   }
+  return shared;
+}
+
+void InferenceEngine::PublishFromMasterLocked() {
+  std::vector<Tensor> params;
+  for (const Variable& p : master_->Parameters()) params.push_back(p.value());
+  std::vector<Tensor> buffers;
+  for (const Tensor* b : master_->Buffers()) buffers.push_back(*b);
+  // The snapshot carries the plan recorded against exactly these
+  // weights' shapes, so a worker adopting it can never pair new
+  // weights with a stale plan (or vice versa).
+  std::shared_ptr<const ComputePlan> plan;
+  if (options_.compiled) plan = CompilePlanLocked();
+  versions_.Publish(std::move(params), std::move(buffers), std::move(plan));
+}
+
+void InferenceEngine::AdoptCurrentVersion(int worker_index) {
+  const std::shared_ptr<const WeightSnapshot> target = versions_.current();
+  const size_t w = static_cast<size_t>(worker_index);
+  if (target == nullptr || target->version == worker_versions_[w]) return;
+  ApplyState(target->params, target->buffers, replicas_[w].get());
+  worker_plans_[w] = target->plan;
+  if (target->plan != nullptr) {
+    arenas_[w]->Resize(target->plan->capacity_floats);
+  }
+  worker_versions_[w] = target->version;
 }
 
 void InferenceEngine::WorkerLoop(int worker_index) {
   for (;;) {
-    std::vector<Request> batch;
+    std::vector<QueuedRequest> popped;
+    std::vector<QueuedRequest> expired;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and queue drained
+      queue_cv_.wait(lock, [&] { return stop_ || !scheduler_->empty(); });
+      if (scheduler_->empty()) return;  // stop_ set and queue drained
       // Batching window: a request is in hand; give the queue a bounded
       // chance to fill up to the size cutoff before executing.
       if (!stop_ && options_.max_batch_wait_us > 0 &&
-          static_cast<int>(queue_.size()) < options_.max_batch_graphs) {
+          scheduler_->size() < options_.max_batch_graphs) {
         queue_cv_.wait_for(
             lock, std::chrono::microseconds(options_.max_batch_wait_us),
             [&] {
-              return stop_ || static_cast<int>(queue_.size()) >=
-                                  options_.max_batch_graphs;
+              return stop_ ||
+                     scheduler_->size() >= options_.max_batch_graphs;
             });
       }
-      const size_t take =
-          std::min(queue_.size(),
-                   static_cast<size_t>(options_.max_batch_graphs));
-      // A sibling may have drained the queue while this worker sat in
-      // the batching window; go back to waiting instead of executing
-      // an empty batch.
-      if (take == 0) continue;
-      batch.reserve(take);
-      const std::int64_t admit_us = NowMicros();
-      for (size_t i = 0; i < take; ++i) {
-        queue_.front().span.admit_us = admit_us;
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
-      }
+      // Continuous top-up: take work up to this worker's slot budget
+      // in dispatch order; whatever remains is immediately available
+      // to a sibling.
+      scheduler_->PopBatch(slot_budget_, &popped, &expired);
       if (collector_ != nullptr) {
-        collector_->RecordQueueDepth(static_cast<std::int64_t>(queue_.size()));
+        collector_->RecordQueueDepth(scheduler_->size());
       }
     }
     // More requests may remain; let a sibling start on them while this
     // worker executes.
     queue_cv_.notify_one();
+    for (QueuedRequest& item : expired) {
+      std::unique_ptr<Request> request(static_cast<Request*>(item.payload));
+      FailShed(std::move(request), ShedReason::kDeadlineExpired);
+    }
+    if (popped.empty()) continue;
+    std::vector<std::unique_ptr<Request>> batch;
+    batch.reserve(popped.size());
+    const std::int64_t admit_us = clock_->NowMicros();
+    for (QueuedRequest& item : popped) {
+      std::unique_ptr<Request> request(static_cast<Request*>(item.payload));
+      request->span.admit_us = admit_us;
+      batch.push_back(std::move(request));
+    }
+    // Adopt the newest weight version at the batch boundary: rollouts
+    // stagger across workers, and an in-flight batch always finishes
+    // on the version it started with.
+    AdoptCurrentVersion(worker_index);
     ExecuteBatch(worker_index, std::move(batch));
   }
 }
 
 void InferenceEngine::ExecuteBatch(int worker_index,
-                                   std::vector<Request> batch) {
+                                   std::vector<std::unique_ptr<Request>> batch) {
   OODGNN_TRACE_SCOPE("serve/batch");
   if (collector_ != nullptr) collector_->RecordBatchBegin();
+  const size_t w = static_cast<size_t>(worker_index);
   std::vector<const Graph*> graphs;
   graphs.reserve(batch.size());
   std::int64_t total_nodes = 0;
-  for (const Request& request : batch) {
-    graphs.push_back(request.graph);
-    total_nodes += request.graph->num_nodes();
+  for (const auto& request : batch) {
+    graphs.push_back(request->graph);
+    total_nodes += request->graph->num_nodes();
   }
+  const std::int64_t version = worker_versions_[w];
 
   Tensor logits;
   std::int64_t execute_start_us = 0;
   {
-    std::shared_lock<std::shared_mutex> weights(weights_mu_);
+    // The replica, rng, plan and arena below are exclusively this
+    // worker's; publishers only touch the version manager, so no
+    // weight lock is needed around the forward.
     NoGradGuard no_grad;
-    Rng* rng = worker_rngs_[static_cast<size_t>(worker_index)].get();
+    Rng* rng = worker_rngs_[w].get();
     const std::string rng_before = rng->SaveState();
-    GraphPredictionModel* model =
-        replicas_[static_cast<size_t>(worker_index)].get();
-    // plan_ / arenas_ are stable while the shared lock is held; the
-    // replay scope pins the arena buffer beyond it through the logits'
-    // storage.
-    const std::shared_ptr<const ComputePlan> plan = plan_;
+    GraphPredictionModel* model = replicas_[w].get();
+    const std::shared_ptr<const ComputePlan> plan = worker_plans_[w];
     if (plan != nullptr && PlanAdmits(*plan, graphs)) {
-      PlanReplayScope replay(plan, arenas_[static_cast<size_t>(worker_index)].get());
+      PlanReplayScope replay(plan, arenas_[w].get());
       {
         // Batch construction is part of the recorded stream: its
         // tensors (features, GCN coefficients, targets) occupy plan
         // slots like any forward intermediate.
         const GraphBatch graph_batch = GraphBatch::FromGraphs(graphs);
-        execute_start_us = NowMicros();
+        execute_start_us = clock_->NowMicros();
         logits = model->Predict(graph_batch, /*training=*/false, rng).value();
       }
       const PlanReplayStats& replay_stats = replay.stats();
@@ -414,7 +553,7 @@ void InferenceEngine::ExecuteBatch(int worker_index,
       }
     } else {
       const GraphBatch graph_batch = GraphBatch::FromGraphs(graphs);
-      execute_start_us = NowMicros();
+      execute_start_us = clock_->NowMicros();
       logits = model->Predict(graph_batch, /*training=*/false, rng).value();
       if (plan != nullptr) {
         eager_batches_.fetch_add(1, std::memory_order_relaxed);
@@ -426,6 +565,7 @@ void InferenceEngine::ExecuteBatch(int worker_index,
   }
 
   batches_.fetch_add(1, std::memory_order_relaxed);
+  versions_.RecordServed(version, static_cast<std::int64_t>(batch.size()));
 
   OODGNN_CHECK_EQ(logits.rows(), static_cast<int>(batch.size()));
   for (size_t i = 0; i < batch.size(); ++i) {
@@ -433,9 +573,10 @@ void InferenceEngine::ExecuteBatch(int worker_index,
     std::memcpy(row.data(),
                 logits.data() + static_cast<size_t>(i) * logits.cols(),
                 static_cast<size_t>(logits.cols()) * sizeof(float));
-    Request& request = batch[i];
+    Request& request = *batch[i];
     request.span.execute_us = execute_start_us;
-    request.span.done_us = NowMicros();
+    request.span.done_us = clock_->NowMicros();
+    request.span.model_version = version;
     // The finished span is recorded (and mirrored to the caller's
     // span_out) before the promise resolves, so totals reconcile the
     // moment future.get() returns.
@@ -453,6 +594,7 @@ void InferenceEngine::ExecuteBatch(int worker_index,
 }
 
 void InferenceEngine::ObserveSlos(const obs::RequestSpan& span) {
+  double worst_burn = 0.0;
   for (auto& tracker : slo_trackers_) {
     double latency_us = 0.0;
     switch (tracker->spec().phase) {
@@ -475,7 +617,11 @@ void InferenceEngine::ObserveSlos(const obs::RequestSpan& span) {
                           << tracker->spec().threshold_us << " us at p"
                           << 100.0 * tracker->spec().quantile << ")";
     }
+    worst_burn = std::max(worst_burn, tracker->status().burn_rate);
   }
+  // The scheduler sheds against the worst current burn rate across the
+  // tracked objectives (SetBurnRate is atomic; no queue lock here).
+  if (!slo_trackers_.empty()) scheduler_->SetBurnRate(worst_burn);
 }
 
 }  // namespace serve

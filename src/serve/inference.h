@@ -4,11 +4,9 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <future>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,9 +17,12 @@
 #include "src/obs/metrics.h"
 #include "src/obs/slo.h"
 #include "src/obs/span.h"
+#include "src/serve/scheduler.h"
+#include "src/serve/version.h"
 #include "src/tensor/arena.h"
 #include "src/tensor/exec_plan.h"
 #include "src/tensor/tensor.h"
+#include "src/util/clock.h"
 #include "src/util/rng.h"
 
 namespace oodgnn {
@@ -43,15 +44,35 @@ struct ModelSpec {
   int num_targets = 0;
 };
 
-/// Micro-batching policy. A worker that picks up a request waits at
-/// most `max_batch_wait_us` for the queue to reach `max_batch_graphs`
-/// before executing whatever has accumulated — the classic
-/// size-or-timeout cutoff. With `num_workers > 1`, several micro-batches
-/// execute concurrently (each worker owns a private model replica).
+/// Serving policy. Admission is continuous-batching style: Submit()
+/// pushes into one central scheduler queue and every worker tops up
+/// its in-flight slot budget (`max_inflight`) from that queue each
+/// iteration, so a big batch on one worker never blocks short requests
+/// from dispatching on another. `max_batch_wait_us` keeps the classic
+/// size-or-timeout coalescing window on top: a worker holding fewer
+/// than `max_batch_graphs` queued requests waits at most that long for
+/// more before executing what it has.
 struct InferenceOptions {
   int num_workers = 1;
   int max_batch_graphs = 32;
   int max_batch_wait_us = 200;
+
+  /// Per-worker in-flight slot budget: the most graphs one worker pops
+  /// into a single execution. 0 = auto (max_batch_graphs). The plan
+  /// envelope is recorded at this budget, so full top-ups replay from
+  /// the arena.
+  int max_inflight = 0;
+
+  /// Admission control: priorities, deadlines, per-tenant token-bucket
+  /// quotas and SLO burn-rate load shedding (src/serve/scheduler.h).
+  /// The default policy admits everything in FIFO order — exactly the
+  /// historical engine behavior.
+  SchedulerOptions scheduler;
+
+  /// Time source for span stamps, deadlines, quota refill and SLO
+  /// windows. Null = Clock::Real(). Tests inject a FakeClock to make
+  /// deadline expiry and shed decisions reproducible without sleeping.
+  const Clock* clock = nullptr;
 
   /// Plan-then-execute mode (DESIGN.md §13): trace one reference
   /// forward at the envelope batch shape into a static ComputePlan and
@@ -63,8 +84,8 @@ struct InferenceOptions {
   bool compiled = CompiledEnabled();
 
   /// Reference-batch envelope the plan is recorded at: total nodes and
-  /// directed edges across the batch. 0 = auto (scaled from
-  /// max_batch_graphs). Batches larger than the envelope still execute
+  /// directed edges across the batch. 0 = auto (scaled from the slot
+  /// budget). Batches larger than the envelope still execute
   /// correctly — oversized intermediates fall back to the heap
   /// block-by-block.
   int plan_max_nodes = 0;
@@ -77,12 +98,15 @@ struct InferenceOptions {
   /// histogram bucket increment — no strings, maps, or heap, so the
   /// compiled path's zero-allocation guarantee holds with telemetry
   /// on. Engine outputs are bitwise identical either way (pinned by
-  /// tests/serve_telemetry_test.cc).
+  /// tests/serve_telemetry_test.cc). Telemetry also feeds the SLO
+  /// burn-rate signal the scheduler sheds on; with telemetry off,
+  /// shed_on_slo is inert.
   bool telemetry = true;
 
-  /// Registry the span collector and SLO trackers publish to; null
-  /// means MetricsRegistry::Global() (what exporters scrape). Tests
-  /// pass a private registry for per-engine accounting.
+  /// Registry the span collector, SLO trackers, scheduler and version
+  /// manager publish to; null means MetricsRegistry::Global() (what
+  /// exporters scrape). Tests pass a private registry for per-engine
+  /// accounting.
   obs::MetricsRegistry* telemetry_registry = nullptr;
 
   /// Latency objectives evaluated on every finished request (ignored
@@ -101,7 +125,7 @@ struct SloReport {
 /// Aggregate counters since construction (atomic snapshots; safe to
 /// read while serving).
 struct InferenceStats {
-  std::int64_t requests = 0;  ///< Graphs submitted.
+  std::int64_t requests = 0;  ///< Graphs submitted (admitted or shed).
   std::int64_t batches = 0;   ///< Micro-batches executed.
 
   // Compiled-execution counters (all zero when options.compiled is
@@ -125,25 +149,53 @@ struct InferenceStats {
   obs::StreamingHistogram::Summary execute_us;      ///< Tensors → done.
   obs::StreamingHistogram::Summary e2e_us;          ///< Enqueue → done.
   std::vector<SloReport> slos;    ///< One entry per tracked objective.
+
+  /// Admission/shed accounting (totals and per tenant). The
+  /// conservation invariants on TenantStats hold here too.
+  SchedulerStats scheduler;
+
+  // Versioned-rollout accounting.
+  std::int64_t weight_version = 0;  ///< Latest published version.
+  std::int64_t rollouts = 0;        ///< Publishes (ctor + syncs/loads).
+  std::int64_t rollbacks = 0;
+  /// Graphs served per weight version; sums to the graphs executed.
+  std::vector<VersionCount> versions;
+};
+
+/// Admission outcome of one Submit. `future` is always valid: it
+/// resolves to the logits row when admitted, or throws ShedError (with
+/// the reason below) when the request was shed — at admission or later
+/// at dispatch when its deadline expired in the queue.
+struct SubmitResult {
+  bool admitted = false;
+  ShedReason shed = ShedReason::kNone;  ///< Admission-time reason only.
+  std::int64_t request_id = 0;
+  std::future<Tensor> future;
 };
 
 /// Grad-free serving front end over the existing kernel backend.
 ///
-/// Threads call Submit() concurrently; requests coalesce into dynamic
-/// micro-batches executed under NoGradGuard on worker threads, and each
-/// caller gets its graph's logits row back through a future. Because
-/// every forward op is row-wise or a within-graph segment reduction
-/// with a fixed accumulation order, a graph's output is bitwise
-/// independent of which other graphs share its micro-batch — engine
-/// outputs are bitwise identical to a tape-based eval forward of the
-/// same model, regardless of batching, thread count, or submission
-/// order (the equivalence suite in tests/serve_test.cc pins this).
+/// Threads call Submit() concurrently; requests enter a central
+/// deadline/priority-aware scheduler queue, and worker threads
+/// continuously top up their slot budgets from it, executing dynamic
+/// micro-batches under NoGradGuard. Because every forward op is
+/// row-wise or a within-graph segment reduction with a fixed
+/// accumulation order, a graph's output is bitwise independent of
+/// which other graphs share its micro-batch — engine outputs are
+/// bitwise identical to a tape-based eval forward of the same model,
+/// regardless of batching, thread count, or submission order (the
+/// equivalence suite in tests/serve_test.cc pins this; the scheduler
+/// only changes which requests run and in what order, never their
+/// results).
 ///
-/// Weights come from SyncFrom (a live model), LoadModelFile (a
-/// SaveModelState snapshot: parameters + batch-norm running
-/// statistics), or LoadCheckpoint (a training-run TrainState). All
-/// replicas are constructed from one fixed seed, so they are bitwise
-/// identical to each other at all times, even before any sync.
+/// Weights are versioned (src/serve/version.h): SyncFrom /
+/// LoadModelFile / LoadCheckpoint publish an immutable snapshot (with
+/// the plan recorded against it), and each worker adopts the newest
+/// version at its own batch boundary — a hot rollout staggers across
+/// workers with no stop-the-world, and RollbackWeights() un-publishes
+/// a bad one. All replicas are constructed from one fixed seed, so
+/// they are bitwise identical to each other at all times, even before
+/// any sync.
 class InferenceEngine {
  public:
   InferenceEngine(const ModelSpec& spec, const InferenceOptions& options);
@@ -154,34 +206,50 @@ class InferenceEngine {
   InferenceEngine(const InferenceEngine&) = delete;
   InferenceEngine& operator=(const InferenceEngine&) = delete;
 
-  /// Copies parameters and buffers from `model` into every replica.
-  /// Takes the weight lock exclusively, so it is safe while requests
-  /// are in flight (in-flight batches finish on the old weights).
+  /// Publishes `model`'s parameters and buffers as a new weight
+  /// version. Safe while requests are in flight: each worker adopts the
+  /// new version at its next batch boundary (in-flight batches finish
+  /// on the version they started with).
   void SyncFrom(const GraphPredictionModel& model);
 
-  /// Loads a SaveModelState snapshot (parameters + buffers) into every
-  /// replica. Returns false (replicas untouched) on any validation
-  /// failure.
+  /// Publishes a SaveModelState snapshot (parameters + buffers) as a
+  /// new weight version. Returns false (nothing published) on any
+  /// validation failure.
   bool LoadModelFile(const std::string& path);
 
-  /// Loads the model parameters and buffers out of a full training
+  /// Publishes the model parameters and buffers out of a full training
   /// checkpoint written by SaveTrainState, validating that the
-  /// checkpoint's method matches the spec. Returns false (replicas
-  /// untouched) on mismatch or corruption.
+  /// checkpoint's method matches the spec. Returns false (nothing
+  /// published) on mismatch or corruption.
   bool LoadCheckpoint(const std::string& path);
 
+  /// Re-publishes the previous weight version (staggered adoption,
+  /// like any rollout). Returns false when there is nothing to roll
+  /// back to.
+  bool RollbackWeights();
+
   /// Enqueues one graph for prediction. The returned future resolves to
-  /// the 1 x output_dim logits row. The caller must keep `graph` alive
-  /// until the future is ready. Thread-safe.
+  /// the 1 x output_dim logits row — or throws ShedError if the policy
+  /// shed the request. The caller must keep `graph` alive until the
+  /// future is ready. Thread-safe.
   std::future<Tensor> Submit(const Graph& graph);
 
   /// Submit with span capture: when `span_out` is non-null, the
-  /// request's finished RequestSpan (all four phase timestamps) is
-  /// copied into it before the future is fulfilled, so after
-  /// future.get() returns the span is complete and race-free. The
-  /// load generator uses this for exact client-side percentiles; the
-  /// engine's own histograms are factor-of-2 bucket approximations.
+  /// request's finished RequestSpan (all four phase timestamps plus
+  /// the serving weight version) is copied into it before the future
+  /// is fulfilled, so after future.get() returns the span is complete
+  /// and race-free. The load generator uses this for exact client-side
+  /// percentiles; the engine's own histograms are factor-of-2 bucket
+  /// approximations.
   std::future<Tensor> Submit(const Graph& graph, obs::RequestSpan* span_out);
+
+  /// Full-control submit: tenant, priority and deadline per request.
+  /// The admission decision is made synchronously (SubmitResult.shed
+  /// says why a request was rejected); an admitted request can still
+  /// be shed later if its deadline expires while queued, in which case
+  /// its future throws ShedError(kDeadlineExpired).
+  SubmitResult Submit(const Graph& graph, const SubmitOptions& submit_options,
+                      obs::RequestSpan* span_out = nullptr);
 
   /// Submit + wait: single-graph blocking convenience.
   Tensor Predict(const Graph& graph);
@@ -191,8 +259,8 @@ class InferenceEngine {
   const ModelSpec& spec() const { return spec_; }
   const InferenceOptions& options() const { return options_; }
 
-  /// The currently compiled plan (null when options.compiled is off).
-  /// Takes the weight lock shared; safe while serving.
+  /// The plan recorded against the current weight version (null when
+  /// options.compiled is off). Safe while serving.
   std::shared_ptr<const ComputePlan> plan() const;
 
  private:
@@ -206,44 +274,67 @@ class InferenceEngine {
   };
 
   void WorkerLoop(int worker_index);
-  void ExecuteBatch(int worker_index, std::vector<Request> batch);
+  void ExecuteBatch(int worker_index,
+                    std::vector<std::unique_ptr<Request>> batch);
+
+  /// Fails a shed request's future with ShedError (stamping and
+  /// mirroring its span first). Shed requests are not fed to the SLO
+  /// trackers: sheds are admission outcomes, not latency observations,
+  /// and feeding them would couple shedding back into the burn-rate
+  /// signal that causes it.
+  void FailShed(std::unique_ptr<Request> request, ShedReason reason);
+
+  /// Copies the newest published snapshot (weights + plan + arena
+  /// size) into worker `worker_index`'s private replica if its version
+  /// moved. Called by that worker only, at batch boundaries.
+  void AdoptCurrentVersion(int worker_index);
 
   /// Feeds one finished span to every SLO tracker (selecting the phase
-  /// duration each spec targets) and logs breached windows.
+  /// duration each spec targets), logs breached windows, and publishes
+  /// the worst current burn rate to the scheduler's shed signal.
   void ObserveSlos(const obs::RequestSpan& span);
 
-  /// (Re)traces the reference forward into plan_ and resizes every
-  /// worker arena. Caller holds weights_mu_ exclusively (or no workers
-  /// are running yet), so the plan and the weights it was traced
-  /// against swap as one unit.
-  void RecompilePlanLocked();
+  /// Traces the reference forward on the master model into a fresh
+  /// plan. Caller holds master_mu_ (or workers have not started).
+  /// Recording installs a thread-local allocation sink, so concurrent
+  /// worker replays are unaffected.
+  std::shared_ptr<const ComputePlan> CompilePlanLocked();
+
+  /// Collects the master model's state (plus a fresh plan when
+  /// compiled) and publishes it as a new weight version. Caller holds
+  /// master_mu_.
+  void PublishFromMasterLocked();
 
   const ModelSpec spec_;
   const InferenceOptions options_;
+  const Clock* const clock_;  // never null
+  /// Most graphs a worker executes at once (max_inflight, defaulted).
+  int slot_budget_ = 0;
 
   /// One model per worker: FactorGCN caches attention inside Forward,
-  /// so a shared model would race under concurrent execution. Replicas
-  /// are kept bitwise identical by the sync/load paths.
+  /// so a shared model would race under concurrent execution. After
+  /// construction each replica (and its rng, arena, plan and version
+  /// slot below) is touched only by its own worker thread; publishers
+  /// never write them — workers pull from versions_ instead.
   std::vector<std::unique_ptr<GraphPredictionModel>> replicas_;
   /// Eval-mode forwards draw nothing, but Predict's signature wants an
   /// Rng; each worker passes its own so a violation cannot race.
   std::vector<std::unique_ptr<Rng>> worker_rngs_;
+  std::vector<std::unique_ptr<PlanArena>> arenas_;
+  std::vector<std::shared_ptr<const ComputePlan>> worker_plans_;
+  std::vector<std::int64_t> worker_versions_;
 
-  /// Workers hold this shared during a forward; weight updates
-  /// (SyncFrom / Load*) hold it exclusively. The compiled plan and the
-  /// worker arenas are guarded by the same lock: a sync swaps weights
-  /// and the plan traced against them atomically (a forward that
-  /// started on the old weights pins the old arena buffer through its
-  /// tensors, so the swap cannot invalidate it).
-  mutable std::shared_mutex weights_mu_;
+  /// Master copy weight publishers (SyncFrom / Load*) validate against
+  /// and record plans on. Never used to serve requests.
+  std::unique_ptr<GraphPredictionModel> master_;  // guarded by master_mu_
+  std::mutex master_mu_;
 
-  std::shared_ptr<const ComputePlan> plan_;        // guarded by weights_mu_
-  std::vector<std::unique_ptr<PlanArena>> arenas_; // guarded by weights_mu_
+  WeightVersionManager versions_;
 
-  std::mutex queue_mu_;
+  mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
-  std::deque<Request> queue_;  // guarded by queue_mu_
-  bool stop_ = false;          // guarded by queue_mu_
+  std::unique_ptr<Scheduler> scheduler_;  // guarded by queue_mu_
+  bool stop_ = false;                     // guarded by queue_mu_
 
   std::atomic<std::int64_t> requests_{0};
   std::atomic<std::int64_t> batches_{0};

@@ -3,13 +3,47 @@
 
 #include <unistd.h>
 
+#include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <string>
 
 #include "gtest/gtest.h"
+#include "src/util/clock.h"
 
 namespace oodgnn {
 namespace test {
+
+/// Manually driven Clock for timing tests: starts at `start_us` and
+/// moves only when the test says so. Injected wherever production code
+/// takes a Clock* (request spans, SLO windows, token buckets,
+/// deadlines), it makes every time-driven decision reproducible
+/// without wall-clock sleeps. Thread-safe: submitter/worker threads
+/// may read while the test advances.
+///
+/// Set() may move time backwards on purpose — the clock-jump edge case
+/// the SLO property tests exercise (consumers are expected to clamp).
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(std::int64_t start_us = 1000000) : now_us_(start_us) {}
+
+  std::int64_t NowMicros() const override {
+    return now_us_.load(std::memory_order_relaxed);
+  }
+
+  /// Moves time forward by `delta_us` (>= 0) and returns the new time.
+  std::int64_t Advance(std::int64_t delta_us) {
+    return now_us_.fetch_add(delta_us, std::memory_order_relaxed) + delta_us;
+  }
+
+  /// Jumps to an absolute time — possibly backwards.
+  void Set(std::int64_t now_us) {
+    now_us_.store(now_us, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> now_us_;
+};
 
 /// Process-unique temp path under gtest's TempDir.
 ///

@@ -16,12 +16,26 @@
 //      (fallback_heap_allocs must be 0 — the zero-allocation serving
 //      guarantee).
 //
+// Plus two DESIGN.md §16 sections:
+//   5. scalar vs SIMD dispatch on the full no-grad eval forward — wall
+//      clock for both plus the bitwise check (the vector path must be
+//      invisible except in speed);
+//   6. int8 quantized serving: single-graph latency through a
+//      QuantizeMode::kOn engine, quantized-compiled throughput, the
+//      max logit deviation against the fp32 reference (must stay
+//      within the tolerance committed in tests/quant_test.cc), and the
+//      zero-allocation check for the quantized compiled path.
+//
 // Flags: --threads N   compute-backend pool size (default 4)
 //        --workers N   engine worker count for the pooled run (default 4)
 //        --batch N     engine micro-batch size cutoff (default 32)
 //        --wait-us N   engine batching window in microseconds (default 200)
 //        --requests N  total graphs submitted in the throughput run
 //                      (default 2000)
+//        --smoke       small deterministic run that exits nonzero if any
+//                      correctness gate fails (bitwise checks, quant
+//                      tolerance, zero-alloc steady state) — registered
+//                      as the bench_inference_smoke ctest
 //        --json PATH   also write the machine-readable report to PATH
 //                      (scripts/run_bench_inference.sh wraps this into
 //                      BENCH_inference.json)
@@ -31,6 +45,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -49,6 +64,8 @@
 #include "src/serve/inference.h"
 #include "src/tensor/backend.h"
 #include "src/tensor/exec_plan.h"
+#include "src/tensor/quant.h"
+#include "src/tensor/simd.h"
 #include "src/tensor/variable.h"
 #include "src/util/flags.h"
 #include "src/util/rng.h"
@@ -127,12 +144,16 @@ struct ThroughputReport {
   serve::InferenceStats stats;
 };
 
-/// `total_requests` graphs through `engine` from 4 submitter threads,
-/// every returned row checked bitwise against `reference`.
+/// `total_requests` graphs through `engine` from 4 submitter threads.
+/// With `tolerance` 0 every returned row is checked bitwise against
+/// `reference`; a positive tolerance instead bounds the max absolute
+/// deviation (the quantized-serving contract) and reports it via
+/// `max_diff_out`.
 ThroughputReport MeasureThroughput(serve::InferenceEngine* engine,
                                    const std::vector<const Graph*>& graphs,
                                    const std::vector<Tensor>& reference,
-                                   int total_requests) {
+                                   int total_requests, float tolerance = 0.f,
+                                   double* max_diff_out = nullptr) {
   engine->Predict(*graphs[0]);  // Warm-up off the clock.
   ThroughputReport report;
   const int submitters = 4;
@@ -150,12 +171,23 @@ ThroughputReport MeasureThroughput(serve::InferenceEngine* engine,
     });
   }
   for (std::thread& t : threads) t.join();
+  double max_diff = 0;
   for (auto& shard : futures) {
     for (auto& [gi, future] : shard) {
       const Tensor row = future.get();
-      if (!BitwiseEqual(row, reference[gi])) report.bitwise_ok = false;
+      if (tolerance == 0.f) {
+        if (!BitwiseEqual(row, reference[gi])) report.bitwise_ok = false;
+        continue;
+      }
+      for (int j = 0; j < row.size(); ++j) {
+        const double diff =
+            std::fabs(static_cast<double>(row[j]) - reference[gi][j]);
+        max_diff = std::max(max_diff, diff);
+        if (diff > tolerance) report.bitwise_ok = false;
+      }
     }
   }
+  if (max_diff_out != nullptr) *max_diff_out = max_diff;
   report.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -163,19 +195,29 @@ ThroughputReport MeasureThroughput(serve::InferenceEngine* engine,
   return report;
 }
 
-void RunBench(const Flags& flags) {
+/// Quantized-serving logit tolerance, matching tests/quant_test.cc's
+/// kQuantLogitTolerance.
+constexpr float kQuantTolerance = 0.25f;
+
+/// Runs the bench; returns the number of failed correctness gates
+/// (bitwise divergence, quant tolerance breach, steady-state heap
+/// allocation) — the --smoke exit code.
+int RunBench(const Flags& flags) {
+  const bool smoke = flags.Has("smoke");
   const int workers = flags.GetInt("workers", 4);
   const int max_batch = flags.GetInt("batch", 32);
   const int wait_us = flags.GetInt("wait-us", 200);
-  const int total_requests = flags.GetInt("requests", 2000);
+  const int total_requests = flags.GetInt("requests", smoke ? 120 : 2000);
+  const int latency_samples = smoke ? 40 : 400;
   const std::string json_path = flags.GetString("json", "");
 
   // Dataset + model at the paper's Triangles scale (scaled-down test
-  // split: the serving path only touches eval graphs).
+  // split: the serving path only touches eval graphs). --smoke shrinks
+  // everything: the run is a correctness gate, not a measurement.
   TrianglesConfig data_config;
   data_config.num_train = 64;
   data_config.num_valid = 16;
-  data_config.num_test = 128;
+  data_config.num_test = smoke ? 24 : 128;
   GraphDataset dataset = MakeTrianglesDataset(data_config, 7);
 
   serve::ModelSpec spec;
@@ -240,18 +282,97 @@ void RunBench(const Flags& flags) {
               nograd_s * 1e3, taped_s / nograd_s,
               nograd_bitwise ? "OK" : "DIVERGED");
 
+  // --- 5. scalar vs SIMD dispatch on the no-grad eval forward --------
+  double scalar_fwd_s;
+  double simd_fwd_s;
+  bool simd_bitwise;
+  {
+    NoGradGuard no_grad;
+    Tensor scalar_out, simd_out;
+    {
+      simd::ScopedSimdEnabled off(false);
+      scalar_out =
+          model.Predict(eval_batch, /*training=*/false, &eval_rng).value();
+      scalar_fwd_s = TimePerCall(
+          [&] { model.Predict(eval_batch, /*training=*/false, &eval_rng); });
+    }
+    {
+      simd::ScopedSimdEnabled on(true);
+      simd_out =
+          model.Predict(eval_batch, /*training=*/false, &eval_rng).value();
+      simd_fwd_s = TimePerCall(
+          [&] { model.Predict(eval_batch, /*training=*/false, &eval_rng); });
+    }
+    simd_bitwise = BitwiseEqual(scalar_out, simd_out);
+  }
+  std::printf("simd dispatch (no-grad eval forward, isa=%s)\n",
+              simd::IsaName());
+  std::printf("  scalar:  %9.3f ms/call\n", scalar_fwd_s * 1e3);
+  std::printf("  simd:    %9.3f ms/call   speedup %.2fx   bitwise %s%s\n\n",
+              simd_fwd_s * 1e3, scalar_fwd_s / simd_fwd_s,
+              simd_bitwise ? "OK" : "DIVERGED",
+              simd::Available() ? "" : "  (no vector ISA: scalar==scalar)");
+
+  // --- 5b. bandwidth-regime quantized matmul probe -------------------
+  // Weight-only int8 cannot beat fp32 SIMD on cache-resident weights
+  // (the int8->f32 conversion adds work and the 4x byte saving never
+  // reaches a bottleneck); its payoff regime is few-row activations
+  // against weights too large for the cache hierarchy — the GEMV shape
+  // production serving hits on wide layers — where fp32 must stream 4x
+  // the bytes. This times exactly that: one activation row against a
+  // 512 MiB fp32 weight matrix vs its 132 MiB Q8_0 image. Skipped
+  // under --smoke (the allocation alone is half a gigabyte).
+  double gemv_fp32_s = 0;
+  double gemv_q8_s = 0;
+  std::int64_t gemv_fp32_bytes = 0;
+  std::int64_t gemv_q8_bytes = 0;
+  if (!smoke && simd::Available()) {
+    const int gk = 4096, gn = 32768;
+    Tensor ga(1, gk);
+    Tensor gw(gk, gn);
+    for (int p = 0; p < gk; ++p) {
+      ga.data()[p] = 0.5f + 0.25f * static_cast<float>(p % 7);
+    }
+    float* wd = gw.data();
+    const std::int64_t wn = static_cast<std::int64_t>(gk) * gn;
+    for (std::int64_t idx = 0; idx < wn; ++idx) {
+      wd[idx] = static_cast<float>(
+                    static_cast<int>((idx * 2654435761ull >> 7) & 255) - 128) /
+                64.f;
+    }
+    const QuantizedTensor gq = QuantizeQ8(gw);
+    gemv_fp32_bytes = wn * static_cast<std::int64_t>(sizeof(float));
+    gemv_q8_bytes = static_cast<std::int64_t>(gq.byte_size());
+    Tensor gout(1, gn);
+    gemv_fp32_s = TimePerCall([&] { simd::MatMulAcc(ga, gw, &gout, 0, 1); });
+    gemv_q8_s =
+        TimePerCall([&] { simd::MatMulQuantAcc(ga, gq, &gout, 0, 1); });
+    const double gflops = 2.0 * static_cast<double>(wn) / 1e9;
+    std::printf(
+        "bandwidth-regime quant probe (1 row x [%dx%d] weights, "
+        "%.0f MiB fp32 vs %.0f MiB q8)\n",
+        gk, gn, gemv_fp32_bytes / 1048576.0, gemv_q8_bytes / 1048576.0);
+    std::printf("  fp32 simd: %9.3f ms/call  (%6.2f GF/s)\n",
+                gemv_fp32_s * 1e3, gflops / gemv_fp32_s);
+    std::printf(
+        "  int8 q8:   %9.3f ms/call  (%6.2f GF/s)   int8-vs-fp32 %.2fx\n\n",
+        gemv_q8_s * 1e3, gflops / gemv_q8_s, gemv_fp32_s / gemv_q8_s);
+  }
+
   // --- 2. single-graph latency percentiles: eager vs compiled --------
   // One worker, batch size 1, no batching window: each Predict measures
   // queue handoff + one forward.
   LatencyReport eager_latency;
   LatencyReport planned_latency;
+  LatencyReport quant_latency;
   double direct_us = 0;
   {
-    const int samples = 400;
+    const int samples = latency_samples;
     serve::InferenceOptions options;
     options.num_workers = 1;
     options.max_batch_graphs = 1;
     options.max_batch_wait_us = 0;
+    options.quantize = serve::QuantizeMode::kOff;  // fp32 rows below.
 
     options.compiled = false;
     serve::InferenceEngine eager(spec, options);
@@ -265,6 +386,12 @@ void RunBench(const Flags& flags) {
     planned.SyncFrom(model);
     planned_latency = MeasureLatency(&planned, eval_graphs, samples);
 
+    options.compiled = false;
+    options.quantize = serve::QuantizeMode::kOn;
+    serve::InferenceEngine quantized(spec, options);
+    quantized.SyncFrom(model);
+    quant_latency = MeasureLatency(&quantized, eval_graphs, samples);
+
     const Graph& probe = *eval_graphs[0];
     const GraphBatch probe_batch = GraphBatch::FromGraphs({&probe});
     const double direct_s = TimePerCall([&] {
@@ -277,9 +404,12 @@ void RunBench(const Flags& flags) {
                 eager_latency.p50_us, eager_latency.p90_us,
                 eager_latency.p99_us);
     std::printf("  compiled: p50 %8.1f us   p90 %8.1f us   p99 %8.1f us   "
-                "(direct no-grad forward: %.1f us)\n\n",
+                "(direct no-grad forward: %.1f us)\n",
                 planned_latency.p50_us, planned_latency.p90_us,
                 planned_latency.p99_us, direct_us);
+    std::printf("  int8:     p50 %8.1f us   p90 %8.1f us   p99 %8.1f us\n\n",
+                quant_latency.p50_us, quant_latency.p90_us,
+                quant_latency.p99_us);
   }
 
   // --- 3. batched throughput: serial loop vs pooled engines ----------
@@ -307,6 +437,7 @@ void RunBench(const Flags& flags) {
   options.num_workers = workers;
   options.max_batch_graphs = max_batch;
   options.max_batch_wait_us = wait_us;
+  options.quantize = serve::QuantizeMode::kOff;  // fp32 rows first.
 
   options.compiled = false;
   serve::InferenceEngine eager_engine(spec, options);
@@ -322,6 +453,17 @@ void RunBench(const Flags& flags) {
   const ThroughputReport planned_tp = MeasureThroughput(
       &planned_engine, eval_graphs, reference, total_requests);
 
+  // Quantized + compiled: the int8 serving configuration. Checked
+  // against the fp32 reference within the committed tolerance instead
+  // of bitwise (quantized serving is approximate by design).
+  options.quantize = serve::QuantizeMode::kOn;
+  serve::InferenceEngine quant_engine(spec, options);
+  quant_engine.SyncFrom(model);
+  double quant_max_diff = 0;
+  const ThroughputReport quant_tp =
+      MeasureThroughput(&quant_engine, eval_graphs, reference, total_requests,
+                        kQuantTolerance, &quant_max_diff);
+
   std::printf("batched throughput (%d requests)\n", total_requests);
   std::printf("  serial loop:     %10.1f graphs/sec\n",
               total_requests / serial_s);
@@ -335,6 +477,11 @@ void RunBench(const Flags& flags) {
               serial_s / planned_tp.seconds,
               planned_tp.bitwise_ok ? "OK" : "DIVERGED",
               eager_tp.seconds / planned_tp.seconds);
+  std::printf("  int8 compiled:   %10.1f graphs/sec   speedup %.2fx   "
+              "max|dlogit| %.4f %s (tol %.2f)\n",
+              total_requests / quant_tp.seconds, serial_s / quant_tp.seconds,
+              quant_max_diff, quant_tp.bitwise_ok ? "OK" : "BREACHED",
+              static_cast<double>(kQuantTolerance));
   std::printf("  engine: %d workers, batch<=%d, wait %d us, "
               "%lld batches (%.1f graphs/batch avg)\n\n",
               workers, max_batch, wait_us,
@@ -365,6 +512,21 @@ void RunBench(const Flags& flags) {
                     ? "  (zero-allocation steady state: OK)"
                     : "");
   }
+
+  // --- 6. quantized compiled plan report -----------------------------
+  const std::shared_ptr<const ComputePlan> quant_plan = quant_engine.plan();
+  const serve::InferenceStats qs = quant_tp.stats;
+  std::printf("int8 quantized serving (Q8_0 blocks of %d)\n", kQuantBlockSize);
+  std::printf("  plan dtype %s, planned %lld / diverged %lld batches, "
+              "fallback heap allocs %lld%s\n\n",
+              quant_plan != nullptr ? WeightDtypeName(quant_plan->weight_dtype)
+                                    : "none",
+              static_cast<long long>(qs.planned_batches),
+              static_cast<long long>(qs.diverged_batches),
+              static_cast<long long>(qs.fallback_heap_allocs),
+              qs.fallback_heap_allocs == 0
+                  ? "  (zero-allocation steady state: OK)"
+                  : "");
 
   if (!json_path.empty()) {
     const bool bitwise_ok =
@@ -407,6 +569,9 @@ void RunBench(const Flags& flags) {
                         .Put("compiled_p50", planned_latency.p50_us)
                         .Put("compiled_p90", planned_latency.p90_us)
                         .Put("compiled_p99", planned_latency.p99_us)
+                        .Put("quant_p50", quant_latency.p50_us)
+                        .Put("quant_p90", quant_latency.p90_us)
+                        .Put("quant_p99", quant_latency.p99_us)
                         .Build())
             .PutRaw("throughput_gps",
                     obs::JsonObjectWriter()
@@ -415,6 +580,40 @@ void RunBench(const Flags& flags) {
                         .Put("compiled", total_requests / planned_tp.seconds)
                         .Put("compiled_vs_eager",
                              eager_tp.seconds / planned_tp.seconds)
+                        .Put("quant_compiled",
+                             total_requests / quant_tp.seconds)
+                        .Put("quant_vs_fp32_compiled",
+                             planned_tp.seconds / quant_tp.seconds)
+                        .Build())
+            .PutRaw("simd",
+                    obs::JsonObjectWriter()
+                        .Put("isa", simd::IsaName())
+                        .Put("available", simd::Available())
+                        .Put("scalar_forward_ms", scalar_fwd_s * 1e3)
+                        .Put("simd_forward_ms", simd_fwd_s * 1e3)
+                        .Put("speedup", scalar_fwd_s / simd_fwd_s)
+                        .Put("bitwise", simd_bitwise)
+                        .Build())
+            .PutRaw("quant",
+                    obs::JsonObjectWriter()
+                        .Put("block_size", kQuantBlockSize)
+                        .Put("tolerance", static_cast<double>(kQuantTolerance))
+                        .Put("max_logit_diff", quant_max_diff)
+                        .Put("within_tolerance", quant_tp.bitwise_ok)
+                        .Put("diverged_batches", qs.diverged_batches)
+                        .Put("fallback_heap_allocs", qs.fallback_heap_allocs)
+                        .PutRaw("bandwidth_gemv",
+                                obs::JsonObjectWriter()
+                                    .Put("fp32_weight_bytes",
+                                         gemv_fp32_bytes)
+                                    .Put("q8_weight_bytes", gemv_q8_bytes)
+                                    .Put("fp32_ms", gemv_fp32_s * 1e3)
+                                    .Put("q8_ms", gemv_q8_s * 1e3)
+                                    .Put("q8_vs_fp32",
+                                         gemv_q8_s > 0
+                                             ? gemv_fp32_s / gemv_q8_s
+                                             : 0.0)
+                                    .Build())
                         .Build())
             .PutRaw("plan", plan_json.Build())
             .Put("bitwise_ok", bitwise_ok)
@@ -427,6 +626,28 @@ void RunBench(const Flags& flags) {
       std::printf("ERROR: cannot write %s\n", json_path.c_str());
     }
   }
+
+  // Correctness gates — the --smoke contract (always evaluated; only
+  // the PASS/FAIL table is smoke-gated so a plain run stays a report).
+  int failures = 0;
+  const auto gate = [&](bool ok, const char* what) {
+    if (!ok) ++failures;
+    if (smoke) std::printf("smoke %-32s %s\n", what, ok ? "PASS" : "FAIL");
+  };
+  gate(nograd_bitwise, "nograd-bitwise");
+  gate(simd_bitwise, "simd-bitwise");
+  gate(eager_tp.bitwise_ok, "eager-engine-bitwise");
+  gate(planned_tp.bitwise_ok, "compiled-engine-bitwise");
+  gate(planned_tp.stats.fallback_heap_allocs == 0, "compiled-zero-alloc");
+  gate(quant_tp.bitwise_ok, "quant-within-tolerance");
+  gate(quant_max_diff > 0, "quant-path-engaged");
+  gate(qs.diverged_batches == 0, "quant-no-diverged-replays");
+  gate(qs.fallback_heap_allocs == 0, "quant-compiled-zero-alloc");
+  gate(quant_plan != nullptr &&
+           quant_plan->weight_dtype == WeightDtype::kQ8,
+       "quant-plan-dtype-q8");
+  if (smoke && failures > 0) std::printf("smoke: %d FAILURES\n", failures);
+  return failures;
 }
 
 }  // namespace
@@ -445,6 +666,5 @@ int main(int argc, char** argv) {
   if (!metrics_json.empty()) {
     oodgnn::obs::RegisterMetricsJsonDumpAtExit(metrics_json);
   }
-  oodgnn::RunBench(flags);
-  return 0;
+  return oodgnn::RunBench(flags);
 }

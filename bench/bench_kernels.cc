@@ -16,8 +16,13 @@
 // several feature widths, serial and pooled. --mp-json <path> also
 // writes the rows as a JSON report (scripts/run_bench_message_passing.sh
 // wraps this into BENCH_message_passing.json).
+//
+// Pass --simd for the scalar-vs-SIMD-vs-int8 dense-kernel table
+// (DESIGN.md §16): single-threaded GFLOP/s for the vectorized matmul
+// variants, axpy, and the RFF map, plus the bitwise scalar==simd check.
 
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -35,8 +40,11 @@
 #include "src/core/weight_optimizer.h"
 #include "src/obs/json.h"
 #include "src/tensor/backend.h"
+#include "src/tensor/kernels.h"
 #include "src/tensor/ops.h"
+#include "src/tensor/quant.h"
 #include "src/tensor/segment_plan.h"
+#include "src/tensor/simd.h"
 #include "src/util/flags.h"
 #include "src/util/rng.h"
 
@@ -173,6 +181,154 @@ void CompareBackends(int threads) {
                 w.shape.c_str(), gf_serial, gf_parallel,
                 serial_s / parallel_s,
                 BitwiseEqual(serial_out, parallel_out) ? "OK" : "DIVERGED");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar vs SIMD vs int8-quantized kernel comparison (--simd).
+// ---------------------------------------------------------------------------
+
+/// Single-threaded GFLOP/s for the vectorized dense kernels
+/// (DESIGN.md §16): the scalar oracle, its SIMD mirror (direct simd::
+/// calls, bypassing the Backend dispatch toggle), and — for the plain
+/// matmul — the Q8_0 quantized kernel pair. SIMD rows must be bitwise
+/// identical to scalar; the quant column compares its own scalar/SIMD
+/// pair (quant-vs-fp32 accuracy is tests/quant_test.cc's job).
+void CompareSimd() {
+  std::printf("Dense kernels: scalar vs %s vs int8 (single thread)\n",
+              simd::IsaName());
+  if (!simd::Available()) {
+    std::printf("(no vector ISA compiled/detected: simd:: delegates to the "
+                "scalar kernels, so speedup ~1.0x is expected)\n");
+  }
+  std::printf("\n%-14s %-24s %12s %12s %8s %12s %8s\n", "kernel", "shape",
+              "scalar GF/s", "simd GF/s", "speedup", "int8 GF/s", "bitwise");
+
+  struct Row {
+    const char* name;
+    std::string shape;
+    int64_t flops;
+    std::function<void(Tensor*)> scalar;
+    std::function<void(Tensor*)> vector;
+    std::function<void(Tensor*)> quant;  ///< May be empty.
+    int out_rows, out_cols;
+  };
+  std::vector<Row> rows;
+  Rng rng(13);
+
+  // The three matmul variants at the encoder shape and 10x.
+  for (int scale : {1, 10}) {
+    const int m = 128 * scale, k = 64, n = 64;
+    auto a = std::make_shared<Tensor>(Tensor::RandomNormal(m, k, &rng));
+    auto b = std::make_shared<Tensor>(Tensor::RandomNormal(k, n, &rng));
+    auto bt = std::make_shared<Tensor>(Tensor::RandomNormal(n, k, &rng));
+    // TransA contracts over the m rows of both operands: a is m x k,
+    // bm is m x n, out is k x n.
+    auto bm = std::make_shared<Tensor>(Tensor::RandomNormal(m, n, &rng));
+    auto qb = std::make_shared<QuantizedTensor>(QuantizeQ8(*b));
+    const std::string shape = "[" + std::to_string(m) + "x" +
+                              std::to_string(k) + "]x[" + std::to_string(k) +
+                              "x" + std::to_string(n) + "]";
+    const int64_t flops = 2ll * m * k * n;
+    rows.push_back({"matmul", shape, flops,
+                    [a, b, m](Tensor* o) { kernels::MatMulAcc(*a, *b, o, 0, m); },
+                    [a, b, m](Tensor* o) { simd::MatMulAcc(*a, *b, o, 0, m); },
+                    [a, qb, m](Tensor* o) {
+                      simd::MatMulQuantAcc(*a, *qb, o, 0, m);
+                    },
+                    m, n});
+    rows.push_back(
+        {"matmul-transA",
+         "[" + std::to_string(m) + "x" + std::to_string(k) + "]Tx[" +
+             std::to_string(m) + "x" + std::to_string(n) + "]",
+         flops,
+         [a, bm, k](Tensor* o) { kernels::MatMulTransAAcc(*a, *bm, o, 0, k); },
+         [a, bm, k](Tensor* o) { simd::MatMulTransAAcc(*a, *bm, o, 0, k); },
+         nullptr, k, n});
+    rows.push_back(
+        {"matmul-transB", shape, flops,
+         [a, bt, m](Tensor* o) { kernels::MatMulTransBAcc(*a, *bt, o, 0, m); },
+         [a, bt, m](Tensor* o) { simd::MatMulTransBAcc(*a, *bt, o, 0, m); },
+         nullptr, m, n});
+  }
+
+  // Elementwise (axpy at optimizer scale) and the RFF feature map.
+  {
+    const int m = 2048, n = 64;
+    auto x = std::make_shared<Tensor>(Tensor::RandomNormal(m, n, &rng));
+    rows.push_back({"axpy", "[" + std::to_string(m) + "x" + std::to_string(n) +
+                                "]",
+                    2ll * m * n,
+                    [x, m, n](Tensor* o) {
+                      kernels::Axpy(-0.01f, *x, o, 0, m * n);
+                    },
+                    [x, m, n](Tensor* o) {
+                      simd::Axpy(-0.01f, *x, o, 0, m * n);
+                    },
+                    nullptr, m, n});
+  }
+  {
+    const int n = 1280, d = 32, q = 5;
+    auto z = std::make_shared<Tensor>(Tensor::RandomNormal(n, d, &rng));
+    auto source_dim = std::make_shared<std::vector<int>>();
+    auto omega = std::make_shared<std::vector<float>>();
+    auto phase = std::make_shared<std::vector<float>>();
+    for (int j = 0; j < d * q; ++j) {
+      source_dim->push_back(j % d);
+      omega->push_back(static_cast<float>(rng.Normal()));
+      phase->push_back(static_cast<float>(rng.Normal()));
+    }
+    const float scale = std::sqrt(2.f);
+    const int features = d * q;
+    rows.push_back({"rff-map",
+                    "[" + std::to_string(n) + "x" + std::to_string(d) + "] Q=" +
+                        std::to_string(q),
+                    // cos + mul per feature, counted as 2 flops.
+                    2ll * n * features,
+                    [=](Tensor* o) {
+                      kernels::RffMap(*z, *source_dim, *omega, *phase, false,
+                                      scale, o, 0, n);
+                    },
+                    [=](Tensor* o) {
+                      simd::RffMap(*z, *source_dim, *omega, *phase, false,
+                                   scale, o, 0, n);
+                    },
+                    nullptr, n, features});
+  }
+
+  for (const Row& row : rows) {
+    Tensor scalar_out(row.out_rows, row.out_cols);
+    row.scalar(&scalar_out);
+    const double scalar_s = TimePerCall([&] {
+      Tensor out(row.out_rows, row.out_cols);
+      row.scalar(&out);
+    });
+    Tensor simd_out(row.out_rows, row.out_cols);
+    row.vector(&simd_out);
+    const double simd_s = TimePerCall([&] {
+      Tensor out(row.out_rows, row.out_cols);
+      row.vector(&out);
+    });
+    double quant_gf = 0;
+    if (row.quant) {
+      const double quant_s = TimePerCall([&] {
+        Tensor out(row.out_rows, row.out_cols);
+        row.quant(&out);
+      });
+      quant_gf = static_cast<double>(row.flops) / quant_s / 1e9;
+    }
+    char quant_col[16];
+    if (row.quant) {
+      std::snprintf(quant_col, sizeof(quant_col), "%.2f", quant_gf);
+    } else {
+      std::snprintf(quant_col, sizeof(quant_col), "-");
+    }
+    std::printf("%-14s %-24s %12.2f %12.2f %7.2fx %12s %8s\n", row.name,
+                row.shape.c_str(),
+                static_cast<double>(row.flops) / scalar_s / 1e9,
+                static_cast<double>(row.flops) / simd_s / 1e9,
+                scalar_s / simd_s, quant_col,
+                BitwiseEqual(scalar_out, simd_out) ? "OK" : "DIVERGED");
   }
 }
 
@@ -418,6 +574,8 @@ int main(int argc, char** argv) {
   if (flags.Has("mp")) {
     oodgnn::CompareMessagePassing(flags.GetThreads(4),
                                   flags.GetString("mp-json", ""));
+  } else if (flags.Has("simd")) {
+    oodgnn::CompareSimd();
   } else {
     oodgnn::CompareBackends(flags.GetThreads(4));
   }

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Builds bench_inference and runs the serving-path comparison: taped vs
-# no-grad forwards, then the eager vs plan-then-execute engine
-# (DESIGN.md §13) on latency percentiles and pooled throughput, with
-# every engine output checked bitwise against the tape-based
-# reference. Emits the tables on stdout and the machine-readable
+# no-grad forwards, the scalar-vs-SIMD forward (DESIGN.md §16), then
+# the eager vs plan-then-execute engine (DESIGN.md §13) and the int8
+# quantized engine on latency percentiles and pooled throughput. fp32
+# engine outputs are checked bitwise against the tape-based reference;
+# the quantized engine is checked against the committed logit
+# tolerance. Emits the tables on stdout and the machine-readable
 # report to BENCH_inference.json (override with OUT=path). THREADS
 # defaults to 4, matching the benchmark's default backend pool.
 #

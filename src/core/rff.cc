@@ -49,20 +49,10 @@ Tensor RffFeatureMap::Transform(const Tensor& z) const {
   Tensor out(n, m);
   const float kSqrt2 = static_cast<float>(std::sqrt(2.0));
   // Rows are independent, so the map partitions cleanly across the
-  // backend's workers (the cos() makes this the per-batch hot loop).
-  GetBackend().ForCost(n, 8ll * n * m, [&](int r0, int r1) {
-    for (int r = r0; r < r1; ++r) {
-      const float* zrow = z.row(r);
-      float* orow = out.row(r);
-      for (int j = 0; j < m; ++j) {
-        const float x = zrow[feature_source_dim_[static_cast<size_t>(j)]];
-        orow[j] = config_.linear_only
-                      ? x
-                      : kSqrt2 * std::cos(omega_[static_cast<size_t>(j)] * x +
-                                          phase_[static_cast<size_t>(j)]);
-      }
-    }
-  });
+  // backend's workers (the cos() makes this the per-batch hot loop);
+  // the backend also picks the SIMD mirror of the kernel when enabled.
+  GetBackend().RffMap(z, feature_source_dim_, omega_, phase_,
+                      config_.linear_only, kSqrt2, &out);
   return out;
 }
 

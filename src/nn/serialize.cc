@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "src/nn/module.h"
+#include "src/tensor/quant.h"
 #include "src/util/check.h"
 #include "src/util/file.h"
 #include "src/util/logging.h"
@@ -71,6 +72,11 @@ void BinaryPayloadWriter::PutU64Vector(const std::vector<uint64_t>& values) {
   Append(values.data(), values.size() * sizeof(uint64_t));
 }
 
+void BinaryPayloadWriter::PutI8Vector(const std::vector<int8_t>& values) {
+  PutU64(values.size());
+  Append(values.data(), values.size() * sizeof(int8_t));
+}
+
 bool BinaryPayloadReader::Fetch(void* out, size_t size) {
   if (size > remaining()) return false;
   std::memcpy(out, data_ + pos_, size);
@@ -127,6 +133,13 @@ bool BinaryPayloadReader::GetU64Vector(std::vector<uint64_t>* values) {
   if (!GetU64(&count) || count > remaining() / sizeof(uint64_t)) return false;
   values->resize(static_cast<size_t>(count));
   return Fetch(values->data(), static_cast<size_t>(count) * sizeof(uint64_t));
+}
+
+bool BinaryPayloadReader::GetI8Vector(std::vector<int8_t>* values) {
+  uint64_t count = 0;
+  if (!GetU64(&count) || count > remaining()) return false;
+  values->resize(static_cast<size_t>(count));
+  return Fetch(values->data(), static_cast<size_t>(count) * sizeof(int8_t));
 }
 
 bool SaveParameters(const std::string& path,
@@ -233,6 +246,78 @@ namespace {
 
 constexpr uint32_t kModelMagic = 0x4F4F444D;  // "OODM"
 constexpr uint32_t kModelVersion = 1;
+constexpr uint32_t kQuantModelMagic = 0x4F4F4451;  // "OODQ"
+constexpr uint32_t kQuantModelVersion = 1;
+
+/// Only matrix parameters are worth quantizing: bias vectors and
+/// learned scalars are a rounding error of the footprint, but their
+/// quantization error would land directly on every output row.
+bool QuantEligible(const Tensor& value) {
+  return value.rows() > 1 && value.cols() > 1;
+}
+
+/// Writes one framed snapshot file: magic, version, payload size,
+/// FNV-1a checksum, payload.
+bool WriteFramedFile(const std::string& path, uint32_t magic,
+                     uint32_t version, const std::string& payload) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (!file) {
+    OODGNN_LOG(Error) << "cannot open " << path << " for writing";
+    return false;
+  }
+  const uint64_t size = payload.size();
+  const uint64_t checksum = Fnv1a64(payload.data(), payload.size());
+  if (!WriteU32(file.get(), magic) || !WriteU32(file.get(), version) ||
+      std::fwrite(&size, sizeof(size), 1, file.get()) != 1 ||
+      std::fwrite(&checksum, sizeof(checksum), 1, file.get()) != 1 ||
+      std::fwrite(payload.data(), 1, payload.size(), file.get()) !=
+          payload.size()) {
+    OODGNN_LOG(Error) << "short write to " << path;
+    return false;
+  }
+  return true;
+}
+
+/// Validates a framed file's magic, version, declared size and
+/// checksum, returning a view of the payload inside `bytes` (null on
+/// any mismatch, with the reason logged).
+const char* ValidateFramedPayload(const std::string& path,
+                                  const std::string& bytes,
+                                  uint32_t expected_magic,
+                                  uint32_t expected_version,
+                                  const char* kind, size_t* payload_size) {
+  BinaryPayloadReader header(bytes.data(), bytes.size());
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint64_t declared_size = 0;
+  uint64_t declared_checksum = 0;
+  if (!header.GetU32(&magic) || !header.GetU32(&version) ||
+      !header.GetU64(&declared_size) || !header.GetU64(&declared_checksum)) {
+    OODGNN_LOG(Error) << path << ": truncated " << kind << " header";
+    return nullptr;
+  }
+  if (magic != expected_magic) {
+    OODGNN_LOG(Error) << path << " is not an oodgnn " << kind << " file";
+    return nullptr;
+  }
+  if (version != expected_version) {
+    OODGNN_LOG(Error) << path << ": unsupported " << kind << " version "
+                      << version;
+    return nullptr;
+  }
+  if (declared_size != header.remaining()) {
+    OODGNN_LOG(Error) << path << ": payload is " << header.remaining()
+                      << " bytes but the header declares " << declared_size;
+    return nullptr;
+  }
+  const char* payload = bytes.data() + (bytes.size() - header.remaining());
+  if (Fnv1a64(payload, header.remaining()) != declared_checksum) {
+    OODGNN_LOG(Error) << path << ": checksum mismatch (corrupt file)";
+    return nullptr;
+  }
+  *payload_size = header.remaining();
+  return payload;
+}
 
 /// Reads one tensor per expected (rows, cols) shape into `staged`,
 /// rejecting truncation and shape mismatches before anything is
@@ -276,25 +361,7 @@ bool SaveModelState(const std::string& path, const Module& module) {
     OODGNN_CHECK(buffer != nullptr);
     writer.PutTensor(*buffer);
   }
-  const std::string& payload = writer.payload();
-
-  FilePtr file(std::fopen(path.c_str(), "wb"));
-  if (!file) {
-    OODGNN_LOG(Error) << "cannot open " << path << " for writing";
-    return false;
-  }
-  const uint64_t size = payload.size();
-  const uint64_t checksum = Fnv1a64(payload.data(), payload.size());
-  if (!WriteU32(file.get(), kModelMagic) ||
-      !WriteU32(file.get(), kModelVersion) ||
-      std::fwrite(&size, sizeof(size), 1, file.get()) != 1 ||
-      std::fwrite(&checksum, sizeof(checksum), 1, file.get()) != 1 ||
-      std::fwrite(payload.data(), 1, payload.size(), file.get()) !=
-          payload.size()) {
-    OODGNN_LOG(Error) << "short write to " << path;
-    return false;
-  }
-  return true;
+  return WriteFramedFile(path, kModelMagic, kModelVersion, writer.payload());
 }
 
 bool LoadModelState(const std::string& path, Module* module) {
@@ -304,39 +371,15 @@ bool LoadModelState(const std::string& path, Module* module) {
     OODGNN_LOG(Error) << "cannot open " << path << " for reading";
     return false;
   }
-  BinaryPayloadReader header(bytes.data(), bytes.size());
-  uint32_t magic = 0;
-  uint32_t version = 0;
-  uint64_t declared_size = 0;
-  uint64_t declared_checksum = 0;
-  if (!header.GetU32(&magic) || !header.GetU32(&version) ||
-      !header.GetU64(&declared_size) || !header.GetU64(&declared_checksum)) {
-    OODGNN_LOG(Error) << path << ": truncated model-state header";
-    return false;
-  }
-  if (magic != kModelMagic) {
-    OODGNN_LOG(Error) << path << " is not an oodgnn model-state file";
-    return false;
-  }
-  if (version != kModelVersion) {
-    OODGNN_LOG(Error) << path << ": unsupported model-state version "
-                      << version;
-    return false;
-  }
-  if (declared_size != header.remaining()) {
-    OODGNN_LOG(Error) << path << ": payload is " << header.remaining()
-                      << " bytes but the header declares " << declared_size;
-    return false;
-  }
-  const char* payload = bytes.data() + (bytes.size() - header.remaining());
-  if (Fnv1a64(payload, header.remaining()) != declared_checksum) {
-    OODGNN_LOG(Error) << path << ": checksum mismatch (corrupt file)";
-    return false;
-  }
+  size_t payload_size = 0;
+  const char* payload =
+      ValidateFramedPayload(path, bytes, kModelMagic, kModelVersion,
+                            "model-state", &payload_size);
+  if (payload == nullptr) return false;
 
   const std::vector<Variable> params = module->Parameters();
   const std::vector<Tensor*> buffers = module->Buffers();
-  BinaryPayloadReader reader(payload, header.remaining());
+  BinaryPayloadReader reader(payload, payload_size);
   uint32_t param_count = 0;
   if (!reader.GetU32(&param_count) || param_count != params.size()) {
     OODGNN_LOG(Error) << path << ": model state declares " << param_count
@@ -382,6 +425,169 @@ bool LoadModelState(const std::string& path, Module* module) {
     *buffers[i] = std::move(staged_buffers[i]);
   }
   return true;
+}
+
+bool SaveQuantizedModelState(const std::string& path, const Module& module) {
+  const std::vector<Variable> params = module.Parameters();
+  const std::vector<Tensor*> buffers = module.Buffers();
+  BinaryPayloadWriter writer;
+  writer.PutU32(static_cast<uint32_t>(params.size()));
+  for (const Variable& param : params) {
+    OODGNN_CHECK(param.defined());
+    const Tensor& value = param.value();
+    if (!QuantEligible(value)) {
+      writer.PutU8(0);
+      writer.PutTensor(value);
+      continue;
+    }
+    const QuantizedTensor quantized = QuantizeQ8(value);
+    writer.PutU8(1);
+    writer.PutU32(static_cast<uint32_t>(quantized.rows));
+    writer.PutU32(static_cast<uint32_t>(quantized.cols));
+    writer.PutI8Vector(quantized.q);
+    writer.PutF32Vector(quantized.scales);
+  }
+  writer.PutU32(static_cast<uint32_t>(buffers.size()));
+  for (const Tensor* buffer : buffers) {
+    OODGNN_CHECK(buffer != nullptr);
+    writer.PutTensor(*buffer);
+  }
+  return WriteFramedFile(path, kQuantModelMagic, kQuantModelVersion,
+                         writer.payload());
+}
+
+bool LoadQuantizedModelState(const std::string& path, Module* module) {
+  OODGNN_CHECK(module != nullptr);
+  std::string bytes;
+  if (!ReadFileToString(path, &bytes)) {
+    OODGNN_LOG(Error) << "cannot open " << path << " for reading";
+    return false;
+  }
+  size_t payload_size = 0;
+  const char* payload =
+      ValidateFramedPayload(path, bytes, kQuantModelMagic, kQuantModelVersion,
+                            "quantized model-state", &payload_size);
+  if (payload == nullptr) return false;
+
+  const std::vector<Variable> params = module->Parameters();
+  const std::vector<Tensor*> buffers = module->Buffers();
+  BinaryPayloadReader reader(payload, payload_size);
+  uint32_t param_count = 0;
+  if (!reader.GetU32(&param_count) || param_count != params.size()) {
+    OODGNN_LOG(Error) << path << ": quantized model state declares "
+                      << param_count << " parameters, module expects "
+                      << params.size();
+    return false;
+  }
+  std::vector<Tensor> staged_params(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    const Tensor& expected = params[i].value();
+    uint8_t tag = 0;
+    if (!reader.GetU8(&tag)) {
+      OODGNN_LOG(Error) << path << ": parameter " << i << " is truncated";
+      return false;
+    }
+    if (tag == 0) {
+      if (!reader.GetTensor(&staged_params[i])) {
+        OODGNN_LOG(Error) << path << ": parameter " << i
+                          << " is truncated or oversized";
+        return false;
+      }
+      if (!staged_params[i].SameShape(expected)) {
+        OODGNN_LOG(Error) << path << ": parameter " << i << " is "
+                          << staged_params[i].rows() << "x"
+                          << staged_params[i].cols()
+                          << " but the module expects " << expected.rows()
+                          << "x" << expected.cols();
+        return false;
+      }
+      continue;
+    }
+    if (tag != 1) {
+      OODGNN_LOG(Error) << path << ": parameter " << i
+                        << " has unknown encoding tag "
+                        << static_cast<int>(tag);
+      return false;
+    }
+    uint32_t rows = 0;
+    uint32_t cols = 0;
+    if (!reader.GetU32(&rows) || !reader.GetU32(&cols)) {
+      OODGNN_LOG(Error) << path << ": parameter " << i << " is truncated";
+      return false;
+    }
+    if (rows != static_cast<uint32_t>(expected.rows()) ||
+        cols != static_cast<uint32_t>(expected.cols())) {
+      OODGNN_LOG(Error) << path << ": parameter " << i << " is " << rows
+                        << "x" << cols << " but the module expects "
+                        << expected.rows() << "x" << expected.cols();
+      return false;
+    }
+    QuantizedTensor quantized;
+    quantized.rows = static_cast<int>(rows);
+    quantized.cols = static_cast<int>(cols);
+    if (!reader.GetI8Vector(&quantized.q) ||
+        quantized.q.size() !=
+            static_cast<size_t>(rows) * static_cast<size_t>(cols)) {
+      OODGNN_LOG(Error) << path << ": parameter " << i
+                        << " has a truncated or mis-sized code block";
+      return false;
+    }
+    if (!reader.GetF32Vector(&quantized.scales) ||
+        quantized.scales.size() !=
+            static_cast<size_t>(rows) *
+                static_cast<size_t>(quantized.blocks_per_row())) {
+      OODGNN_LOG(Error) << path << ": parameter " << i
+                        << " has a truncated or mis-sized scale block";
+      return false;
+    }
+    staged_params[i] = DequantizeQ8(quantized);
+  }
+  uint32_t buffer_count = 0;
+  if (!reader.GetU32(&buffer_count) || buffer_count != buffers.size()) {
+    OODGNN_LOG(Error) << path << ": quantized model state declares "
+                      << buffer_count << " buffers, module expects "
+                      << buffers.size();
+    return false;
+  }
+  std::vector<std::pair<int, int>> buffer_shapes(buffers.size());
+  for (size_t i = 0; i < buffers.size(); ++i) {
+    buffer_shapes[i] = {buffers[i]->rows(), buffers[i]->cols()};
+  }
+  std::vector<Tensor> staged_buffers;
+  if (!StageTensors(&reader, path, "buffer", buffer_shapes,
+                    &staged_buffers)) {
+    return false;
+  }
+  if (!reader.AtEnd()) {
+    OODGNN_LOG(Error) << path << ": " << reader.remaining()
+                      << " trailing bytes after the last tensor";
+    return false;
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    Variable param = params[i];
+    param.mutable_value() = std::move(staged_params[i]);
+  }
+  for (size_t i = 0; i < buffers.size(); ++i) {
+    *buffers[i] = std::move(staged_buffers[i]);
+  }
+  return true;
+}
+
+bool LoadAnyModelState(const std::string& path, Module* module) {
+  OODGNN_CHECK(module != nullptr);
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (!file) {
+    OODGNN_LOG(Error) << "cannot open " << path << " for reading";
+    return false;
+  }
+  uint32_t magic = 0;
+  if (std::fread(&magic, sizeof(magic), 1, file.get()) != 1) {
+    OODGNN_LOG(Error) << path << ": truncated model-state header";
+    return false;
+  }
+  file.reset();
+  return magic == kQuantModelMagic ? LoadQuantizedModelState(path, module)
+                                   : LoadModelState(path, module);
 }
 
 }  // namespace oodgnn

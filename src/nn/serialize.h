@@ -39,6 +39,7 @@ class BinaryPayloadWriter {
   void PutF32Vector(const std::vector<float>& values);
   void PutF64Vector(const std::vector<double>& values);
   void PutU64Vector(const std::vector<uint64_t>& values);
+  void PutI8Vector(const std::vector<int8_t>& values);
 
   const std::string& payload() const { return payload_; }
 
@@ -70,6 +71,7 @@ class BinaryPayloadReader {
   bool GetF32Vector(std::vector<float>* values);
   bool GetF64Vector(std::vector<double>* values);
   bool GetU64Vector(std::vector<uint64_t>* values);
+  bool GetI8Vector(std::vector<int8_t>* values);
 
   size_t remaining() const { return size_ - pos_; }
 
@@ -121,6 +123,28 @@ bool SaveModelState(const std::string& path, const Module& module);
 /// mismatch returns false with a logged reason and leaves the module
 /// untouched.
 bool LoadModelState(const std::string& path, Module* module);
+
+/// Writes a quantized forward-pass snapshot ("OODQ" framing, same
+/// magic/version/size/checksum envelope as SaveModelState): matrix
+/// parameters (rows > 1 and cols > 1) are stored as Q8_0 blocks
+/// (src/tensor/quant.h) — per-param u8 tag, shape, int8 codes and
+/// per-block fp32 scales — while vector/scalar params and all buffers
+/// stay raw fp32. Roughly 4× smaller than OODM for weight-heavy
+/// models. Returns false on I/O failure.
+bool SaveQuantizedModelState(const std::string& path, const Module& module);
+
+/// Restores a snapshot written by SaveQuantizedModelState, hardened
+/// like LoadModelState (checksum, counts, shapes, code/scale lengths
+/// all validated before anything is mutated; corrupt or truncated
+/// files are rejected whole). Quantized entries are dequantized into
+/// the module, so the module afterwards holds exactly the fp32 image a
+/// quantized serving engine computes with.
+bool LoadQuantizedModelState(const std::string& path, Module* module);
+
+/// Sniffs the file magic and dispatches to LoadModelState (OODM) or
+/// LoadQuantizedModelState (OODQ) — the engine's LoadModelFile accepts
+/// either format through this.
+bool LoadAnyModelState(const std::string& path, Module* module);
 
 }  // namespace oodgnn
 

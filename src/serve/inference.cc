@@ -28,7 +28,15 @@ constexpr uint64_t kReplicaInitSeed = 0x00D64E2A11CE5EEDull;
 /// edgeless batch taking the conv layers' empty-edge branch — run
 /// eager instead.
 bool PlanAdmits(const ComputePlan& plan,
-                const std::vector<const Graph*>& graphs) {
+                const std::vector<const Graph*>& graphs,
+                WeightDtype active_dtype) {
+  // A plan records the weight representation it was traced under: a
+  // quantized forward issues matmul_quant where an fp32 one issues
+  // matmul, so replaying across the representations is a structural
+  // mismatch. Dtype can differ from the plan's only transiently — the
+  // snapshot carries its own plan, so this closes the window where a
+  // worker flips representation mid-adoption, never a steady state.
+  if (plan.weight_dtype != active_dtype) return false;
   if (graphs.empty()) return false;
   if (static_cast<int>(graphs[0]->targets.size()) != plan.num_targets) {
     return false;
@@ -90,6 +98,14 @@ Envelope MakeEnvelope(const ModelSpec& spec, const InferenceOptions& options,
   return env;
 }
 
+/// Only matrix parameters are quantized (same eligibility rule as
+/// SaveQuantizedModelState): bias vectors and scalars are a rounding
+/// error of the weight traffic but would put quantization noise on
+/// every output row.
+bool QuantEligible(const Tensor& value) {
+  return value.rows() > 1 && value.cols() > 1;
+}
+
 /// Copies `src` tensors into a module's parameters and buffers
 /// (registration order). Caller has already validated counts/shapes.
 void ApplyState(const std::vector<Tensor>& params,
@@ -142,6 +158,8 @@ InferenceEngine::InferenceEngine(const ModelSpec& spec,
   }
   worker_plans_.resize(static_cast<size_t>(options_.num_workers));
   worker_versions_.assign(static_cast<size_t>(options_.num_workers), 0);
+  worker_snapshots_.resize(static_cast<size_t>(options_.num_workers));
+  worker_qmaps_.resize(static_cast<size_t>(options_.num_workers));
   {
     Rng init_rng(kReplicaInitSeed);
     master_ = std::make_unique<GraphPredictionModel>(
@@ -187,17 +205,16 @@ InferenceEngine::InferenceEngine(const ModelSpec& spec,
     std::lock_guard<std::mutex> lock(master_mu_);
     PublishFromMasterLocked();
   }
-  // Preload every worker with the initial snapshot: replicas are
-  // already bitwise identical to the master (same init seed), so the
-  // first batch needs no adoption copy — the compiled path is
-  // zero-allocation from request one.
+  // Preload every worker with the initial snapshot. Replicas are
+  // bitwise identical to the pre-publish master (same init seed), so
+  // an fp32 publish needs no adoption copy — the compiled path is
+  // zero-allocation from request one. A quantized publish wrote the
+  // dequantized image back into the master, so the replicas must copy
+  // to match it.
   const std::shared_ptr<const WeightSnapshot> initial = versions_.current();
   for (int i = 0; i < options_.num_workers; ++i) {
-    worker_plans_[static_cast<size_t>(i)] = initial->plan;
-    if (initial->plan != nullptr) {
-      arenas_[static_cast<size_t>(i)]->Resize(initial->plan->capacity_floats);
-    }
-    worker_versions_[static_cast<size_t>(i)] = initial->version;
+    AdoptSnapshot(i, initial,
+                  /*copy_weights=*/initial->dtype != WeightDtype::kF32);
   }
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
@@ -232,8 +249,11 @@ void InferenceEngine::SyncFrom(const GraphPredictionModel& model) {
 bool InferenceEngine::LoadModelFile(const std::string& path) {
   std::lock_guard<std::mutex> lock(master_mu_);
   // Validate + apply against the master; nothing is published (and no
-  // worker is affected) unless the load succeeds in full.
-  if (!LoadModelState(path, master_.get())) return false;
+  // worker is affected) unless the load succeeds in full. Accepts both
+  // fp32 (OODM) and quantized (OODQ) snapshots — a quantized file is
+  // dequantized into the master here, and the publish below decides
+  // independently whether to serve it quantized.
+  if (!LoadAnyModelState(path, master_.get())) return false;
   PublishFromMasterLocked();
   return true;
 }
@@ -387,7 +407,8 @@ std::shared_ptr<const ComputePlan> InferenceEngine::plan() const {
   return snapshot != nullptr ? snapshot->plan : nullptr;
 }
 
-std::shared_ptr<const ComputePlan> InferenceEngine::CompilePlanLocked() {
+std::shared_ptr<const ComputePlan> InferenceEngine::CompilePlanLocked(
+    WeightDtype dtype, const QuantizedWeightMap* qmap) {
   OODGNN_TRACE_SCOPE("serve/plan_compile");
   const Envelope env = MakeEnvelope(spec_, options_, slot_budget_);
   std::vector<const Graph*> ptrs;
@@ -395,6 +416,10 @@ std::shared_ptr<const ComputePlan> InferenceEngine::CompilePlanLocked() {
   for (const Graph& g : env.graphs) ptrs.push_back(&g);
 
   NoGradGuard no_grad;
+  // Route the reference forward's matmuls through the int8 blocks when
+  // quantizing (null clears any inherited scope), so the recorded
+  // kernel stream matches what quantized replays will issue.
+  ScopedQuantizedWeights quant_scope(qmap);
   ComputePlan plan;
   {
     // Recording installs a thread-local allocation sink, so workers
@@ -413,6 +438,7 @@ std::shared_ptr<const ComputePlan> InferenceEngine::CompilePlanLocked() {
   plan.max_nodes = env.max_nodes;
   plan.max_edges = env.max_edges;
   plan.num_targets = spec_.num_targets;
+  plan.weight_dtype = dtype;
   auto shared = std::make_shared<const ComputePlan>(std::move(plan));
   plan_recompiles_.fetch_add(1, std::memory_order_relaxed);
   arena_bytes_.store(shared->capacity_bytes(), std::memory_order_relaxed);
@@ -426,28 +452,81 @@ std::shared_ptr<const ComputePlan> InferenceEngine::CompilePlanLocked() {
 }
 
 void InferenceEngine::PublishFromMasterLocked() {
+  const bool quantize =
+      options_.quantize == QuantizeMode::kOn ||
+      (options_.quantize == QuantizeMode::kFollowProcess && QuantizeEnabled());
+  const WeightDtype dtype = quantize ? WeightDtype::kQ8 : WeightDtype::kF32;
+  std::vector<std::shared_ptr<const QuantizedTensor>> qweights;
+  QuantizedWeightMap master_qmap;
+  if (quantize) {
+    // Quantize the matrix parameters and write the dequantized image
+    // back into the master, so the plan recording, the published fp32
+    // params, and every non-matmul consumer all see exactly the values
+    // the quantized matmuls reproduce. Re-quantizing a dequantized
+    // image is a fixed point, so repeated publishes do not drift.
+    std::vector<Variable> params = master_->Parameters();
+    qweights.reserve(params.size());
+    for (Variable& param : params) {
+      if (!QuantEligible(param.value())) {
+        qweights.push_back(nullptr);
+        continue;
+      }
+      auto quantized = std::make_shared<QuantizedTensor>(
+          QuantizeQ8(param.value()));
+      param.mutable_value() = DequantizeQ8(*quantized);
+      master_qmap[param.value().data()] = quantized.get();
+      qweights.push_back(std::move(quantized));
+    }
+  }
   std::vector<Tensor> params;
   for (const Variable& p : master_->Parameters()) params.push_back(p.value());
   std::vector<Tensor> buffers;
   for (const Tensor* b : master_->Buffers()) buffers.push_back(*b);
   // The snapshot carries the plan recorded against exactly these
-  // weights' shapes, so a worker adopting it can never pair new
-  // weights with a stale plan (or vice versa).
+  // weights' shapes and representation, so a worker adopting it can
+  // never pair new weights with a stale plan (or vice versa).
   std::shared_ptr<const ComputePlan> plan;
-  if (options_.compiled) plan = CompilePlanLocked();
-  versions_.Publish(std::move(params), std::move(buffers), std::move(plan));
+  if (options_.compiled) {
+    plan = CompilePlanLocked(dtype, quantize ? &master_qmap : nullptr);
+  }
+  versions_.Publish(std::move(params), std::move(buffers), std::move(plan),
+                    dtype, std::move(qweights));
 }
 
 void InferenceEngine::AdoptCurrentVersion(int worker_index) {
   const std::shared_ptr<const WeightSnapshot> target = versions_.current();
   const size_t w = static_cast<size_t>(worker_index);
   if (target == nullptr || target->version == worker_versions_[w]) return;
-  ApplyState(target->params, target->buffers, replicas_[w].get());
-  worker_plans_[w] = target->plan;
-  if (target->plan != nullptr) {
-    arenas_[w]->Resize(target->plan->capacity_floats);
+  AdoptSnapshot(worker_index, target, /*copy_weights=*/true);
+}
+
+void InferenceEngine::AdoptSnapshot(
+    int worker_index, const std::shared_ptr<const WeightSnapshot>& snapshot,
+    bool copy_weights) {
+  const size_t w = static_cast<size_t>(worker_index);
+  if (copy_weights) {
+    ApplyState(snapshot->params, snapshot->buffers, replicas_[w].get());
   }
-  worker_versions_[w] = target->version;
+  worker_plans_[w] = snapshot->plan;
+  if (snapshot->plan != nullptr) {
+    arenas_[w]->Resize(snapshot->plan->capacity_floats);
+  }
+  // The qmap keys on the replica's own parameter storage (adoption
+  // copies into fresh tensors); the pinned snapshot keeps the mapped
+  // QuantizedTensor blocks alive for as long as the map can be
+  // consulted.
+  worker_qmaps_[w].clear();
+  if (snapshot->dtype == WeightDtype::kQ8) {
+    const std::vector<Variable> params = replicas_[w]->Parameters();
+    OODGNN_CHECK_EQ(params.size(), snapshot->qweights.size());
+    for (size_t i = 0; i < params.size(); ++i) {
+      if (snapshot->qweights[i] == nullptr) continue;
+      worker_qmaps_[w][params[i].value().data()] =
+          snapshot->qweights[i].get();
+    }
+  }
+  worker_snapshots_[w] = snapshot;
+  worker_versions_[w] = snapshot->version;
 }
 
 void InferenceEngine::WorkerLoop(int worker_index) {
@@ -526,8 +605,18 @@ void InferenceEngine::ExecuteBatch(int worker_index,
     const std::string rng_before = rng->SaveState();
     GraphPredictionModel* model = replicas_[w].get();
     const std::shared_ptr<const ComputePlan> plan = worker_plans_[w];
-    if (plan != nullptr && PlanAdmits(*plan, graphs)) {
-      PlanReplayScope replay(plan, arenas_[w].get());
+    const WeightDtype dtype = worker_snapshots_[w] != nullptr
+                                  ? worker_snapshots_[w]->dtype
+                                  : WeightDtype::kF32;
+    // Routes this worker's matmuls through its int8 block images while
+    // serving a quantized snapshot (one thread-local pointer install;
+    // null keeps the fp32 fast path). The map lookup happens on this
+    // thread inside the Backend entry point, before work fans out to
+    // pool threads.
+    ScopedQuantizedWeights quant_scope(
+        dtype == WeightDtype::kQ8 ? &worker_qmaps_[w] : nullptr);
+    if (plan != nullptr && PlanAdmits(*plan, graphs, dtype)) {
+      PlanReplayScope replay(plan, arenas_[w].get(), dtype);
       {
         // Batch construction is part of the recorded stream: its
         // tensors (features, GCN coefficients, targets) occupy plan

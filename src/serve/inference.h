@@ -21,6 +21,7 @@
 #include "src/serve/version.h"
 #include "src/tensor/arena.h"
 #include "src/tensor/exec_plan.h"
+#include "src/tensor/quant.h"
 #include "src/tensor/tensor.h"
 #include "src/util/clock.h"
 #include "src/util/rng.h"
@@ -42,6 +43,18 @@ struct ModelSpec {
   /// a compiled plan is specific to one arity; batches with a
   /// different arity run eager.
   int num_targets = 0;
+};
+
+/// Int8 weight quantization policy for the engine (training is never
+/// affected — quantization happens at publish time, on the engine's
+/// own copy of the weights).
+enum class QuantizeMode {
+  /// Follow the process-wide toggle (--quantize / OODGNN_QUANTIZE),
+  /// sampled at every publish — flipping the toggle between SyncFrom
+  /// calls rolls quantization on or off like any weight rollout.
+  kFollowProcess,
+  kOff,
+  kOn,
 };
 
 /// Serving policy. Admission is continuous-batching style: Submit()
@@ -90,6 +103,16 @@ struct InferenceOptions {
   /// block-by-block.
   int plan_max_nodes = 0;
   int plan_max_edges = 0;
+
+  /// Q8_0 weight quantization (DESIGN.md §16): every publish quantizes
+  /// the matrix parameters to per-32-element int8 blocks, writes the
+  /// dequantized image back as the published fp32 weights (so all
+  /// non-matmul consumers agree with the quantized matmuls exactly),
+  /// and serves matmuls from the int8 blocks — ~4x less weight
+  /// traffic per matmul at a bounded, tested accuracy cost. Outputs
+  /// are NOT bitwise equal to fp32 serving; tests/quant_test.cc pins
+  /// the tolerance for every model method.
+  QuantizeMode quantize = QuantizeMode::kFollowProcess;
 
   /// Request-span telemetry (src/obs/span.h): per-phase latency
   /// histograms, queue/in-flight gauges and SLO tracking, always on by
@@ -289,16 +312,30 @@ class InferenceEngine {
   /// moved. Called by that worker only, at batch boundaries.
   void AdoptCurrentVersion(int worker_index);
 
+  /// Installs `snapshot` as worker `worker_index`'s serving state:
+  /// copies weights into the replica (skippable at construction when
+  /// the replica is already bitwise identical), sizes the arena for
+  /// the snapshot's plan, and rebuilds the worker's quantized-weight
+  /// map keyed on the replica's own parameter storage. The snapshot is
+  /// pinned so the map's QuantizedTensor targets stay alive.
+  void AdoptSnapshot(int worker_index,
+                     const std::shared_ptr<const WeightSnapshot>& snapshot,
+                     bool copy_weights);
+
   /// Feeds one finished span to every SLO tracker (selecting the phase
   /// duration each spec targets), logs breached windows, and publishes
   /// the worst current burn rate to the scheduler's shed signal.
   void ObserveSlos(const obs::RequestSpan& span);
 
   /// Traces the reference forward on the master model into a fresh
-  /// plan. Caller holds master_mu_ (or workers have not started).
-  /// Recording installs a thread-local allocation sink, so concurrent
-  /// worker replays are unaffected.
-  std::shared_ptr<const ComputePlan> CompilePlanLocked();
+  /// plan, recorded under `dtype` weights (`qmap` routes the master's
+  /// matmuls through its int8 blocks when quantizing, so the stream
+  /// contains matmul_quant dispatches exactly like the replays will).
+  /// Caller holds master_mu_ (or workers have not started). Recording
+  /// installs a thread-local allocation sink, so concurrent worker
+  /// replays are unaffected.
+  std::shared_ptr<const ComputePlan> CompilePlanLocked(
+      WeightDtype dtype, const QuantizedWeightMap* qmap);
 
   /// Collects the master model's state (plus a fresh plan when
   /// compiled) and publishes it as a new weight version. Caller holds
@@ -323,6 +360,12 @@ class InferenceEngine {
   std::vector<std::unique_ptr<PlanArena>> arenas_;
   std::vector<std::shared_ptr<const ComputePlan>> worker_plans_;
   std::vector<std::int64_t> worker_versions_;
+  /// The snapshot each worker last adopted — pins the QuantizedTensor
+  /// blocks its qmap points into (and carries the serving dtype).
+  std::vector<std::shared_ptr<const WeightSnapshot>> worker_snapshots_;
+  /// Replica-parameter storage -> int8 block image, rebuilt on every
+  /// quantized adoption; empty while serving fp32.
+  std::vector<QuantizedWeightMap> worker_qmaps_;
 
   /// Master copy weight publishers (SyncFrom / Load*) validate against
   /// and record plans on. Never used to serve requests.

@@ -9,6 +9,8 @@
 #include "src/obs/trace.h"
 #include "src/tensor/exec_plan.h"
 #include "src/tensor/kernels.h"
+#include "src/tensor/quant.h"
+#include "src/tensor/simd.h"
 #include "src/util/check.h"
 #include "src/util/thread_pool.h"
 #include "src/util/timer.h"
@@ -69,6 +71,8 @@ enum class KernelOp : int {
   kSegmentExtremePlanned,
   kSegmentExtremeBackward,
   kCopyRows,
+  kMatMulQuant,
+  kRffMap,
   kNumOps,
 };
 
@@ -134,6 +138,10 @@ const char* KernelOpName(KernelOp op) {
       return "segment_extreme_backward";
     case KernelOp::kCopyRows:
       return "copy_rows";
+    case KernelOp::kMatMulQuant:
+      return "matmul_quant";
+    case KernelOp::kRffMap:
+      return "rff_map";
     case KernelOp::kNumOps:
       break;
   }
@@ -203,6 +211,20 @@ class KernelScope {
   std::int64_t start_us_ = 0;
 };
 
+/// SIMD dispatch split across the vector-capable entry points:
+/// "kernel/simd/vector_calls" when the vector mirror ran,
+/// "kernel/simd/scalar_calls" when a capable op fell back to the
+/// scalar oracle (simd::Enabled() false). Profiling-gated like
+/// KernelScope so the common case stays one relaxed atomic load.
+void RecordSimdDispatch(bool vector) {
+  if (!obs::ProfilingEnabled()) return;
+  static obs::Counter* vector_calls =
+      &obs::MetricsRegistry::Global().GetCounter("kernel/simd/vector_calls");
+  static obs::Counter* scalar_calls =
+      &obs::MetricsRegistry::Global().GetCounter("kernel/simd/scalar_calls");
+  (vector ? vector_calls : scalar_calls)->Increment();
+}
+
 }  // namespace
 
 bool Backend::WouldParallelize(int n, std::int64_t flops) const {
@@ -224,10 +246,33 @@ void Backend::MatMulAcc(const Tensor& a, const Tensor& b, Tensor* out) const {
   OODGNN_CHECK(out->rows() == a.rows() && out->cols() == b.cols());
   const std::int64_t flops =
       2ll * a.rows() * a.cols() * b.cols();
+  const bool use_simd = simd::Enabled();
+  RecordSimdDispatch(use_simd);
+  // Quantized-weight routing: when a serving scope registered b's
+  // storage, consume the int8 block image instead of the fp32 tensor.
+  // Training threads never install a scope, so this is one
+  // thread-local null check for them.
+  if (const QuantizedTensor* qw = ActiveQuantizedWeightFor(b.data())) {
+    OODGNN_CHECK(qw->rows == b.rows() && qw->cols == b.cols());
+    KernelScope scope(KernelOp::kMatMulQuant, out->size(),
+                      WouldParallelize(out->rows(), flops));
+    ForCost(out->rows(), flops, [&](int r0, int r1) {
+      if (use_simd) {
+        simd::MatMulQuantAcc(a, *qw, out, r0, r1);
+      } else {
+        kernels::MatMulQuantAcc(a, *qw, out, r0, r1);
+      }
+    });
+    return;
+  }
   KernelScope scope(KernelOp::kMatMul, out->size(),
                     WouldParallelize(out->rows(), flops));
   ForCost(out->rows(), flops, [&](int r0, int r1) {
-    kernels::MatMulAcc(a, b, out, r0, r1);
+    if (use_simd) {
+      simd::MatMulAcc(a, b, out, r0, r1);
+    } else {
+      kernels::MatMulAcc(a, b, out, r0, r1);
+    }
   });
 }
 
@@ -237,10 +282,16 @@ void Backend::MatMulTransAAcc(const Tensor& a, const Tensor& b,
   OODGNN_CHECK(out->rows() == a.cols() && out->cols() == b.cols());
   const std::int64_t flops =
       2ll * a.rows() * a.cols() * b.cols();
+  const bool use_simd = simd::Enabled();
+  RecordSimdDispatch(use_simd);
   KernelScope scope(KernelOp::kMatMulTransA, out->size(),
                     WouldParallelize(out->rows(), flops));
   ForCost(out->rows(), flops, [&](int r0, int r1) {
-    kernels::MatMulTransAAcc(a, b, out, r0, r1);
+    if (use_simd) {
+      simd::MatMulTransAAcc(a, b, out, r0, r1);
+    } else {
+      kernels::MatMulTransAAcc(a, b, out, r0, r1);
+    }
   });
 }
 
@@ -250,62 +301,104 @@ void Backend::MatMulTransBAcc(const Tensor& a, const Tensor& b,
   OODGNN_CHECK(out->rows() == a.rows() && out->cols() == b.rows());
   const std::int64_t flops =
       2ll * a.rows() * a.cols() * b.rows();
+  const bool use_simd = simd::Enabled();
+  RecordSimdDispatch(use_simd);
   KernelScope scope(KernelOp::kMatMulTransB, out->size(),
                     WouldParallelize(out->rows(), flops));
   ForCost(out->rows(), flops, [&](int r0, int r1) {
-    kernels::MatMulTransBAcc(a, b, out, r0, r1);
+    if (use_simd) {
+      simd::MatMulTransBAcc(a, b, out, r0, r1);
+    } else {
+      kernels::MatMulTransBAcc(a, b, out, r0, r1);
+    }
   });
 }
 
 void Backend::Axpy(float alpha, const Tensor& x, Tensor* y) const {
   OODGNN_CHECK(x.SameShape(*y));
+  const bool use_simd = simd::Enabled();
+  RecordSimdDispatch(use_simd);
   KernelScope scope(KernelOp::kAxpy, y->size(),
                     WouldParallelize(y->size(), y->size()));
   ForCost(y->size(), y->size(), [&](int i0, int i1) {
-    kernels::Axpy(alpha, x, y, i0, i1);
+    if (use_simd) {
+      simd::Axpy(alpha, x, y, i0, i1);
+    } else {
+      kernels::Axpy(alpha, x, y, i0, i1);
+    }
   });
 }
 
 void Backend::ScaleInPlace(float s, Tensor* y) const {
+  const bool use_simd = simd::Enabled();
+  RecordSimdDispatch(use_simd);
   KernelScope scope(KernelOp::kScale, y->size(),
                     WouldParallelize(y->size(), y->size()));
   ForCost(y->size(), y->size(), [&](int i0, int i1) {
-    kernels::Scale(y, s, i0, i1);
+    if (use_simd) {
+      simd::Scale(y, s, i0, i1);
+    } else {
+      kernels::Scale(y, s, i0, i1);
+    }
   });
 }
 
 void Backend::AddScalarAcc(float s, Tensor* y) const {
+  const bool use_simd = simd::Enabled();
+  RecordSimdDispatch(use_simd);
   KernelScope scope(KernelOp::kAddScalar, y->size(),
                     WouldParallelize(y->size(), y->size()));
   ForCost(y->size(), y->size(), [&](int i0, int i1) {
-    kernels::AddScalar(y, s, i0, i1);
+    if (use_simd) {
+      simd::AddScalar(y, s, i0, i1);
+    } else {
+      kernels::AddScalar(y, s, i0, i1);
+    }
   });
 }
 
 void Backend::Hadamard(const Tensor& a, const Tensor& b, Tensor* out) const {
   OODGNN_CHECK(a.SameShape(b) && a.SameShape(*out));
+  const bool use_simd = simd::Enabled();
+  RecordSimdDispatch(use_simd);
   KernelScope scope(KernelOp::kHadamard, out->size(),
                     WouldParallelize(out->size(), out->size()));
   ForCost(out->size(), out->size(), [&](int i0, int i1) {
-    kernels::Hadamard(a, b, out, i0, i1);
+    if (use_simd) {
+      simd::Hadamard(a, b, out, i0, i1);
+    } else {
+      kernels::Hadamard(a, b, out, i0, i1);
+    }
   });
 }
 
 void Backend::HadamardAcc(const Tensor& g, const Tensor& x, Tensor* y) const {
   OODGNN_CHECK(g.SameShape(x) && g.SameShape(*y));
+  const bool use_simd = simd::Enabled();
+  RecordSimdDispatch(use_simd);
   KernelScope scope(KernelOp::kHadamardAcc, y->size(),
                     WouldParallelize(y->size(), y->size()));
   ForCost(y->size(), y->size(), [&](int i0, int i1) {
-    kernels::HadamardAcc(g, x, y, i0, i1);
+    if (use_simd) {
+      simd::HadamardAcc(g, x, y, i0, i1);
+    } else {
+      kernels::HadamardAcc(g, x, y, i0, i1);
+    }
   });
 }
 
 void Backend::ColumnSumAcc(const Tensor& a, Tensor* out) const {
   OODGNN_CHECK(out->rows() == 1 && out->cols() == a.cols());
+  const bool use_simd = simd::Enabled();
+  RecordSimdDispatch(use_simd);
   KernelScope scope(KernelOp::kColumnSum, a.size(),
                     WouldParallelize(a.cols(), a.size()));
   ForCost(a.cols(), a.size(), [&](int c0, int c1) {
-    kernels::ColumnSumAcc(a, out, c0, c1);
+    if (use_simd) {
+      simd::ColumnSumAcc(a, out, c0, c1);
+    } else {
+      kernels::ColumnSumAcc(a, out, c0, c1);
+    }
   });
 }
 
@@ -320,19 +413,31 @@ void Backend::RowSumAcc(const Tensor& a, Tensor* out) const {
 
 void Backend::RowBroadcastAcc(const Tensor& row, Tensor* out) const {
   OODGNN_CHECK(row.rows() == 1 && row.cols() == out->cols());
+  const bool use_simd = simd::Enabled();
+  RecordSimdDispatch(use_simd);
   KernelScope scope(KernelOp::kRowBroadcast, out->size(),
                     WouldParallelize(out->rows(), out->size()));
   ForCost(out->rows(), out->size(), [&](int r0, int r1) {
-    kernels::RowBroadcastAcc(row, out, r0, r1);
+    if (use_simd) {
+      simd::RowBroadcastAcc(row, out, r0, r1);
+    } else {
+      kernels::RowBroadcastAcc(row, out, r0, r1);
+    }
   });
 }
 
 void Backend::ColBroadcastAcc(const Tensor& col, Tensor* out) const {
   OODGNN_CHECK(col.rows() == out->rows() && col.cols() == 1);
+  const bool use_simd = simd::Enabled();
+  RecordSimdDispatch(use_simd);
   KernelScope scope(KernelOp::kColBroadcast, out->size(),
                     WouldParallelize(out->rows(), out->size()));
   ForCost(out->rows(), out->size(), [&](int r0, int r1) {
-    kernels::ColBroadcastAcc(col, out, r0, r1);
+    if (use_simd) {
+      simd::ColBroadcastAcc(col, out, r0, r1);
+    } else {
+      kernels::ColBroadcastAcc(col, out, r0, r1);
+    }
   });
 }
 
@@ -349,10 +454,16 @@ void Backend::HadamardColumnSumAcc(const Tensor& x, const Tensor& y,
                                    Tensor* out) const {
   OODGNN_CHECK(x.SameShape(y));
   OODGNN_CHECK(out->rows() == 1 && out->cols() == x.cols());
+  const bool use_simd = simd::Enabled();
+  RecordSimdDispatch(use_simd);
   KernelScope scope(KernelOp::kHadamardColumnSum, x.size(),
                     WouldParallelize(x.cols(), 2ll * x.size()));
   ForCost(x.cols(), 2ll * x.size(), [&](int c0, int c1) {
-    kernels::HadamardColumnSumAcc(x, y, out, c0, c1);
+    if (use_simd) {
+      simd::HadamardColumnSumAcc(x, y, out, c0, c1);
+    } else {
+      kernels::HadamardColumnSumAcc(x, y, out, c0, c1);
+    }
   });
 }
 
@@ -371,6 +482,30 @@ float Backend::Dot(const Tensor& a, const Tensor& b) const {
   OODGNN_CHECK(a.SameShape(b));
   KernelScope scope(KernelOp::kDot, a.size(), /*parallel=*/false);
   return kernels::Dot(a, b, 0, a.size());
+}
+
+void Backend::RffMap(const Tensor& z, const std::vector<int>& source_dim,
+                     const std::vector<float>& omega,
+                     const std::vector<float>& phase, bool linear_only,
+                     float scale, Tensor* out) const {
+  OODGNN_CHECK_EQ(out->rows(), z.rows());
+  OODGNN_CHECK_EQ(out->cols(), static_cast<int>(source_dim.size()));
+  OODGNN_CHECK_EQ(source_dim.size(), omega.size());
+  OODGNN_CHECK_EQ(source_dim.size(), phase.size());
+  const std::int64_t flops = 8ll * out->rows() * out->cols();
+  const bool use_simd = simd::Enabled();
+  RecordSimdDispatch(use_simd);
+  KernelScope scope(KernelOp::kRffMap, out->size(),
+                    WouldParallelize(out->rows(), flops));
+  ForCost(out->rows(), flops, [&](int r0, int r1) {
+    if (use_simd) {
+      simd::RffMap(z, source_dim, omega, phase, linear_only, scale, out, r0,
+                   r1);
+    } else {
+      kernels::RffMap(z, source_dim, omega, phase, linear_only, scale, out,
+                      r0, r1);
+    }
+  });
 }
 
 void Backend::SoftmaxRows(const Tensor& a, Tensor* out) const {
@@ -407,10 +542,16 @@ void Backend::GatherRowsAcc(const Tensor& g, const std::vector<int>& index,
                             Tensor* out) const {
   OODGNN_CHECK(out->rows() == static_cast<int>(index.size()) &&
                out->cols() == g.cols());
+  const bool use_simd = simd::Enabled();
+  RecordSimdDispatch(use_simd);
   KernelScope scope(KernelOp::kGatherRowsAcc, out->size(),
                     WouldParallelize(out->rows(), out->size()));
   ForCost(out->rows(), out->size(), [&](int r0, int r1) {
-    kernels::GatherRowsAcc(g, index, out, r0, r1);
+    if (use_simd) {
+      simd::GatherRowsAcc(g, index, out, r0, r1);
+    } else {
+      kernels::GatherRowsAcc(g, index, out, r0, r1);
+    }
   });
 }
 
@@ -434,13 +575,20 @@ void Backend::ScatterAddRowsPlanned(const Tensor& a, const SegmentPlan& plan,
   OODGNN_CHECK_EQ(a.rows(), plan.num_items());
   OODGNN_CHECK_EQ(a.cols(), out->cols());
   OODGNN_CHECK_EQ(out->rows(), plan.num_segments);
+  const bool use_simd = simd::Enabled();
+  RecordSimdDispatch(use_simd);
   KernelScope scope(
       KernelOp::kScatterPlanned, a.size(),
       WouldParallelize(plan.num_segments, static_cast<std::int64_t>(a.size())));
   ForCost(plan.num_segments, static_cast<std::int64_t>(a.size()),
           [&](int s0, int s1) {
-            kernels::ScatterAddRowsPlanned(a, plan.perm, plan.offsets, out, s0,
-                                           s1);
+            if (use_simd) {
+              simd::ScatterAddRowsPlanned(a, plan.perm, plan.offsets, out, s0,
+                                          s1);
+            } else {
+              kernels::ScatterAddRowsPlanned(a, plan.perm, plan.offsets, out,
+                                             s0, s1);
+            }
           });
 }
 
@@ -451,10 +599,16 @@ void Backend::GatherScatterAcc(const Tensor& h, const std::vector<int>& gather,
   OODGNN_CHECK_EQ(out->rows(), plan.num_segments);
   const std::int64_t flops =
       static_cast<std::int64_t>(plan.num_items()) * h.cols();
+  const bool use_simd = simd::Enabled();
+  RecordSimdDispatch(use_simd);
   KernelScope scope(KernelOp::kGatherScatter, flops,
                     WouldParallelize(plan.num_segments, flops));
   ForCost(plan.num_segments, flops, [&](int s0, int s1) {
-    kernels::GatherScatterAcc(h, gather, plan.offsets, out, s0, s1);
+    if (use_simd) {
+      simd::GatherScatterAcc(h, gather, plan.offsets, out, s0, s1);
+    } else {
+      kernels::GatherScatterAcc(h, gather, plan.offsets, out, s0, s1);
+    }
   });
 }
 
@@ -469,11 +623,18 @@ void Backend::GatherScatterWeightedAcc(const Tensor& h, const Tensor& w,
   OODGNN_CHECK_EQ(out->rows(), plan.num_segments);
   const std::int64_t flops =
       2ll * plan.num_items() * h.cols();
+  const bool use_simd = simd::Enabled();
+  RecordSimdDispatch(use_simd);
   KernelScope scope(KernelOp::kGatherScatterWeighted, flops,
                     WouldParallelize(plan.num_segments, flops));
   ForCost(plan.num_segments, flops, [&](int s0, int s1) {
-    kernels::GatherScatterWeightedAcc(h, w, plan.perm, gather, plan.offsets,
-                                      out, s0, s1);
+    if (use_simd) {
+      simd::GatherScatterWeightedAcc(h, w, plan.perm, gather, plan.offsets,
+                                     out, s0, s1);
+    } else {
+      kernels::GatherScatterWeightedAcc(h, w, plan.perm, gather, plan.offsets,
+                                        out, s0, s1);
+    }
   });
 }
 

@@ -84,6 +84,15 @@ class Backend {
   /// fixed association order on every backend (determinism contract).
   float Dot(const Tensor& a, const Tensor& b) const;
 
+  /// Random Fourier feature map: out[r,j] = scale·cos(omega[j]·x +
+  /// phase[j]) with x = z[r, source_dim[j]] (plain gather when
+  /// linear_only). The per-batch hot loop of the HSIC decorrelation
+  /// path (src/core/rff.cc).
+  void RffMap(const Tensor& z, const std::vector<int>& source_dim,
+              const std::vector<float>& omega,
+              const std::vector<float>& phase, bool linear_only, float scale,
+              Tensor* out) const;
+
   /// Row-wise softmax.
   void SoftmaxRows(const Tensor& a, Tensor* out) const;
   /// Softmax backward: out += y ⊙ (g − rowdot(g, y)).

@@ -179,17 +179,24 @@ void PlanArena::Resize(std::int64_t capacity_floats) {
 }
 
 PlanReplayScope::PlanReplayScope(std::shared_ptr<const ComputePlan> plan,
-                                 const PlanArena* arena)
+                                 const PlanArena* arena,
+                                 WeightDtype active_dtype)
     : plan_(std::move(plan)),
       buffer_(arena != nullptr ? arena->buffer() : nullptr),
       buffer_capacity_(arena != nullptr ? arena->capacity_floats() : 0),
       install_(this) {
   OODGNN_CHECK(tls_record_scope == nullptr && tls_replay_scope == nullptr)
       << "nested plan scopes are not supported";
-  // A missing plan or an undersized arena cannot serve any slot: run
-  // the whole scope on the heap (recorded as divergence).
+  // A missing plan, an undersized arena, or a plan recorded under the
+  // other weight representation cannot serve any slot: run the whole
+  // scope on the heap (recorded as divergence). The dtype check is
+  // defense-in-depth under the engine's PlanAdmits — a quantized
+  // forward issues matmul_quant where an fp32 plan recorded matmul, so
+  // the stream would diverge anyway, but only after some blocks were
+  // placed.
   if (plan_ == nullptr || buffer_ == nullptr ||
-      buffer_capacity_ < plan_->capacity_floats) {
+      buffer_capacity_ < plan_->capacity_floats ||
+      (plan_ != nullptr && plan_->weight_dtype != active_dtype)) {
     stats_.diverged = true;
   }
   tls_replay_scope = this;

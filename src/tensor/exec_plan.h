@@ -26,6 +26,20 @@ namespace oodgnn {
 // allocation for the rest of that forward.
 // ---------------------------------------------------------------------------
 
+/// Weight representation a plan was recorded against. A plan traced
+/// with quantized weights contains matmul_quant dispatches (and vice
+/// versa), so replaying it under the other representation is a
+/// structural mismatch — PlanAdmits-style checks and PlanReplayScope
+/// key on this before touching the stream.
+enum class WeightDtype : int {
+  kF32 = 0,
+  kQ8 = 1,
+};
+
+inline const char* WeightDtypeName(WeightDtype dtype) {
+  return dtype == WeightDtype::kQ8 ? "q8" : "f32";
+}
+
 /// One intermediate tensor in a compiled plan, in allocation order.
 struct PlanSlot {
   std::int64_t offset = 0;    ///< Arena offset (floats, 64B-aligned).
@@ -78,6 +92,10 @@ class ComputePlan {
   int max_nodes = 0;
   int max_edges = 0;
   int num_targets = 0;
+
+  /// Weight representation active while recording (fp32 or Q8 blocks);
+  /// replay requires the same one.
+  WeightDtype weight_dtype = WeightDtype::kF32;
 
   std::int64_t capacity_bytes() const {
     return capacity_floats * static_cast<std::int64_t>(sizeof(float));
@@ -157,8 +175,13 @@ struct PlanReplayStats {
 /// forward completes with identical results, just without the arena.
 class PlanReplayScope : public TensorAllocSink {
  public:
+  /// `active_dtype` is the weight representation the caller will run
+  /// the forward under; a plan recorded under the other one is refused
+  /// up front (whole scope diverges to heap) rather than letting the
+  /// kernel-stream mismatch surface mid-forward.
   PlanReplayScope(std::shared_ptr<const ComputePlan> plan,
-                  const PlanArena* arena);
+                  const PlanArena* arena,
+                  WeightDtype active_dtype = WeightDtype::kF32);
   ~PlanReplayScope() override;
   PlanReplayScope(const PlanReplayScope&) = delete;
   PlanReplayScope& operator=(const PlanReplayScope&) = delete;

@@ -370,6 +370,23 @@ void SegmentExtremeBackwardAcc(const Tensor& g,
   }
 }
 
+void RffMap(const Tensor& z, const std::vector<int>& source_dim,
+            const std::vector<float>& omega, const std::vector<float>& phase,
+            bool linear_only, float scale, Tensor* out, int r0, int r1) {
+  const int m = out->cols();
+  for (int r = r0; r < r1; ++r) {
+    const float* zrow = z.row(r);
+    float* orow = out->row(r);
+    for (int j = 0; j < m; ++j) {
+      const float x = zrow[source_dim[static_cast<size_t>(j)]];
+      orow[j] = linear_only
+                    ? x
+                    : scale * std::cos(omega[static_cast<size_t>(j)] * x +
+                                       phase[static_cast<size_t>(j)]);
+    }
+  }
+}
+
 void CopyRowsTo(const Tensor& src, Tensor* dst, int dst_row_begin, int r0,
                 int r1) {
   for (int r = r0; r < r1; ++r) {

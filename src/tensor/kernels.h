@@ -169,6 +169,16 @@ void SegmentExtremeBackwardAcc(const Tensor& g,
                                const std::vector<int>& argrow, Tensor* out,
                                int s0, int s1);
 
+// --- feature maps ---
+
+/// Random Fourier feature map: out[r,j] = scale·cos(omega[j]·x +
+/// phase[j]) with x = z[r, source_dim[j]] (or just x when
+/// linear_only); range over rows. Hot per-batch loop of the HSIC
+/// decorrelation path (src/core/rff.cc).
+void RffMap(const Tensor& z, const std::vector<int>& source_dim,
+            const std::vector<float>& omega, const std::vector<float>& phase,
+            bool linear_only, float scale, Tensor* out, int r0, int r1);
+
 // --- copies ---
 
 /// dst[dst_row_begin + r, :] = src[r, :]; range over rows of src.

@@ -1,0 +1,141 @@
+#include "src/tensor/quant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <mutex>
+
+#include "src/util/check.h"
+
+namespace oodgnn {
+
+QuantizedTensor QuantizeQ8(const Tensor& w) {
+  QuantizedTensor qw;
+  qw.rows = w.rows();
+  qw.cols = w.cols();
+  const int bpr = qw.blocks_per_row();
+  qw.q.resize(static_cast<size_t>(qw.rows) * static_cast<size_t>(qw.cols));
+  qw.scales.resize(static_cast<size_t>(qw.rows) * static_cast<size_t>(bpr));
+  for (int r = 0; r < qw.rows; ++r) {
+    const float* src = w.row(r);
+    int8_t* dst = qw.q.data() + static_cast<size_t>(r) * qw.cols;
+    float* srow = qw.scales.data() + static_cast<size_t>(r) * bpr;
+    for (int b = 0; b < bpr; ++b) {
+      const int c0 = b * kQuantBlockSize;
+      const int c1 = std::min(qw.cols, c0 + kQuantBlockSize);
+      float amax = 0.f;
+      for (int c = c0; c < c1; ++c) amax = std::max(amax, std::fabs(src[c]));
+      const float scale = amax / 127.f;
+      srow[b] = scale;
+      if (scale == 0.f) {
+        for (int c = c0; c < c1; ++c) dst[c] = 0;
+        continue;
+      }
+      const float inv = 1.f / scale;
+      for (int c = c0; c < c1; ++c) {
+        const long v = std::lroundf(src[c] * inv);
+        dst[c] = static_cast<int8_t>(std::clamp(v, -127l, 127l));
+      }
+    }
+  }
+  return qw;
+}
+
+Tensor DequantizeQ8(const QuantizedTensor& qw) {
+  Tensor out(qw.rows, qw.cols);
+  const int bpr = qw.blocks_per_row();
+  for (int r = 0; r < qw.rows; ++r) {
+    const int8_t* src = qw.qrow(r);
+    const float* srow = qw.srow(r);
+    float* dst = out.row(r);
+    for (int b = 0; b < bpr; ++b) {
+      const float scale = srow[b];
+      const int c0 = b * kQuantBlockSize;
+      const int c1 = std::min(qw.cols, c0 + kQuantBlockSize);
+      for (int c = c0; c < c1; ++c) {
+        dst[c] = scale * static_cast<float>(src[c]);
+      }
+    }
+  }
+  return out;
+}
+
+namespace kernels {
+
+void MatMulQuantAcc(const Tensor& a, const QuantizedTensor& w, Tensor* out,
+                    int r0, int r1) {
+  const int k = a.cols();
+  const int n = w.cols;
+  const int bpr = w.blocks_per_row();
+  for (int i = r0; i < r1; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out->row(i);
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.f) continue;
+      const int8_t* qrow = w.qrow(p);
+      const float* srow = w.srow(p);
+      for (int b = 0; b < bpr; ++b) {
+        const float m = av * srow[b];
+        const int j0 = b * kQuantBlockSize;
+        const int j1 = std::min(n, j0 + kQuantBlockSize);
+        for (int j = j0; j < j1; ++j) {
+          orow[j] += m * static_cast<float>(qrow[j]);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace kernels
+
+namespace {
+
+thread_local const QuantizedWeightMap* tls_quant_map = nullptr;
+
+}  // namespace
+
+ScopedQuantizedWeights::ScopedQuantizedWeights(const QuantizedWeightMap* map)
+    : previous_(tls_quant_map) {
+  tls_quant_map = map;
+}
+
+ScopedQuantizedWeights::~ScopedQuantizedWeights() {
+  tls_quant_map = previous_;
+}
+
+const QuantizedTensor* ActiveQuantizedWeightFor(const float* data) {
+  if (tls_quant_map == nullptr || data == nullptr) return nullptr;
+  const auto it = tls_quant_map->find(data);
+  return it == tls_quant_map->end() ? nullptr : it->second;
+}
+
+namespace {
+
+bool QuantizeFromEnv() {
+  const char* env = std::getenv("OODGNN_QUANTIZE");
+  return env != nullptr && std::atoi(env) != 0;
+}
+
+std::mutex g_quantize_mu;
+bool g_quantize_init = false;
+bool g_quantize = false;
+
+}  // namespace
+
+bool QuantizeEnabled() {
+  std::lock_guard<std::mutex> lock(g_quantize_mu);
+  if (!g_quantize_init) {
+    g_quantize = QuantizeFromEnv();
+    g_quantize_init = true;
+  }
+  return g_quantize;
+}
+
+void SetQuantizeEnabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(g_quantize_mu);
+  g_quantize = enabled;
+  g_quantize_init = true;
+}
+
+}  // namespace oodgnn

@@ -1,0 +1,674 @@
+#include "src/tensor/simd.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/tensor/kernels.h"
+#include "src/tensor/quant.h"
+
+// This is the only translation unit built with an explicit vector ISA
+// flag (src/CMakeLists.txt adds -mavx2 + OODGNN_SIMD_AVX2 on x86-64
+// compilers that accept it; aarch64 has NEON at baseline). Everything
+// below the runtime gate therefore may use vector intrinsics, but no
+// caller reaches it unless Enabled() returned true — which requires
+// the CPU feature check to have passed. FMA is deliberately never
+// used (and -ffp-contract=off is pinned globally): a fused
+// multiply-add rounds once where the scalar oracle rounds twice, which
+// would break the bitwise contract.
+#if defined(OODGNN_SIMD_AVX2) && defined(__AVX2__)
+#include <immintrin.h>
+#define OODGNN_SIMD_ISA_AVX2 1
+#elif defined(__aarch64__) && (defined(__ARM_NEON) || defined(__ARM_NEON__))
+#include <arm_neon.h>
+#define OODGNN_SIMD_ISA_NEON 1
+#endif
+
+namespace oodgnn {
+namespace simd {
+
+namespace {
+
+bool CompiledIsaAvailable() {
+#if defined(OODGNN_SIMD_ISA_AVX2)
+  return __builtin_cpu_supports("avx2") != 0;
+#elif defined(OODGNN_SIMD_ISA_NEON)
+  return true;
+#else
+  return false;
+#endif
+}
+
+// -1 = uninitialized, 0 = scalar, 1 = vector. Initialization is
+// idempotent, so a racing first read is benign.
+std::atomic<int> g_mode{-1};
+
+int InitMode() {
+  if (!CompiledIsaAvailable()) return 0;
+  const char* env = std::getenv("OODGNN_FORCE_SCALAR");
+  if (env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0) {
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+
+bool Available() { return CompiledIsaAvailable(); }
+
+const char* IsaName() {
+#if defined(OODGNN_SIMD_ISA_AVX2)
+  return Available() ? "avx2" : "scalar";
+#elif defined(OODGNN_SIMD_ISA_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+bool Enabled() {
+  int mode = g_mode.load(std::memory_order_relaxed);
+  if (mode < 0) {
+    mode = InitMode();
+    g_mode.store(mode, std::memory_order_relaxed);
+  }
+  return mode == 1;
+}
+
+void SetEnabled(bool enabled) {
+  g_mode.store(enabled && Available() ? 1 : 0, std::memory_order_relaxed);
+}
+
+#if defined(OODGNN_SIMD_ISA_AVX2) || defined(OODGNN_SIMD_ISA_NEON)
+
+namespace {
+
+// Minimal vector abstraction. Every wrapper preserves the C operand
+// order of the scalar expression it stands in for (VMul(a, b) ≡ a*b,
+// VAdd(a, b) ≡ a+b), so NaN-payload propagation — which x86/ARM take
+// from the first source operand — matches the scalar kernels.
+#if defined(OODGNN_SIMD_ISA_AVX2)
+
+using vf = __m256;
+constexpr int kVLen = 8;
+inline vf VLoad(const float* p) { return _mm256_loadu_ps(p); }
+inline void VStore(float* p, vf v) { _mm256_storeu_ps(p, v); }
+inline vf VBroadcast(float x) { return _mm256_set1_ps(x); }
+inline vf VMul(vf a, vf b) { return _mm256_mul_ps(a, b); }
+inline vf VAdd(vf a, vf b) { return _mm256_add_ps(a, b); }
+/// Sign-extends 8 int8 codes to 8 floats (exact conversion).
+inline vf VLoadI8AsF32(const int8_t* p) {
+  const __m128i bytes =
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+  return _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(bytes));
+}
+
+#else  // OODGNN_SIMD_ISA_NEON
+
+using vf = float32x4_t;
+constexpr int kVLen = 4;
+inline vf VLoad(const float* p) { return vld1q_f32(p); }
+inline void VStore(float* p, vf v) { vst1q_f32(p, v); }
+inline vf VBroadcast(float x) { return vdupq_n_f32(x); }
+inline vf VMul(vf a, vf b) { return vmulq_f32(a, b); }
+inline vf VAdd(vf a, vf b) { return vaddq_f32(a, b); }
+/// Converts 4 int8 codes to 4 floats without reading past p[3].
+inline vf VLoadI8AsF32(const int8_t* p) {
+  const float buf[4] = {
+      static_cast<float>(p[0]), static_cast<float>(p[1]),
+      static_cast<float>(p[2]), static_cast<float>(p[3])};
+  return vld1q_f32(buf);
+}
+
+#endif
+
+// Same cache-block sizes as the scalar kernels: block boundaries do
+// not affect bitwise results (only the per-output-element operation
+// order does), but keeping them aligned makes scalar-vs-SIMD timing
+// comparisons isolate the vectorization itself.
+constexpr int kBlockN = 256;
+constexpr int kBlockK = 64;
+constexpr int kBlockP = 16;
+constexpr int kBlockJ = 32;
+
+/// orow[j0:j1) += av·brow[j0:j1) — the shared inner row-update of both
+/// broadcast-a matmul variants. Vector body and scalar tail perform
+/// the identical mul-then-add per element.
+inline void RowAxpy(float av, const float* brow, float* orow, int j0,
+                    int j1) {
+  const vf vav = VBroadcast(av);
+  int j = j0;
+  for (; j + kVLen <= j1; j += kVLen) {
+    const vf prod = VMul(vav, VLoad(brow + j));
+    VStore(orow + j, VAdd(VLoad(orow + j), prod));
+  }
+  for (; j < j1; ++j) orow[j] += av * brow[j];
+}
+
+}  // namespace
+
+void MatMulAcc(const Tensor& a, const Tensor& b, Tensor* out, int r0,
+               int r1) {
+  const int k = a.cols();
+  const int n = b.cols();
+  for (int j0 = 0; j0 < n; j0 += kBlockN) {
+    const int j1 = std::min(n, j0 + kBlockN);
+    for (int p0 = 0; p0 < k; p0 += kBlockK) {
+      const int p1 = std::min(k, p0 + kBlockK);
+      for (int i = r0; i < r1; ++i) {
+        const float* arow = a.row(i);
+        float* orow = out->row(i);
+        for (int p = p0; p < p1; ++p) {
+          const float av = arow[p];
+          if (av == 0.f) continue;
+          RowAxpy(av, b.row(p), orow, j0, j1);
+        }
+      }
+    }
+  }
+}
+
+void MatMulTransAAcc(const Tensor& a, const Tensor& b, Tensor* out, int r0,
+                     int r1) {
+  const int m = a.rows();
+  const int n = b.cols();
+  for (int p0 = r0; p0 < r1; p0 += kBlockP) {
+    const int p1 = std::min(r1, p0 + kBlockP);
+    for (int j0 = 0; j0 < n; j0 += kBlockN) {
+      const int j1 = std::min(n, j0 + kBlockN);
+      for (int i = 0; i < m; ++i) {
+        const float* arow = a.row(i);
+        const float* brow = b.row(i);
+        for (int p = p0; p < p1; ++p) {
+          const float av = arow[p];
+          if (av == 0.f) continue;
+          RowAxpy(av, brow, out->row(p), j0, j1);
+        }
+      }
+    }
+  }
+}
+
+void MatMulTransBAcc(const Tensor& a, const Tensor& b, Tensor* out, int r0,
+                     int r1) {
+  const int k = a.cols();
+  const int n = b.rows();
+  // Each lane accumulates one column j's dot product in the scalar
+  // p-ascending order; b rows are packed into a [k × kVLen] panel so
+  // the inner loop reads contiguously. The panel is plain scratch —
+  // it never flows through the tensor allocation sink, so it does not
+  // perturb the arena/alloc accounting the compiled path pins.
+  thread_local std::vector<float> panel;
+  for (int j0 = 0; j0 < n; j0 += kBlockJ) {
+    const int j1 = std::min(n, j0 + kBlockJ);
+    int jb = j0;
+    for (; jb + kVLen <= j1; jb += kVLen) {
+      panel.resize(static_cast<size_t>(k) * kVLen);
+      for (int l = 0; l < kVLen; ++l) {
+        const float* brow = b.row(jb + l);
+        for (int p = 0; p < k; ++p) {
+          panel[static_cast<size_t>(p) * kVLen + l] = brow[p];
+        }
+      }
+      for (int i = r0; i < r1; ++i) {
+        const float* arow = a.row(i);
+        vf acc = VBroadcast(0.f);
+        for (int p = 0; p < k; ++p) {
+          const vf prod =
+              VMul(VBroadcast(arow[p]), VLoad(&panel[static_cast<size_t>(p) * kVLen]));
+          acc = VAdd(acc, prod);
+        }
+        float* orow = out->row(i);
+        VStore(orow + jb, VAdd(VLoad(orow + jb), acc));
+      }
+    }
+    // Tail columns of the block: scalar dots, same as the oracle.
+    for (int i = r0; i < r1; ++i) {
+      const float* arow = a.row(i);
+      float* orow = out->row(i);
+      for (int j = jb; j < j1; ++j) {
+        const float* brow = b.row(j);
+        float acc = 0.f;
+        for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        orow[j] += acc;
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Column tail of the quantized matmul ([j0, n) narrower than a
+/// register tile): scalar per-element form of the oracle expression.
+inline void MatMulQuantTailCols(const float* arow, const QuantizedTensor& w,
+                                float* orow, int j0, int n, int k) {
+  for (int p = 0; p < k; ++p) {
+    const float av = arow[p];
+    if (av == 0.f) continue;
+    const int8_t* qrow = w.qrow(p);
+    const float* srow = w.srow(p);
+    for (int j = j0; j < n; ++j) {
+      const float m = av * srow[j / kQuantBlockSize];
+      orow[j] += m * static_cast<float>(qrow[j]);
+    }
+  }
+}
+
+/// One output row of the quantized matmul, p outer / columns inner, so
+/// the q8 rows stream sequentially. That memory order is what matters
+/// in the GEMV regime (one activation row against weights far larger
+/// than cache): the column-tiled body below would revisit every weight
+/// row once per tile at a full-row stride, thrashing TLB and cache.
+/// The output row churns in L1/L2 instead, which is the cheap side.
+inline void MatMulQuantAccRow(const float* arow, const QuantizedTensor& w,
+                              float* orow, int n, int k, int bpr) {
+  for (int p = 0; p < k; ++p) {
+    const float av = arow[p];
+    if (av == 0.f) continue;
+    const int8_t* qrow = w.qrow(p);
+    const float* srow = w.srow(p);
+    for (int b = 0; b < bpr; ++b) {
+      const float m = av * srow[b];
+      const vf vm = VBroadcast(m);
+      const int j0 = b * kQuantBlockSize;
+      const int j1 = std::min(n, j0 + kQuantBlockSize);
+      int j = j0;
+      for (; j + kVLen <= j1; j += kVLen) {
+        const vf prod = VMul(vm, VLoadI8AsF32(qrow + j));
+        VStore(orow + j, VAdd(VLoad(orow + j), prod));
+      }
+      for (; j < j1; ++j) orow[j] += m * static_cast<float>(qrow[j]);
+    }
+  }
+}
+
+}  // namespace
+
+void MatMulQuantAcc(const Tensor& a, const QuantizedTensor& w, Tensor* out,
+                    int r0, int r1) {
+  const int k = a.cols();
+  const int n = w.cols;
+  const int bpr = w.blocks_per_row();
+  // Register-tiled main body: 4 output rows x 2 column vectors per
+  // tile. The int8->f32 conversion of a weight vector dominates the
+  // cache-resident quantized kernel, so one conversion is shared
+  // across four output rows, and outputs accumulate in registers (one
+  // load + one store per tile instead of one per p step). Bitwise-
+  // equal to the scalar oracle by construction: every output element
+  // still accumulates in ascending p order, with the identical skip
+  // (av == 0.f) and the identical expression (av * scale) * q. A tile
+  // never straddles a quant block: kQuantBlockSize (32) is a multiple
+  // of 2 * kVLen. Row remainders (and therefore the GEMV case) take
+  // the sequential-streaming row kernel instead — see its comment.
+  constexpr int kTileCols = 2 * kVLen;
+  static_assert(kQuantBlockSize % kTileCols == 0,
+                "tile must not straddle quant blocks");
+  const int jt_end = n - (n % kTileCols);
+  int i = r0;
+  for (; i + 4 <= r1; i += 4) {
+    const float* arow[4] = {a.row(i), a.row(i + 1), a.row(i + 2),
+                            a.row(i + 3)};
+    float* orow[4] = {out->row(i), out->row(i + 1), out->row(i + 2),
+                      out->row(i + 3)};
+    for (int j = 0; j < jt_end; j += kTileCols) {
+      const int b = j / kQuantBlockSize;
+      vf acc0[4], acc1[4];
+      for (int r = 0; r < 4; ++r) {
+        acc0[r] = VLoad(orow[r] + j);
+        acc1[r] = VLoad(orow[r] + j + kVLen);
+      }
+      for (int p = 0; p < k; ++p) {
+        const float a0 = arow[0][p];
+        const float a1 = arow[1][p];
+        const float a2 = arow[2][p];
+        const float a3 = arow[3][p];
+        if (a0 == 0.f && a1 == 0.f && a2 == 0.f && a3 == 0.f) continue;
+        const float s = w.srow(p)[b];
+        const int8_t* qp = w.qrow(p) + j;
+        const vf wq0 = VLoadI8AsF32(qp);
+        const vf wq1 = VLoadI8AsF32(qp + kVLen);
+        if (a0 != 0.f) {
+          const vf m = VBroadcast(a0 * s);
+          acc0[0] = VAdd(acc0[0], VMul(m, wq0));
+          acc1[0] = VAdd(acc1[0], VMul(m, wq1));
+        }
+        if (a1 != 0.f) {
+          const vf m = VBroadcast(a1 * s);
+          acc0[1] = VAdd(acc0[1], VMul(m, wq0));
+          acc1[1] = VAdd(acc1[1], VMul(m, wq1));
+        }
+        if (a2 != 0.f) {
+          const vf m = VBroadcast(a2 * s);
+          acc0[2] = VAdd(acc0[2], VMul(m, wq0));
+          acc1[2] = VAdd(acc1[2], VMul(m, wq1));
+        }
+        if (a3 != 0.f) {
+          const vf m = VBroadcast(a3 * s);
+          acc0[3] = VAdd(acc0[3], VMul(m, wq0));
+          acc1[3] = VAdd(acc1[3], VMul(m, wq1));
+        }
+      }
+      for (int r = 0; r < 4; ++r) {
+        VStore(orow[r] + j, acc0[r]);
+        VStore(orow[r] + j + kVLen, acc1[r]);
+      }
+    }
+    if (jt_end < n) {
+      for (int r = 0; r < 4; ++r) {
+        MatMulQuantTailCols(arow[r], w, orow[r], jt_end, n, k);
+      }
+    }
+  }
+  for (; i < r1; ++i) {
+    MatMulQuantAccRow(a.row(i), w, out->row(i), n, k, bpr);
+  }
+}
+
+void Axpy(float alpha, const Tensor& x, Tensor* y, int i0, int i1) {
+  const float* xs = x.data();
+  float* ys = y->data();
+  const vf va = VBroadcast(alpha);
+  int i = i0;
+  for (; i + kVLen <= i1; i += kVLen) {
+    const vf prod = VMul(va, VLoad(xs + i));
+    VStore(ys + i, VAdd(VLoad(ys + i), prod));
+  }
+  for (; i < i1; ++i) ys[i] += alpha * xs[i];
+}
+
+void Scale(Tensor* y, float s, int i0, int i1) {
+  float* ys = y->data();
+  const vf vs = VBroadcast(s);
+  int i = i0;
+  for (; i + kVLen <= i1; i += kVLen) {
+    VStore(ys + i, VMul(VLoad(ys + i), vs));
+  }
+  for (; i < i1; ++i) ys[i] *= s;
+}
+
+void AddScalar(Tensor* y, float s, int i0, int i1) {
+  float* ys = y->data();
+  const vf vs = VBroadcast(s);
+  int i = i0;
+  for (; i + kVLen <= i1; i += kVLen) {
+    VStore(ys + i, VAdd(VLoad(ys + i), vs));
+  }
+  for (; i < i1; ++i) ys[i] += s;
+}
+
+void Hadamard(const Tensor& a, const Tensor& b, Tensor* out, int i0,
+              int i1) {
+  const float* as = a.data();
+  const float* bs = b.data();
+  float* os = out->data();
+  int i = i0;
+  for (; i + kVLen <= i1; i += kVLen) {
+    VStore(os + i, VMul(VLoad(as + i), VLoad(bs + i)));
+  }
+  for (; i < i1; ++i) os[i] = as[i] * bs[i];
+}
+
+void HadamardAcc(const Tensor& g, const Tensor& x, Tensor* y, int i0,
+                 int i1) {
+  const float* gs = g.data();
+  const float* xs = x.data();
+  float* ys = y->data();
+  int i = i0;
+  for (; i + kVLen <= i1; i += kVLen) {
+    const vf prod = VMul(VLoad(gs + i), VLoad(xs + i));
+    VStore(ys + i, VAdd(VLoad(ys + i), prod));
+  }
+  for (; i < i1; ++i) ys[i] += gs[i] * xs[i];
+}
+
+void ColumnSumAcc(const Tensor& a, Tensor* out, int c0, int c1) {
+  float* orow = out->row(0);
+  for (int r = 0; r < a.rows(); ++r) {
+    const float* arow = a.row(r);
+    int c = c0;
+    for (; c + kVLen <= c1; c += kVLen) {
+      VStore(orow + c, VAdd(VLoad(orow + c), VLoad(arow + c)));
+    }
+    for (; c < c1; ++c) orow[c] += arow[c];
+  }
+}
+
+void RowBroadcastAcc(const Tensor& row, Tensor* out, int r0, int r1) {
+  const float* src = row.row(0);
+  const int cols = out->cols();
+  for (int r = r0; r < r1; ++r) {
+    float* orow = out->row(r);
+    int c = 0;
+    for (; c + kVLen <= cols; c += kVLen) {
+      VStore(orow + c, VAdd(VLoad(orow + c), VLoad(src + c)));
+    }
+    for (; c < cols; ++c) orow[c] += src[c];
+  }
+}
+
+void ColBroadcastAcc(const Tensor& col, Tensor* out, int r0, int r1) {
+  const int cols = out->cols();
+  for (int r = r0; r < r1; ++r) {
+    const float v = col.at(r, 0);
+    const vf vv = VBroadcast(v);
+    float* orow = out->row(r);
+    int c = 0;
+    for (; c + kVLen <= cols; c += kVLen) {
+      VStore(orow + c, VAdd(VLoad(orow + c), vv));
+    }
+    for (; c < cols; ++c) orow[c] += v;
+  }
+}
+
+void HadamardColumnSumAcc(const Tensor& x, const Tensor& y, Tensor* out,
+                          int c0, int c1) {
+  float* orow = out->row(0);
+  for (int r = 0; r < x.rows(); ++r) {
+    const float* xrow = x.row(r);
+    const float* yrow = y.row(r);
+    int c = c0;
+    for (; c + kVLen <= c1; c += kVLen) {
+      const vf prod = VMul(VLoad(xrow + c), VLoad(yrow + c));
+      VStore(orow + c, VAdd(VLoad(orow + c), prod));
+    }
+    for (; c < c1; ++c) orow[c] += xrow[c] * yrow[c];
+  }
+}
+
+void GatherRowsAcc(const Tensor& g, const std::vector<int>& index,
+                   Tensor* out, int r0, int r1) {
+  const int cols = out->cols();
+  for (int r = r0; r < r1; ++r) {
+    const float* grow = g.row(index[static_cast<size_t>(r)]);
+    float* orow = out->row(r);
+    int c = 0;
+    for (; c + kVLen <= cols; c += kVLen) {
+      VStore(orow + c, VAdd(VLoad(orow + c), VLoad(grow + c)));
+    }
+    for (; c < cols; ++c) orow[c] += grow[c];
+  }
+}
+
+void ScatterAddRowsPlanned(const Tensor& a, const std::vector<int>& perm,
+                           const std::vector<int>& offsets, Tensor* out,
+                           int s0, int s1) {
+  const int cols = a.cols();
+  for (int s = s0; s < s1; ++s) {
+    float* orow = out->row(s);
+    const int begin = offsets[static_cast<size_t>(s)];
+    const int end = offsets[static_cast<size_t>(s) + 1];
+    for (int j = begin; j < end; ++j) {
+      const float* src = a.row(perm[static_cast<size_t>(j)]);
+      int c = 0;
+      for (; c + kVLen <= cols; c += kVLen) {
+        VStore(orow + c, VAdd(VLoad(orow + c), VLoad(src + c)));
+      }
+      for (; c < cols; ++c) orow[c] += src[c];
+    }
+  }
+}
+
+void GatherScatterAcc(const Tensor& h, const std::vector<int>& gather,
+                      const std::vector<int>& offsets, Tensor* out, int s0,
+                      int s1) {
+  const int cols = h.cols();
+  for (int s = s0; s < s1; ++s) {
+    float* orow = out->row(s);
+    const int begin = offsets[static_cast<size_t>(s)];
+    const int end = offsets[static_cast<size_t>(s) + 1];
+    for (int j = begin; j < end; ++j) {
+      const float* src = h.row(gather[static_cast<size_t>(j)]);
+      int c = 0;
+      for (; c + kVLen <= cols; c += kVLen) {
+        VStore(orow + c, VAdd(VLoad(orow + c), VLoad(src + c)));
+      }
+      for (; c < cols; ++c) orow[c] += src[c];
+    }
+  }
+}
+
+void GatherScatterWeightedAcc(const Tensor& h, const Tensor& w,
+                              const std::vector<int>& perm,
+                              const std::vector<int>& gather,
+                              const std::vector<int>& offsets, Tensor* out,
+                              int e_s0, int e_s1) {
+  const int cols = h.cols();
+  for (int s = e_s0; s < e_s1; ++s) {
+    float* orow = out->row(s);
+    const int begin = offsets[static_cast<size_t>(s)];
+    const int end = offsets[static_cast<size_t>(s) + 1];
+    for (int j = begin; j < end; ++j) {
+      const float* src = h.row(gather[static_cast<size_t>(j)]);
+      const float wv = w.at(perm[static_cast<size_t>(j)], 0);
+      const vf vw = VBroadcast(wv);
+      int c = 0;
+      for (; c + kVLen <= cols; c += kVLen) {
+        const vf prod = VMul(VLoad(src + c), vw);
+        VStore(orow + c, VAdd(VLoad(orow + c), prod));
+      }
+      for (; c < cols; ++c) orow[c] += src[c] * wv;
+    }
+  }
+}
+
+void RffMap(const Tensor& z, const std::vector<int>& source_dim,
+            const std::vector<float>& omega, const std::vector<float>& phase,
+            bool linear_only, float scale, Tensor* out, int r0, int r1) {
+  if (linear_only) {
+    // Pure gather, no arithmetic to vectorize.
+    kernels::RffMap(z, source_dim, omega, phase, linear_only, scale, out, r0,
+                    r1);
+    return;
+  }
+  const int m = out->cols();
+  const vf vscale = VBroadcast(scale);
+  float xbuf[kVLen];
+  float argbuf[kVLen];
+  for (int r = r0; r < r1; ++r) {
+    const float* zrow = z.row(r);
+    float* orow = out->row(r);
+    int j = 0;
+    for (; j + kVLen <= m; j += kVLen) {
+      for (int l = 0; l < kVLen; ++l) {
+        xbuf[l] = zrow[source_dim[static_cast<size_t>(j + l)]];
+      }
+      // arg = omega·x + phase with the scalar's mul-then-add rounding;
+      // cos() stays scalar libm so both paths share its exact result.
+      const vf varg =
+          VAdd(VMul(VLoad(&omega[static_cast<size_t>(j)]), VLoad(xbuf)),
+               VLoad(&phase[static_cast<size_t>(j)]));
+      VStore(argbuf, varg);
+      for (int l = 0; l < kVLen; ++l) argbuf[l] = std::cos(argbuf[l]);
+      VStore(orow + j, VMul(vscale, VLoad(argbuf)));
+    }
+    for (; j < m; ++j) {
+      const float x = zrow[source_dim[static_cast<size_t>(j)]];
+      orow[j] = scale * std::cos(omega[static_cast<size_t>(j)] * x +
+                                 phase[static_cast<size_t>(j)]);
+    }
+  }
+}
+
+#else  // no vector ISA compiled in: delegate so the symbols still link.
+
+void MatMulAcc(const Tensor& a, const Tensor& b, Tensor* out, int r0,
+               int r1) {
+  kernels::MatMulAcc(a, b, out, r0, r1);
+}
+void MatMulTransAAcc(const Tensor& a, const Tensor& b, Tensor* out, int r0,
+                     int r1) {
+  kernels::MatMulTransAAcc(a, b, out, r0, r1);
+}
+void MatMulTransBAcc(const Tensor& a, const Tensor& b, Tensor* out, int r0,
+                     int r1) {
+  kernels::MatMulTransBAcc(a, b, out, r0, r1);
+}
+void MatMulQuantAcc(const Tensor& a, const QuantizedTensor& w, Tensor* out,
+                    int r0, int r1) {
+  kernels::MatMulQuantAcc(a, w, out, r0, r1);
+}
+void Axpy(float alpha, const Tensor& x, Tensor* y, int i0, int i1) {
+  kernels::Axpy(alpha, x, y, i0, i1);
+}
+void Scale(Tensor* y, float s, int i0, int i1) {
+  kernels::Scale(y, s, i0, i1);
+}
+void AddScalar(Tensor* y, float s, int i0, int i1) {
+  kernels::AddScalar(y, s, i0, i1);
+}
+void Hadamard(const Tensor& a, const Tensor& b, Tensor* out, int i0,
+              int i1) {
+  kernels::Hadamard(a, b, out, i0, i1);
+}
+void HadamardAcc(const Tensor& g, const Tensor& x, Tensor* y, int i0,
+                 int i1) {
+  kernels::HadamardAcc(g, x, y, i0, i1);
+}
+void ColumnSumAcc(const Tensor& a, Tensor* out, int c0, int c1) {
+  kernels::ColumnSumAcc(a, out, c0, c1);
+}
+void RowBroadcastAcc(const Tensor& row, Tensor* out, int r0, int r1) {
+  kernels::RowBroadcastAcc(row, out, r0, r1);
+}
+void ColBroadcastAcc(const Tensor& col, Tensor* out, int r0, int r1) {
+  kernels::ColBroadcastAcc(col, out, r0, r1);
+}
+void HadamardColumnSumAcc(const Tensor& x, const Tensor& y, Tensor* out,
+                          int c0, int c1) {
+  kernels::HadamardColumnSumAcc(x, y, out, c0, c1);
+}
+void GatherRowsAcc(const Tensor& g, const std::vector<int>& index,
+                   Tensor* out, int r0, int r1) {
+  kernels::GatherRowsAcc(g, index, out, r0, r1);
+}
+void ScatterAddRowsPlanned(const Tensor& a, const std::vector<int>& perm,
+                           const std::vector<int>& offsets, Tensor* out,
+                           int s0, int s1) {
+  kernels::ScatterAddRowsPlanned(a, perm, offsets, out, s0, s1);
+}
+void GatherScatterAcc(const Tensor& h, const std::vector<int>& gather,
+                      const std::vector<int>& offsets, Tensor* out, int s0,
+                      int s1) {
+  kernels::GatherScatterAcc(h, gather, offsets, out, s0, s1);
+}
+void GatherScatterWeightedAcc(const Tensor& h, const Tensor& w,
+                              const std::vector<int>& perm,
+                              const std::vector<int>& gather,
+                              const std::vector<int>& offsets, Tensor* out,
+                              int e_s0, int e_s1) {
+  kernels::GatherScatterWeightedAcc(h, w, perm, gather, offsets, out, e_s0,
+                                    e_s1);
+}
+void RffMap(const Tensor& z, const std::vector<int>& source_dim,
+            const std::vector<float>& omega, const std::vector<float>& phase,
+            bool linear_only, float scale, Tensor* out, int r0, int r1) {
+  kernels::RffMap(z, source_dim, omega, phase, linear_only, scale, out, r0,
+                  r1);
+}
+
+#endif
+
+}  // namespace simd
+}  // namespace oodgnn

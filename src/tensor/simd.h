@@ -1,0 +1,126 @@
+#ifndef OODGNN_TENSOR_SIMD_H_
+#define OODGNN_TENSOR_SIMD_H_
+
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace oodgnn {
+
+struct QuantizedTensor;
+
+namespace simd {
+
+// ---------------------------------------------------------------------------
+// SIMD mirrors of the dense scalar kernels (src/tensor/kernels.h),
+// selected per dispatch by the Backend entry points (DESIGN.md §16).
+//
+// Every function here is *bitwise identical* to its scalar twin: the
+// vector lanes perform exactly the scalar per-element operation
+// sequence — separate multiply and add (never FMA; fused rounding
+// would diverge from the scalar oracle, so the build also pins
+// -ffp-contract=off), the same per-output-element accumulation order,
+// and the same zero-skip branches taken on the same broadcast scalars.
+// Kernels whose scalar form is a horizontal reduction (Dot, RowSum,
+// EdgeDot, softmax) have no mirror: vectorizing them would reassociate
+// the sum. Only kernels where the innermost loop walks the contiguous
+// output (or panel-packed) dimension with independent per-lane
+// accumulators are mirrored. tests/simd_test.cc pins the bitwise
+// contract across shapes, tails, denormals, ±0/NaN and thread counts.
+//
+// The file src/tensor/simd.cc is the only translation unit compiled
+// with -mavx2 (x86; NEON is baseline on aarch64); its functions are
+// reached only after Enabled() returned true, so no AVX2 instruction
+// can execute on a CPU without the feature.
+// ---------------------------------------------------------------------------
+
+/// True when this binary carries a vector ISA (compile-time) *and* the
+/// running CPU supports it. False on the pure-scalar build.
+bool Available();
+
+/// The ISA the vector path was compiled for: "avx2", "neon" or
+/// "scalar".
+const char* IsaName();
+
+/// Dispatch decision the Backend reads: Available(), minus the
+/// OODGNN_FORCE_SCALAR=1 environment override (read once, lazily) and
+/// any SetEnabled() call. Lock-free after the first read.
+bool Enabled();
+
+/// Overrides the dispatch decision (clamped to Available(): enabling
+/// on a scalar-only build stays off). For A/B benchmarking and the
+/// oracle tests.
+void SetEnabled(bool enabled);
+
+/// RAII Enabled() override for tests and benches.
+class ScopedSimdEnabled {
+ public:
+  explicit ScopedSimdEnabled(bool enabled) : previous_(Enabled()) {
+    SetEnabled(enabled);
+  }
+  ~ScopedSimdEnabled() { SetEnabled(previous_); }
+  ScopedSimdEnabled(const ScopedSimdEnabled&) = delete;
+  ScopedSimdEnabled& operator=(const ScopedSimdEnabled&) = delete;
+
+ private:
+  bool previous_;
+};
+
+// --- dense matmul family ---
+
+void MatMulAcc(const Tensor& a, const Tensor& b, Tensor* out, int r0, int r1);
+void MatMulTransAAcc(const Tensor& a, const Tensor& b, Tensor* out, int r0,
+                     int r1);
+void MatMulTransBAcc(const Tensor& a, const Tensor& b, Tensor* out, int r0,
+                     int r1);
+
+/// out[r0:r1,:] += a · dequant(w) over Q8_0 blocks (see
+/// src/tensor/quant.h). Bitwise identical to the scalar
+/// kernels::MatMulQuantAcc, which is itself the quantized oracle.
+void MatMulQuantAcc(const Tensor& a, const QuantizedTensor& w, Tensor* out,
+                    int r0, int r1);
+
+// --- element-wise maps ---
+
+void Axpy(float alpha, const Tensor& x, Tensor* y, int i0, int i1);
+void Scale(Tensor* y, float s, int i0, int i1);
+void AddScalar(Tensor* y, float s, int i0, int i1);
+void Hadamard(const Tensor& a, const Tensor& b, Tensor* out, int i0, int i1);
+void HadamardAcc(const Tensor& g, const Tensor& x, Tensor* y, int i0, int i1);
+
+// --- column-ranged reductions and broadcast adjoints ---
+
+void ColumnSumAcc(const Tensor& a, Tensor* out, int c0, int c1);
+void RowBroadcastAcc(const Tensor& row, Tensor* out, int r0, int r1);
+void ColBroadcastAcc(const Tensor& col, Tensor* out, int r0, int r1);
+void HadamardColumnSumAcc(const Tensor& x, const Tensor& y, Tensor* out,
+                          int c0, int c1);
+
+// --- gather / scatter family (planned) ---
+
+void GatherRowsAcc(const Tensor& g, const std::vector<int>& index, Tensor* out,
+                   int r0, int r1);
+void ScatterAddRowsPlanned(const Tensor& a, const std::vector<int>& perm,
+                           const std::vector<int>& offsets, Tensor* out,
+                           int s0, int s1);
+void GatherScatterAcc(const Tensor& h, const std::vector<int>& gather,
+                      const std::vector<int>& offsets, Tensor* out, int s0,
+                      int s1);
+void GatherScatterWeightedAcc(const Tensor& h, const Tensor& w,
+                              const std::vector<int>& perm,
+                              const std::vector<int>& gather,
+                              const std::vector<int>& offsets, Tensor* out,
+                              int e_s0, int e_s1);
+
+/// RFF feature map (src/core/rff.h): the gather + omega·x + phase
+/// argument computation is vectorized; cos() itself stays scalar libm
+/// per element (a vector cos could not match libm bitwise), so the
+/// whole map still matches the scalar kernel exactly.
+void RffMap(const Tensor& z, const std::vector<int>& source_dim,
+            const std::vector<float>& omega, const std::vector<float>& phase,
+            bool linear_only, float scale, Tensor* out, int r0, int r1);
+
+}  // namespace simd
+}  // namespace oodgnn
+
+#endif  // OODGNN_TENSOR_SIMD_H_

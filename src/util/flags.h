@@ -47,6 +47,13 @@ class Flags {
   /// SetCompiledEnabled() (src/tensor/arena.h).
   bool GetCompiled(bool fallback = false) const;
 
+  /// Int8 weight quantization toggle for the inference engine: the
+  /// `--quantize` flag if given, else the OODGNN_QUANTIZE environment
+  /// variable, else `fallback`. Maps to
+  /// serve::InferenceOptions::quantize (kOn/kOff); training is never
+  /// affected.
+  bool GetQuantize(bool fallback = false) const;
+
   /// Metrics-exporter output prefix: the `--metrics-out` flag if
   /// given, else the OODGNN_METRICS_OUT environment variable, else
   /// `fallback` (empty means "exporter off"). Pass the result to

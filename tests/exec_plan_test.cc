@@ -1,6 +1,8 @@
 #include "src/tensor/exec_plan.h"
 
+#include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <future>
@@ -14,6 +16,7 @@
 #include "src/graph/batch.h"
 #include "src/serve/inference.h"
 #include "src/tensor/arena.h"
+#include "src/tensor/quant.h"
 #include "src/tensor/tensor.h"
 #include "src/tensor/variable.h"
 #include "src/util/rng.h"
@@ -525,6 +528,114 @@ TEST(ExecPlanRegressionTest, PinnedPeakArenaBytesGin) {
 
 TEST(ExecPlanRegressionTest, PinnedPeakArenaBytesOodGnn) {
   EXPECT_EQ(PlannedArenaBytes(Method::kOodGnn), kPinnedOodGnnArenaBytes);
+}
+
+// ---------------------------------------------------------------------------
+// Weight-dtype plan keying (DESIGN.md §16): a plan recorded against
+// fp32 weights must never replay against a quantized publish and vice
+// versa — the kernel streams differ (MatMulAcc vs MatMulQuantAcc), so
+// replaying across dtypes would execute the wrong kernels.
+// ---------------------------------------------------------------------------
+
+TEST(ExecPlanTest, ReplayDivergesWhenActiveDtypeMismatchesPlan) {
+  GraphDataset dataset = TinyDataset();
+  Rng rng(16);
+  GraphPredictionModel model(Method::kGin, TinyEncoder(dataset.feature_dim),
+                             dataset.OutputDim(), &rng);
+  std::vector<const Graph*> graphs = {&dataset.graphs[dataset.test_idx[0]]};
+  const Tensor eager = EagerLogits(&model, graphs);
+
+  NoGradGuard no_grad;
+  ComputePlan built;
+  {
+    PlanRecordScope record;
+    {
+      GraphBatch batch = GraphBatch::FromGraphs(graphs);
+      Rng fwd(999);
+      const Tensor recorded =
+          model.Predict(batch, /*training=*/false, &fwd).value();
+      EXPECT_TRUE(BitwiseEqual(recorded, eager));
+    }  // Intermediates die; their extents become reusable holes.
+    built = record.Finish();
+  }
+  EXPECT_EQ(built.weight_dtype, WeightDtype::kF32);  // Recorded eager/fp32.
+  auto plan = std::make_shared<const ComputePlan>(std::move(built));
+  PlanArena arena;
+  arena.Resize(plan->capacity_floats);
+
+  // Matching dtype: clean replay.
+  {
+    PlanReplayScope replay(plan, &arena, WeightDtype::kF32);
+    {
+      GraphBatch batch = GraphBatch::FromGraphs(graphs);
+      Rng fwd(999);
+      const Tensor out =
+          model.Predict(batch, /*training=*/false, &fwd).value();
+      EXPECT_TRUE(BitwiseEqual(out, eager));
+    }
+    EXPECT_FALSE(replay.stats().diverged);
+  }
+  // Quantized weights active: the fp32 plan must refuse to replay and
+  // fall back to the heap — with results still bitwise correct for the
+  // (fp32) weights actually in use.
+  {
+    PlanReplayScope replay(plan, &arena, WeightDtype::kQ8);
+    {
+      GraphBatch batch = GraphBatch::FromGraphs(graphs);
+      Rng fwd(999);
+      const Tensor out =
+          model.Predict(batch, /*training=*/false, &fwd).value();
+      EXPECT_TRUE(BitwiseEqual(out, eager));
+    }
+    EXPECT_TRUE(replay.stats().diverged);
+    EXPECT_GT(replay.stats().heap_allocs, 0);
+  }
+}
+
+TEST(ExecPlanEngineTest, QuantizeFlipAcrossSyncFromRetracesAndNeverDiverges) {
+  // A live --compiled engine whose process-wide quantize toggle flips
+  // between publishes: each SyncFrom must re-trace the plan against
+  // the new weight representation (plan.weight_dtype tracks it), and
+  // no batch may ever hit the diverged-replay fallback, because
+  // snapshots carry their own dtype-matched plan.
+  const bool saved_toggle = QuantizeEnabled();
+  GraphDataset dataset = TinyDataset();
+  SetQuantizeEnabled(false);
+  InferenceOptions options;
+  options.num_workers = 2;
+  options.max_batch_graphs = 2;
+  options.max_batch_wait_us = 0;
+  EnginePair pair = MakeCompiledEngine(Method::kGin, dataset, options);
+
+  const Graph& graph = dataset.graphs[dataset.test_idx[1]];
+  std::vector<const Graph*> single = {&graph};
+  const Tensor eager = EagerLogits(pair.model.get(), single);
+  ASSERT_NE(pair.engine->plan(), nullptr);
+  EXPECT_EQ(pair.engine->plan()->weight_dtype, WeightDtype::kF32);
+  EXPECT_TRUE(BitwiseEqual(pair.engine->Predict(graph), eager));
+
+  // Flip quantization on: the next publish re-quantizes and re-traces.
+  SetQuantizeEnabled(true);
+  pair.engine->SyncFrom(*pair.model);
+  ASSERT_NE(pair.engine->plan(), nullptr);
+  EXPECT_EQ(pair.engine->plan()->weight_dtype, WeightDtype::kQ8);
+  const Tensor quantized = pair.engine->Predict(graph);
+  EXPECT_FALSE(BitwiseEqual(quantized, eager));  // Int8 path engaged.
+  float max_diff = 0.f;
+  for (int j = 0; j < eager.size(); ++j) {
+    max_diff = std::max(max_diff, std::fabs(eager[j] - quantized[j]));
+  }
+  EXPECT_LE(max_diff, 0.25f);  // tests/quant_test.cc's committed tolerance.
+  EXPECT_EQ(pair.engine->stats().diverged_batches, 0);
+
+  // Flip back off: fp32 serving returns, bitwise.
+  SetQuantizeEnabled(false);
+  pair.engine->SyncFrom(*pair.model);
+  ASSERT_NE(pair.engine->plan(), nullptr);
+  EXPECT_EQ(pair.engine->plan()->weight_dtype, WeightDtype::kF32);
+  EXPECT_TRUE(BitwiseEqual(pair.engine->Predict(graph), eager));
+  EXPECT_EQ(pair.engine->stats().diverged_batches, 0);
+  SetQuantizeEnabled(saved_toggle);
 }
 
 }  // namespace

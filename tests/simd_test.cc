@@ -1,0 +1,523 @@
+// Scalar-oracle tests for the SIMD kernel mirrors (DESIGN.md §16).
+// The serial scalar kernels in src/tensor/kernels.{h,cc} are the
+// bitwise-determinism oracle of the whole repo; every vectorized
+// mirror in src/tensor/simd.{h,cc} must reproduce them *bitwise* — not
+// approximately — across randomized shapes (including tails that are
+// not a multiple of the vector width and odd column counts that make
+// row starts unaligned), empty ranges, arbitrary range partitions
+// (standing in for thread chunking), adversarial values (±0, NaN,
+// ±inf, denormals), and, at the Backend dispatch level, thread counts
+// 1/2/8 with the vector path toggled on and off.
+//
+// On a build without a vector ISA (or a CPU without AVX2) the simd::
+// functions delegate to the scalar kernels, so every comparison here
+// degenerates to scalar==scalar and still passes — the suite never
+// needs to be skipped.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/tensor/backend.h"
+#include "src/tensor/kernels.h"
+#include "src/tensor/quant.h"
+#include "src/tensor/segment_plan.h"
+#include "src/tensor/simd.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace oodgnn {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+Tensor RandomTensor(int rows, int cols, uint64_t seed) {
+  Rng rng(seed);
+  Tensor t = Tensor::RandomNormal(rows, cols, &rng);
+  // A sprinkle of exact zeros exercises the matmul zero-skip branch,
+  // which both the scalar and the vector path must take on the same
+  // broadcast scalars.
+  for (int i = 0; i < t.size(); i += 7) t[i] = 0.f;
+  return t;
+}
+
+/// Laces a random tensor with the values the bitwise contract must
+/// survive: signed zeros, quiet NaN, infinities, and denormals.
+Tensor SpecialTensor(int rows, int cols, uint64_t seed) {
+  Tensor t = RandomTensor(rows, cols, seed);
+  const float specials[] = {
+      0.f,
+      -0.f,
+      std::numeric_limits<float>::quiet_NaN(),
+      std::numeric_limits<float>::infinity(),
+      -std::numeric_limits<float>::infinity(),
+      1e-41f,  // single-precision denormal
+      -1e-41f,
+      std::numeric_limits<float>::denorm_min(),
+  };
+  for (int i = 0; i < t.size(); ++i) {
+    if (i % 5 == 3) t[i] = specials[(static_cast<size_t>(i) / 5) % 8];
+  }
+  return t;
+}
+
+/// memcmp equality: distinguishes +0 from -0 and compares NaN
+/// payloads, which AllClose cannot.
+bool BitwiseEqual(const Tensor& a, const Tensor& b) {
+  return a.SameShape(b) &&
+         std::memcmp(a.data(), b.data(),
+                     sizeof(float) * static_cast<size_t>(a.size())) == 0;
+}
+
+/// Runs the scalar kernel over the full range [0, n) into one copy of
+/// `out_init` and the vector kernel into another, asserts bitwise
+/// equality, then re-runs the vector kernel over several two-piece
+/// partitions of the range (including empty and unaligned pieces — the
+/// shapes a thread partition produces) and asserts each matches too.
+void ExpectRangeKernelBitwise(
+    int n, const Tensor& out_init,
+    const std::function<void(Tensor*, int, int)>& scalar,
+    const std::function<void(Tensor*, int, int)>& vector,
+    const std::string& what) {
+  Tensor want = out_init;
+  scalar(&want, 0, n);
+  Tensor got = out_init;
+  vector(&got, 0, n);
+  EXPECT_TRUE(BitwiseEqual(want, got)) << what << ": full range diverged";
+  for (int cut : {0, 1, n / 3, n / 2, n - 1, n}) {
+    if (cut < 0 || cut > n) continue;
+    Tensor split = out_init;
+    vector(&split, 0, cut);
+    vector(&split, cut, n);
+    EXPECT_TRUE(BitwiseEqual(want, split))
+        << what << ": partition at " << cut << " diverged";
+  }
+}
+
+TEST(SimdTest, ToggleClampsToAvailabilityAndRestores) {
+  const char* isa = simd::IsaName();
+  EXPECT_TRUE(std::string(isa) == "avx2" || std::string(isa) == "neon" ||
+              std::string(isa) == "scalar");
+  if (!simd::Available()) EXPECT_STREQ(isa, "scalar");
+  const bool before = simd::Enabled();
+  EXPECT_TRUE(!before || simd::Available());  // Enabled ⇒ Available
+  {
+    simd::ScopedSimdEnabled on(true);
+    EXPECT_EQ(simd::Enabled(), simd::Available());  // clamped
+    {
+      simd::ScopedSimdEnabled off(false);
+      EXPECT_FALSE(simd::Enabled());
+    }
+    EXPECT_EQ(simd::Enabled(), simd::Available());
+  }
+  EXPECT_EQ(simd::Enabled(), before);
+}
+
+// --- dense matmul family ------------------------------------------------
+
+struct MatMulShape {
+  int m, k, n;
+};
+
+constexpr MatMulShape kMatMulShapes[] = {
+    {1, 1, 1},     // degenerate
+    {7, 3, 5},     // everything below one vector width
+    {3, 8, 16},    // exact vector multiples
+    {33, 16, 8},   // row count with a tail
+    {37, 29, 43},  // all-odd: unaligned rows + tails in every loop
+    {64, 64, 64},  // crosses the kBlockK/kBlockP cache blocks
+    {5, 31, 9},
+    {2, 300, 17},  // k beyond one kBlockK block
+};
+
+TEST(SimdTest, MatMulAccBitwise) {
+  for (const MatMulShape& s : kMatMulShapes) {
+    const Tensor a = RandomTensor(s.m, s.k, 11 * static_cast<uint64_t>(s.m));
+    const Tensor b = RandomTensor(s.k, s.n, 13 * static_cast<uint64_t>(s.n));
+    const Tensor out_init = RandomTensor(s.m, s.n, 17);  // Acc: seed the sum
+    ExpectRangeKernelBitwise(
+        s.m, out_init,
+        [&](Tensor* out, int r0, int r1) {
+          kernels::MatMulAcc(a, b, out, r0, r1);
+        },
+        [&](Tensor* out, int r0, int r1) { simd::MatMulAcc(a, b, out, r0, r1); },
+        "matmul " + std::to_string(s.m) + "x" + std::to_string(s.k) + "x" +
+            std::to_string(s.n));
+  }
+}
+
+TEST(SimdTest, MatMulTransAAccBitwise) {
+  for (const MatMulShape& s : kMatMulShapes) {
+    const Tensor a = RandomTensor(s.m, s.k, 19 * static_cast<uint64_t>(s.k));
+    const Tensor b = RandomTensor(s.m, s.n, 23 * static_cast<uint64_t>(s.n));
+    const Tensor out_init = RandomTensor(s.k, s.n, 29);
+    ExpectRangeKernelBitwise(
+        s.k, out_init,
+        [&](Tensor* out, int r0, int r1) {
+          kernels::MatMulTransAAcc(a, b, out, r0, r1);
+        },
+        [&](Tensor* out, int r0, int r1) {
+          simd::MatMulTransAAcc(a, b, out, r0, r1);
+        },
+        "matmul_ta " + std::to_string(s.m) + "x" + std::to_string(s.k) + "x" +
+            std::to_string(s.n));
+  }
+}
+
+TEST(SimdTest, MatMulTransBAccBitwise) {
+  for (const MatMulShape& s : kMatMulShapes) {
+    const Tensor a = RandomTensor(s.m, s.k, 31 * static_cast<uint64_t>(s.m));
+    const Tensor b = RandomTensor(s.n, s.k, 37 * static_cast<uint64_t>(s.k));
+    const Tensor out_init = RandomTensor(s.m, s.n, 41);
+    ExpectRangeKernelBitwise(
+        s.m, out_init,
+        [&](Tensor* out, int r0, int r1) {
+          kernels::MatMulTransBAcc(a, b, out, r0, r1);
+        },
+        [&](Tensor* out, int r0, int r1) {
+          simd::MatMulTransBAcc(a, b, out, r0, r1);
+        },
+        "matmul_tb " + std::to_string(s.m) + "x" + std::to_string(s.k) + "x" +
+            std::to_string(s.n));
+  }
+}
+
+TEST(SimdTest, MatMulSpecialValuesBitwise) {
+  // NaN payload propagation, inf·0 → NaN, signed-zero results and
+  // denormal products must all come out of the vector lanes exactly as
+  // the scalar oracle produces them (same operand order, no FMA).
+  const Tensor a = SpecialTensor(13, 21, 43);
+  const Tensor b = SpecialTensor(21, 19, 47);
+  const Tensor bt = SpecialTensor(19, 21, 53);
+  Tensor out_init(13, 19);
+  ExpectRangeKernelBitwise(
+      13, out_init,
+      [&](Tensor* out, int r0, int r1) { kernels::MatMulAcc(a, b, out, r0, r1); },
+      [&](Tensor* out, int r0, int r1) { simd::MatMulAcc(a, b, out, r0, r1); },
+      "matmul specials");
+  ExpectRangeKernelBitwise(
+      13, out_init,
+      [&](Tensor* out, int r0, int r1) {
+        kernels::MatMulTransBAcc(a, bt, out, r0, r1);
+      },
+      [&](Tensor* out, int r0, int r1) {
+        simd::MatMulTransBAcc(a, bt, out, r0, r1);
+      },
+      "matmul_tb specials");
+}
+
+TEST(SimdTest, MatMulQuantAccBitwise) {
+  // Block tails only happen in the last block of a row (32 % kVLen ==
+  // 0), so cols that are off multiples of 32 are the interesting case.
+  for (const MatMulShape& s : {MatMulShape{9, 7, 5}, MatMulShape{4, 33, 37},
+                               MatMulShape{17, 64, 64}, MatMulShape{3, 50, 95},
+                               MatMulShape{1, 1, 1}}) {
+    const Tensor a = RandomTensor(s.m, s.k, 59 * static_cast<uint64_t>(s.k));
+    const Tensor w = RandomTensor(s.k, s.n, 61 * static_cast<uint64_t>(s.n));
+    const QuantizedTensor qw = QuantizeQ8(w);
+    const Tensor out_init = RandomTensor(s.m, s.n, 67);
+    ExpectRangeKernelBitwise(
+        s.m, out_init,
+        [&](Tensor* out, int r0, int r1) {
+          kernels::MatMulQuantAcc(a, qw, out, r0, r1);
+        },
+        [&](Tensor* out, int r0, int r1) {
+          simd::MatMulQuantAcc(a, qw, out, r0, r1);
+        },
+        "matmul_quant " + std::to_string(s.m) + "x" + std::to_string(s.k) +
+            "x" + std::to_string(s.n));
+  }
+}
+
+// --- element-wise maps --------------------------------------------------
+
+TEST(SimdTest, ElementwiseBitwise) {
+  const Tensor x = RandomTensor(7, 13, 71);  // odd cols: rows unaligned
+  const Tensor g = RandomTensor(7, 13, 73);
+  const Tensor y_init = RandomTensor(7, 13, 79);
+  const int n = x.size();
+  ExpectRangeKernelBitwise(
+      n, y_init,
+      [&](Tensor* y, int i0, int i1) { kernels::Axpy(-1.75f, x, y, i0, i1); },
+      [&](Tensor* y, int i0, int i1) { simd::Axpy(-1.75f, x, y, i0, i1); },
+      "axpy");
+  ExpectRangeKernelBitwise(
+      n, y_init,
+      [&](Tensor* y, int i0, int i1) { kernels::Scale(y, 0.3f, i0, i1); },
+      [&](Tensor* y, int i0, int i1) { simd::Scale(y, 0.3f, i0, i1); },
+      "scale");
+  ExpectRangeKernelBitwise(
+      n, y_init,
+      [&](Tensor* y, int i0, int i1) { kernels::AddScalar(y, -2.5f, i0, i1); },
+      [&](Tensor* y, int i0, int i1) { simd::AddScalar(y, -2.5f, i0, i1); },
+      "add_scalar");
+  ExpectRangeKernelBitwise(
+      n, y_init,
+      [&](Tensor* out, int i0, int i1) { kernels::Hadamard(x, g, out, i0, i1); },
+      [&](Tensor* out, int i0, int i1) { simd::Hadamard(x, g, out, i0, i1); },
+      "hadamard");
+  ExpectRangeKernelBitwise(
+      n, y_init,
+      [&](Tensor* y, int i0, int i1) { kernels::HadamardAcc(g, x, y, i0, i1); },
+      [&](Tensor* y, int i0, int i1) { simd::HadamardAcc(g, x, y, i0, i1); },
+      "hadamard_acc");
+}
+
+TEST(SimdTest, ElementwiseSpecialValuesBitwise) {
+  const Tensor x = SpecialTensor(5, 17, 83);
+  const Tensor g = SpecialTensor(5, 17, 89);
+  const Tensor y_init = SpecialTensor(5, 17, 97);
+  const int n = x.size();
+  for (float alpha : {1.0f, -0.0f, 0.5f}) {
+    ExpectRangeKernelBitwise(
+        n, y_init,
+        [&](Tensor* y, int i0, int i1) { kernels::Axpy(alpha, x, y, i0, i1); },
+        [&](Tensor* y, int i0, int i1) { simd::Axpy(alpha, x, y, i0, i1); },
+        "axpy specials");
+  }
+  ExpectRangeKernelBitwise(
+      n, y_init,
+      [&](Tensor* out, int i0, int i1) { kernels::Hadamard(x, g, out, i0, i1); },
+      [&](Tensor* out, int i0, int i1) { simd::Hadamard(x, g, out, i0, i1); },
+      "hadamard specials");
+}
+
+// --- column-ranged reductions and broadcast adjoints --------------------
+
+TEST(SimdTest, ReductionAdjointsBitwise) {
+  const Tensor a = RandomTensor(23, 37, 101);
+  const Tensor y = RandomTensor(23, 37, 103);
+  const Tensor row = RandomTensor(1, 37, 107);
+  const Tensor col = RandomTensor(23, 1, 109);
+  const Tensor colsum_init = RandomTensor(1, 37, 113);
+  const Tensor full_init = RandomTensor(23, 37, 127);
+  ExpectRangeKernelBitwise(
+      37, colsum_init,
+      [&](Tensor* out, int c0, int c1) {
+        kernels::ColumnSumAcc(a, out, c0, c1);
+      },
+      [&](Tensor* out, int c0, int c1) { simd::ColumnSumAcc(a, out, c0, c1); },
+      "column_sum");
+  ExpectRangeKernelBitwise(
+      37, colsum_init,
+      [&](Tensor* out, int c0, int c1) {
+        kernels::HadamardColumnSumAcc(a, y, out, c0, c1);
+      },
+      [&](Tensor* out, int c0, int c1) {
+        simd::HadamardColumnSumAcc(a, y, out, c0, c1);
+      },
+      "hadamard_column_sum");
+  ExpectRangeKernelBitwise(
+      23, full_init,
+      [&](Tensor* out, int r0, int r1) {
+        kernels::RowBroadcastAcc(row, out, r0, r1);
+      },
+      [&](Tensor* out, int r0, int r1) {
+        simd::RowBroadcastAcc(row, out, r0, r1);
+      },
+      "row_broadcast");
+  ExpectRangeKernelBitwise(
+      23, full_init,
+      [&](Tensor* out, int r0, int r1) {
+        kernels::ColBroadcastAcc(col, out, r0, r1);
+      },
+      [&](Tensor* out, int r0, int r1) {
+        simd::ColBroadcastAcc(col, out, r0, r1);
+      },
+      "col_broadcast");
+}
+
+// --- gather / scatter family -------------------------------------------
+
+TEST(SimdTest, GatherScatterFamilyBitwise) {
+  const int num_nodes = 19;
+  const int num_edges = 67;
+  const int cols = 21;  // odd: every gathered row is unaligned
+  const Tensor h = RandomTensor(num_nodes, cols, 131);
+  Rng rng(137);
+  std::vector<int> src(num_edges), dst(num_edges);
+  for (int e = 0; e < num_edges; ++e) {
+    // Nodes 0 and 7 never receive an edge: empty segments.
+    src[static_cast<size_t>(e)] = static_cast<int>(rng.UniformInt(0, num_nodes - 1));
+    int d = static_cast<int>(rng.UniformInt(0, num_nodes - 1));
+    if (d == 0 || d == 7) d = 3;
+    dst[static_cast<size_t>(e)] = d;
+  }
+  const MessagePlan plan = MessagePlan::Build(src, dst, num_nodes);
+  const Tensor out_init = RandomTensor(num_nodes, cols, 139);
+
+  // GatherRowsAcc: index by destination row.
+  std::vector<int> index(static_cast<size_t>(num_nodes));
+  for (int r = 0; r < num_nodes; ++r) {
+    index[static_cast<size_t>(r)] = (r * 5 + 2) % num_nodes;
+  }
+  ExpectRangeKernelBitwise(
+      num_nodes, out_init,
+      [&](Tensor* out, int r0, int r1) {
+        kernels::GatherRowsAcc(h, index, out, r0, r1);
+      },
+      [&](Tensor* out, int r0, int r1) {
+        simd::GatherRowsAcc(h, index, out, r0, r1);
+      },
+      "gather_rows_acc");
+
+  // Planned scatter-add over edge rows.
+  const Tensor edge_vals = RandomTensor(num_edges, cols, 149);
+  ExpectRangeKernelBitwise(
+      num_nodes, out_init,
+      [&](Tensor* out, int s0, int s1) {
+        kernels::ScatterAddRowsPlanned(edge_vals, plan.by_dst.perm,
+                                       plan.by_dst.offsets, out, s0, s1);
+      },
+      [&](Tensor* out, int s0, int s1) {
+        simd::ScatterAddRowsPlanned(edge_vals, plan.by_dst.perm,
+                                    plan.by_dst.offsets, out, s0, s1);
+      },
+      "scatter_add_planned");
+
+  // Fused gather→scatter (and its weighted twin).
+  ExpectRangeKernelBitwise(
+      num_nodes, out_init,
+      [&](Tensor* out, int s0, int s1) {
+        kernels::GatherScatterAcc(h, plan.src_by_dst, plan.by_dst.offsets, out,
+                                  s0, s1);
+      },
+      [&](Tensor* out, int s0, int s1) {
+        simd::GatherScatterAcc(h, plan.src_by_dst, plan.by_dst.offsets, out,
+                               s0, s1);
+      },
+      "gather_scatter");
+  const Tensor w = RandomTensor(num_edges, 1, 151);
+  ExpectRangeKernelBitwise(
+      num_nodes, out_init,
+      [&](Tensor* out, int s0, int s1) {
+        kernels::GatherScatterWeightedAcc(h, w, plan.by_dst.perm,
+                                          plan.src_by_dst, plan.by_dst.offsets,
+                                          out, s0, s1);
+      },
+      [&](Tensor* out, int s0, int s1) {
+        simd::GatherScatterWeightedAcc(h, w, plan.by_dst.perm, plan.src_by_dst,
+                                       plan.by_dst.offsets, out, s0, s1);
+      },
+      "gather_scatter_weighted");
+}
+
+// --- RFF feature map ----------------------------------------------------
+
+TEST(SimdTest, RffMapBitwise) {
+  const int rows = 11;
+  const int source_cols = 5;
+  const int features = 23;  // tail after two vector widths
+  const Tensor z = SpecialTensor(rows, source_cols, 157);
+  Rng rng(163);
+  std::vector<int> source_dim(static_cast<size_t>(features));
+  std::vector<float> omega(static_cast<size_t>(features));
+  std::vector<float> phase(static_cast<size_t>(features));
+  for (int j = 0; j < features; ++j) {
+    source_dim[static_cast<size_t>(j)] =
+        static_cast<int>(rng.UniformInt(0, source_cols - 1));
+    omega[static_cast<size_t>(j)] = static_cast<float>(rng.Normal());
+    phase[static_cast<size_t>(j)] = static_cast<float>(rng.Normal());
+  }
+  const float scale = static_cast<float>(std::sqrt(2.0));
+  Tensor out_init(rows, features);
+  for (bool linear_only : {false, true}) {
+    ExpectRangeKernelBitwise(
+        rows, out_init,
+        [&](Tensor* out, int r0, int r1) {
+          kernels::RffMap(z, source_dim, omega, phase, linear_only, scale, out,
+                          r0, r1);
+        },
+        [&](Tensor* out, int r0, int r1) {
+          simd::RffMap(z, source_dim, omega, phase, linear_only, scale, out,
+                       r0, r1);
+        },
+        linear_only ? "rff_map linear" : "rff_map cos");
+  }
+}
+
+// --- Backend dispatch ---------------------------------------------------
+
+TEST(SimdTest, BackendDispatchBitwiseAcrossThreadsAndToggle) {
+  const Tensor a = RandomTensor(37, 29, 167);
+  const Tensor b = RandomTensor(29, 43, 173);
+  const Tensor bt = RandomTensor(43, 29, 179);
+  const Tensor c = RandomTensor(29, 37, 181);
+  const auto run = [&]() {
+    Tensor out(37, 43);
+    GetBackend().MatMulAcc(a, b, &out);
+    GetBackend().MatMulTransBAcc(a, bt, &out);
+    Tensor ta(37, 43);
+    GetBackend().MatMulTransAAcc(c, b, &ta);
+    GetBackend().MatMulTransAAcc(c, b, &ta);
+    Tensor combined(37 + 37, 43);
+    kernels::CopyRowsTo(out, &combined, 0, 0, out.rows());
+    kernels::CopyRowsTo(ta, &combined, 37, 0, ta.rows());
+    return combined;
+  };
+  Tensor scalar_serial;
+  {
+    ScopedBackendThreads threads(1);
+    simd::ScopedSimdEnabled off(false);
+    scalar_serial = run();
+  }
+  for (int threads : kThreadCounts) {
+    for (bool enabled : {false, true}) {
+      ScopedBackendThreads scoped(threads);
+      simd::ScopedSimdEnabled toggle(enabled);
+      const Tensor got = run();
+      EXPECT_TRUE(BitwiseEqual(scalar_serial, got))
+          << "backend dispatch diverged at " << threads << " threads, simd "
+          << (enabled ? "on" : "off");
+    }
+  }
+}
+
+TEST(SimdTest, BackendQuantRoutingBitwiseAcrossThreadsAndToggle) {
+  // Backend::MatMulAcc must route onto the quantized image whenever a
+  // scope maps the b operand — identically (bitwise) at every thread
+  // count and SIMD toggle, since scalar MatMulQuantAcc is the oracle
+  // for its vector mirror.
+  const Tensor a = RandomTensor(21, 50, 181);
+  const Tensor w = RandomTensor(50, 37, 191);
+  const QuantizedTensor qw = QuantizeQ8(w);
+  QuantizedWeightMap qmap;
+  qmap[w.data()] = &qw;
+  const auto run = [&]() {
+    ScopedQuantizedWeights scope(&qmap);
+    Tensor out(21, 37);
+    GetBackend().MatMulAcc(a, w, &out);
+    return out;
+  };
+  Tensor scalar_serial;
+  {
+    ScopedBackendThreads threads(1);
+    simd::ScopedSimdEnabled off(false);
+    scalar_serial = run();
+  }
+  // Routed output is the quantized matmul, not the fp32 one.
+  Tensor fp32(21, 37);
+  kernels::MatMulAcc(a, w, &fp32, 0, 21);
+  EXPECT_FALSE(BitwiseEqual(scalar_serial, fp32));
+  Tensor reference(21, 37);
+  kernels::MatMulQuantAcc(a, qw, &reference, 0, 21);
+  EXPECT_TRUE(BitwiseEqual(scalar_serial, reference));
+  for (int threads : kThreadCounts) {
+    for (bool enabled : {false, true}) {
+      ScopedBackendThreads scoped(threads);
+      simd::ScopedSimdEnabled toggle(enabled);
+      const Tensor got = run();
+      EXPECT_TRUE(BitwiseEqual(scalar_serial, got))
+          << "quant routing diverged at " << threads << " threads, simd "
+          << (enabled ? "on" : "off");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oodgnn

@@ -63,6 +63,7 @@
 #include "src/obs/json.h"
 #include "src/serve/inference.h"
 #include "src/tensor/backend.h"
+#include "src/train/experiment.h"
 #include "src/tensor/exec_plan.h"
 #include "src/tensor/quant.h"
 #include "src/tensor/simd.h"
@@ -249,13 +250,13 @@ int RunBench(const Flags& flags) {
     max_graph_edges = std::max(max_graph_edges, g->num_edges());
   }
 
-  const unsigned cores = std::thread::hardware_concurrency();
+  const int cores = BenchOptions::HardwareConcurrency();
   std::printf("Inference-path benchmark: %s, %zu eval graphs, hidden=%d, "
               "layers=%d, backend threads=%d\n",
               MethodName(spec.method), eval_graphs.size(),
               spec.encoder.hidden_dim, spec.encoder.num_layers,
               GetBackend().num_threads());
-  std::printf("hardware_concurrency=%u%s\n\n", cores,
+  std::printf("hardware_concurrency=%d%s\n\n", cores,
               cores <= 1 ? "  (single core: pooled speedup <= 1 is expected "
                            "here; bitwise identity is the portable check)"
                          : "");
@@ -552,7 +553,7 @@ int RunBench(const Flags& flags) {
             .Put("hidden_dim", spec.encoder.hidden_dim)
             .Put("num_layers", spec.encoder.num_layers)
             .Put("threads", GetBackend().num_threads())
-            .Put("hardware_concurrency", static_cast<int>(cores))
+            .Put("hardware_concurrency", cores)
             .Put("workers", workers)
             .Put("max_batch", max_batch)
             .Put("wait_us", wait_us)

@@ -40,6 +40,7 @@
 #include "src/core/weight_optimizer.h"
 #include "src/obs/json.h"
 #include "src/tensor/backend.h"
+#include "src/train/experiment.h"
 #include "src/tensor/kernels.h"
 #include "src/tensor/ops.h"
 #include "src/tensor/quant.h"
@@ -94,10 +95,10 @@ struct Workload {
 
 void CompareBackends(int threads) {
   if (threads < 1) threads = 1;  // MakeBackend clamps the same way.
-  const unsigned cores = std::thread::hardware_concurrency();
+  const int cores = BenchOptions::HardwareConcurrency();
   std::printf("Compute backend comparison: serial vs parallel (%d threads)\n",
               threads);
-  std::printf("hardware_concurrency=%u%s\n\n", cores,
+  std::printf("hardware_concurrency=%d%s\n\n", cores,
               cores <= 1 ? "  (single core: speedup <= 1 is expected here; "
                            "bitwise identity is the portable check)"
                          : "");
@@ -344,10 +345,10 @@ void CompareMessagePassing(int threads, const std::string& json_path) {
   if (threads < 1) threads = 1;
   const int nodes = 25000;
   const int edges = 200000;
-  const unsigned cores = std::thread::hardware_concurrency();
+  const int cores = BenchOptions::HardwareConcurrency();
   std::printf(
       "Message passing: full-scan scatter vs CSR segment plans\n"
-      "N=%d nodes, E=%d edges, %d threads, hardware_concurrency=%u\n"
+      "N=%d nodes, E=%d edges, %d threads, hardware_concurrency=%d\n"
       "(speedup = unplanned / planned wall-clock at %d threads; the\n"
       "unplanned kernel rescans all E rows once per chunk, so the ratio\n"
       "reflects eliminated scan work even on few cores)\n\n",
@@ -454,7 +455,7 @@ void CompareMessagePassing(int threads, const std::string& json_path) {
             .Put("nodes", nodes)
             .Put("edges", edges)
             .Put("threads", threads)
-            .Put("hardware_concurrency", static_cast<int>(cores))
+            .Put("hardware_concurrency", cores)
             .PutRaw("rows", "[" + json_rows + "]")
             .Build();
     if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {

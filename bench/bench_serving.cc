@@ -97,6 +97,7 @@
 #include "src/serve/scheduler.h"
 #include "src/serve/version.h"
 #include "src/tensor/backend.h"
+#include "src/train/experiment.h"
 #include "src/tensor/tensor.h"
 #include "src/util/flags.h"
 #include "src/util/rng.h"
@@ -674,8 +675,7 @@ bool RunBench(const Flags& flags) {
             .Put("hidden_dim", spec.encoder.hidden_dim)
             .Put("num_layers", spec.encoder.num_layers)
             .Put("threads", GetBackend().num_threads())
-            .Put("hardware_concurrency",
-                 static_cast<int>(std::thread::hardware_concurrency()))
+            .Put("hardware_concurrency", BenchOptions::HardwareConcurrency())
             .Put("workers", workers)
             .Put("max_batch", max_batch)
             .Put("max_inflight", max_inflight)

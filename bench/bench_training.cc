@@ -1,0 +1,338 @@
+// Training-path benchmark: eager tape-per-step training vs
+// plan-then-execute compiled training (DESIGN.md §17).
+//
+// Both modes run the same deterministic mini-batch schedule on the
+// TRIANGLES generator with identical seeds, so compiled training must
+// reproduce the eager run bitwise (final parameters, Adam moments,
+// summed losses); any difference is a correctness failure, not noise.
+// The report compares steady-state step latency and — the point of the
+// compiled tape — steady-state heap tensor allocations per step, which
+// must be exactly zero once every bucket's plan is recorded.
+//
+// Usage:
+//   bench_training [--threads N] [--epochs N] [--batch N]
+//                  [--hidden N] [--json PATH] [--smoke]
+//
+// --smoke runs a scaled-down schedule and exits nonzero if any
+// invariant breaks (bitwise identity, zero steady-state allocations,
+// plans actually replaying); timing numbers are incidental there.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/ood_gnn.h"
+#include "src/data/triangles.h"
+#include "src/gnn/model_zoo.h"
+#include "src/graph/batch.h"
+#include "src/nn/loss.h"
+#include "src/nn/optimizer.h"
+#include "src/obs/json.h"
+#include "src/tensor/arena.h"
+#include "src/tensor/backend.h"
+#include "src/tensor/exec_plan.h"
+#include "src/tensor/variable.h"
+#include "src/train/experiment.h"
+#include "src/train/train_plan.h"
+#include "src/util/flags.h"
+#include "src/util/rng.h"
+
+namespace oodgnn {
+namespace {
+
+struct BenchSetup {
+  GraphDataset dataset;
+  int epochs = 8;
+  int batch_size = 16;
+  int hidden_dim = 16;
+  int num_layers = 2;
+  uint64_t seed = 123;
+  /// OOD-GNN reweighting switches on after this many epochs — midway,
+  /// so the benchmark exercises the divergence-retrace path too.
+  int reweight_warmup_epochs = 1;
+};
+
+struct ModeResult {
+  std::vector<Tensor> params;        ///< Final parameter values.
+  std::vector<Tensor> adam_slots;    ///< Final Adam moment tensors.
+  double loss_sum = 0.0;             ///< Σ per-step losses (all epochs).
+  double steady_step_us = 0.0;       ///< Mean step latency, last epoch.
+  double steady_allocs_per_step = 0.0;  ///< Heap tensor allocs, last epoch.
+  TrainPlanStats plan;               ///< Zeros in eager mode.
+  std::vector<TrainStepPlanner::BucketReport> buckets;
+};
+
+/// One full training run (the trainer's step structure, inlined so the
+/// benchmark can time individual steps and read the allocation counter
+/// around a steady-state window).
+ModeResult RunTraining(Method method, const BenchSetup& setup, bool compiled) {
+  SetCompiledTrainEnabled(compiled);
+  const GraphDataset& dataset = setup.dataset;
+  Rng rng(setup.seed);
+
+  EncoderConfig encoder;
+  encoder.feature_dim = dataset.feature_dim;
+  encoder.hidden_dim = setup.hidden_dim;
+  encoder.num_layers = setup.num_layers;
+  encoder.dropout = 0.3f;
+  GraphPredictionModel model(method, encoder, dataset.OutputDim(), &rng);
+  Adam optimizer(model.Parameters(), 1e-3f);
+
+  std::unique_ptr<OodGnnReweighter> reweighter;
+  if (method == Method::kOodGnn) {
+    OodGnnConfig ood;
+    reweighter = std::make_unique<OodGnnReweighter>(
+        model.representation_dim(), setup.batch_size, ood, &rng);
+  }
+
+  // Fixed batch schedule (no shuffle): both modes must see identical
+  // batches in identical order for the bitwise comparison to hold.
+  const std::vector<size_t>& order = dataset.train_idx;
+  std::vector<std::pair<size_t, size_t>> ranges;
+  for (size_t begin = 0; begin < order.size();
+       begin += static_cast<size_t>(setup.batch_size)) {
+    ranges.emplace_back(begin, std::min(order.size(),
+                                        begin + static_cast<size_t>(
+                                                    setup.batch_size)));
+  }
+
+  std::unique_ptr<TrainStepPlanner> planner;
+  if (compiled) planner = std::make_unique<TrainStepPlanner>(64, 256);
+
+  ModeResult result;
+  double steady_us_sum = 0.0;
+  std::int64_t steady_steps = 0;
+  std::int64_t steady_allocs = 0;
+
+  for (int epoch = 0; epoch < setup.epochs; ++epoch) {
+    const bool steady = epoch + 1 == setup.epochs;  // Last epoch only.
+    for (const auto& [begin, end] : ranges) {
+      const std::int64_t allocs_before = TensorHeapAllocsThisThread();
+      const auto t0 = std::chrono::steady_clock::now();
+
+      GraphBatch batch = [&] {
+        ScopedDynamicArena batch_arena(compiled);
+        return MakeBatch(dataset.graphs, order, begin, end);
+      }();
+
+      const auto step_body = [&] {
+        Variable z = model.Encode(batch, /*training=*/true, &rng);
+        std::vector<float> weights;
+        if (reweighter && epoch >= setup.reweight_warmup_epochs) {
+          weights = reweighter->ComputeWeights(z.value());
+        }
+        Variable logits = model.Classify(z, /*training=*/true);
+        Variable loss = SoftmaxCrossEntropy(logits, batch.class_labels,
+                                            weights);
+        optimizer.ZeroGrad();
+        if (compiled) {
+          loss.BackwardAndReleaseTape();
+        } else {
+          loss.Backward();
+        }
+        optimizer.Step();
+        result.loss_sum += static_cast<double>(loss.value()[0]);
+      };
+      if (planner != nullptr) {
+        planner->RunStep(batch.num_graphs, batch.num_nodes,
+                         static_cast<int>(batch.edge_src.size()), step_body);
+      } else {
+        step_body();
+      }
+
+      if (steady) {
+        const auto t1 = std::chrono::steady_clock::now();
+        steady_us_sum +=
+            std::chrono::duration<double, std::micro>(t1 - t0).count();
+        steady_allocs += TensorHeapAllocsThisThread() - allocs_before;
+        ++steady_steps;
+      }
+    }
+  }
+
+  if (steady_steps > 0) {
+    result.steady_step_us = steady_us_sum / static_cast<double>(steady_steps);
+    result.steady_allocs_per_step =
+        static_cast<double>(steady_allocs) /
+        static_cast<double>(steady_steps);
+  }
+  for (const Variable& param : model.Parameters()) {
+    result.params.push_back(param.value());
+  }
+  result.adam_slots = optimizer.GetState().slots;
+  if (planner != nullptr) {
+    result.plan = planner->stats();
+    result.buckets = planner->BucketReports();
+  }
+  return result;
+}
+
+bool BitwiseEqual(const std::vector<Tensor>& a, const std::vector<Tensor>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].SameShape(b[i])) return false;
+    if (!a[i].empty() &&
+        std::memcmp(a[i].data(), b[i].data(),
+                    static_cast<size_t>(a[i].size()) * sizeof(float)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int RunBench(const Flags& flags) {
+  const bool smoke = flags.GetBool("smoke", false);
+  BenchSetup setup;
+  TrianglesConfig data_config;
+  data_config.num_train = smoke ? 48 : 96;
+  data_config.num_valid = 8;
+  data_config.num_test = 8;
+  data_config.train_max_nodes = 20;
+  setup.dataset = MakeTrianglesDataset(data_config, 7);
+  setup.epochs = flags.GetInt("epochs", smoke ? 5 : 8);
+  setup.batch_size = flags.GetInt("batch", 16);
+  setup.hidden_dim = flags.GetInt("hidden", smoke ? 8 : 16);
+
+  std::printf("Training-path benchmark: eager vs compiled (plan-then-"
+              "execute) steps\n"
+              "dataset=TRIANGLES(%d train graphs), batch=%d, hidden=%d, "
+              "epochs=%d, backend threads=%d\n"
+              "hardware_concurrency=%d\n\n",
+              data_config.num_train, setup.batch_size, setup.hidden_dim,
+              setup.epochs, GetBackend().num_threads(),
+              BenchOptions::HardwareConcurrency());
+
+  int failures = 0;
+  auto gate = [&](bool ok, const char* what) {
+    if (!ok) {
+      std::printf("FAIL: %s\n", what);
+      ++failures;
+    }
+  };
+
+  std::string json_rows;
+  const Method methods[] = {Method::kGin, Method::kOodGnn};
+  std::printf("%-8s %14s %14s %9s %12s %12s %8s %9s %10s\n", "method",
+              "eager us/step", "compiled us", "speedup", "eager allo/st",
+              "compiled a/st", "replays", "retraces", "fallbacks");
+  for (Method method : methods) {
+    ModeResult eager = RunTraining(method, setup, /*compiled=*/false);
+    ModeResult compiled = RunTraining(method, setup, /*compiled=*/true);
+    SetCompiledTrainEnabled(false);
+
+    const bool params_ok = BitwiseEqual(eager.params, compiled.params);
+    const bool adam_ok = BitwiseEqual(eager.adam_slots, compiled.adam_slots);
+    const bool loss_ok = eager.loss_sum == compiled.loss_sum;
+    const double speedup =
+        compiled.steady_step_us > 0.0
+            ? eager.steady_step_us / compiled.steady_step_us
+            : 0.0;
+    std::printf("%-8s %14.1f %14.1f %8.2fx %12.1f %12.1f %8lld %9lld "
+                "%10lld%s\n",
+                MethodName(method), eager.steady_step_us,
+                compiled.steady_step_us, speedup,
+                eager.steady_allocs_per_step,
+                compiled.steady_allocs_per_step,
+                static_cast<long long>(compiled.plan.replays),
+                static_cast<long long>(compiled.plan.retraces),
+                static_cast<long long>(compiled.plan.fallbacks),
+                params_ok && adam_ok && loss_ok ? "  [bitwise OK]"
+                                                : "  [BITWISE MISMATCH]");
+    for (const auto& bucket : compiled.buckets) {
+      std::printf("    bucket %dg/%dn/%de: steps=%lld replays=%lld "
+                  "retraces=%lld fallbacks=%lld phase=%s plan=%lldB\n",
+                  bucket.graphs, bucket.nodes, bucket.edges,
+                  static_cast<long long>(bucket.steps),
+                  static_cast<long long>(bucket.replays),
+                  static_cast<long long>(bucket.retraces),
+                  static_cast<long long>(bucket.fallbacks), bucket.phase,
+                  static_cast<long long>(bucket.plan_arena_bytes));
+    }
+
+    gate(params_ok, "compiled-train params bitwise == eager");
+    gate(adam_ok, "compiled-train Adam moments bitwise == eager");
+    gate(loss_ok, "compiled-train loss curve bitwise == eager");
+    gate(compiled.plan.replays > 0, "compiled-train plans actually replay");
+    gate(compiled.steady_allocs_per_step == 0.0,
+         "compiled-train zero steady-state heap tensor allocations");
+
+    std::string bucket_rows;
+    for (const auto& bucket : compiled.buckets) {
+      if (!bucket_rows.empty()) bucket_rows += ",";
+      bucket_rows += obs::JsonObjectWriter()
+                         .Put("graphs", bucket.graphs)
+                         .Put("nodes", bucket.nodes)
+                         .Put("edges", bucket.edges)
+                         .Put("steps", bucket.steps)
+                         .Put("replays", bucket.replays)
+                         .Put("retraces", bucket.retraces)
+                         .Put("fallbacks", bucket.fallbacks)
+                         .Put("phase", bucket.phase)
+                         .Put("plan_arena_bytes", bucket.plan_arena_bytes)
+                         .Build();
+    }
+    if (!json_rows.empty()) json_rows += ",";
+    json_rows += obs::JsonObjectWriter()
+                     .Put("method", MethodName(method))
+                     .Put("eager_step_us", eager.steady_step_us)
+                     .Put("compiled_step_us", compiled.steady_step_us)
+                     .Put("speedup", speedup)
+                     .Put("eager_allocs_per_step",
+                          eager.steady_allocs_per_step)
+                     .Put("compiled_allocs_per_step",
+                          compiled.steady_allocs_per_step)
+                     .Put("replays", compiled.plan.replays)
+                     .Put("retraces", compiled.plan.retraces)
+                     .Put("fallbacks", compiled.plan.fallbacks)
+                     .Put("arena_bytes", compiled.plan.arena_bytes)
+                     .Put("bitwise_ok", params_ok && adam_ok && loss_ok)
+                     .PutRaw("buckets", "[" + bucket_rows + "]")
+                     .Build();
+  }
+
+  const std::string json_path = flags.GetString("json", "");
+  if (!json_path.empty()) {
+    const std::string report =
+        obs::JsonObjectWriter()
+            .Put("bench", "training")
+            .Put("dataset", "TRIANGLES")
+            .Put("train_graphs", data_config.num_train)
+            .Put("batch_size", setup.batch_size)
+            .Put("hidden_dim", setup.hidden_dim)
+            .Put("epochs", setup.epochs)
+            .Put("threads", GetBackend().num_threads())
+            .Put("hardware_concurrency",
+                 BenchOptions::HardwareConcurrency())
+            .PutRaw("rows", "[" + json_rows + "]")
+            .Build();
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      std::fprintf(f, "%s\n", report.c_str());
+      std::fclose(f);
+      std::printf("\nwrote %s\n", json_path.c_str());
+    } else {
+      std::printf("\nFAIL: cannot write %s\n", json_path.c_str());
+      ++failures;
+    }
+  }
+
+  if (smoke) {
+    std::printf("\nbench_training smoke: %s\n",
+                failures == 0 ? "PASS" : "FAIL");
+  }
+  return failures;
+}
+
+}  // namespace
+}  // namespace oodgnn
+
+int main(int argc, char** argv) {
+  oodgnn::Flags flags(argc, argv);
+  oodgnn::SetBackendThreads(flags.GetThreads(1));
+  return oodgnn::RunBench(flags);
+}

@@ -82,6 +82,10 @@ serve/quant/params
 serve/quant/bytes
 kernel/simd/vector_calls
 kernel/simd/scalar_calls
+train/plan/replays
+train/plan/retraces
+train/plan/fallbacks
+train/plan/arena_bytes
 "
 for name in $required_names; do
   checked=$((checked + 1))

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Builds bench_training and runs the eager vs plan-then-execute
+# training-step comparison (DESIGN.md §17): steady-state step latency,
+# steady-state heap tensor allocations per step (must be exactly zero
+# compiled), and per-bucket replay/retrace/fallback counts. Compiled
+# training is checked bitwise against the eager run (final parameters,
+# Adam moments, loss curve) — the binary exits nonzero on any
+# mismatch. Emits the table on stdout and the machine-readable report
+# to BENCH_training.json (override with OUT=path). THREADS defaults to
+# 1: training steps are latency-bound on the trainer thread, and the
+# bitwise contract holds at any thread count (ctest's compiled label
+# re-checks under OODGNN_THREADS=4).
+#
+# Usage: scripts/run_bench_training.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+THREADS="${THREADS:-1}"
+OUT="${OUT:-BENCH_training.json}"
+
+cmake -B "${BUILD_DIR}" -S . > /dev/null
+cmake --build "${BUILD_DIR}" -j --target bench_training > /dev/null
+
+"${BUILD_DIR}/bench/bench_training" --threads "${THREADS}" \
+  --json "${OUT}"

@@ -13,16 +13,18 @@ thread_local TensorAllocSink* tls_alloc_sink = nullptr;
 
 void AlignedFree(float* p) { std::free(p); }
 
-bool CompiledFromEnv() {
-  const char* env = std::getenv("OODGNN_COMPILED");
+bool BoolFromEnv(const char* name) {
+  const char* env = std::getenv(name);
   return env != nullptr && *env != '\0' && std::atoi(env) != 0;
 }
 
-/// Lazily env-initialized, overridable toggle (same pattern as the
+/// Lazily env-initialized, overridable toggles (same pattern as the
 /// backend's OODGNN_THREADS).
 std::mutex g_compiled_mu;
 bool g_compiled_init = false;
 bool g_compiled = false;  // guarded by g_compiled_mu
+bool g_compiled_train_init = false;
+bool g_compiled_train = false;  // guarded by g_compiled_mu
 
 }  // namespace
 
@@ -167,7 +169,7 @@ ArenaStats Arena::stats() const {
 bool CompiledEnabled() {
   std::lock_guard<std::mutex> lock(g_compiled_mu);
   if (!g_compiled_init) {
-    g_compiled = CompiledFromEnv();
+    g_compiled = BoolFromEnv("OODGNN_COMPILED");
     g_compiled_init = true;
   }
   return g_compiled;
@@ -177,6 +179,21 @@ void SetCompiledEnabled(bool enabled) {
   std::lock_guard<std::mutex> lock(g_compiled_mu);
   g_compiled = enabled;
   g_compiled_init = true;
+}
+
+bool CompiledTrainEnabled() {
+  std::lock_guard<std::mutex> lock(g_compiled_mu);
+  if (!g_compiled_train_init) {
+    g_compiled_train = BoolFromEnv("OODGNN_COMPILED_TRAIN");
+    g_compiled_train_init = true;
+  }
+  return g_compiled_train;
+}
+
+void SetCompiledTrainEnabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(g_compiled_mu);
+  g_compiled_train = enabled;
+  g_compiled_train_init = true;
 }
 
 }  // namespace oodgnn

@@ -122,6 +122,15 @@ class Arena : public TensorAllocSink {
 bool CompiledEnabled();
 void SetCompiledEnabled(bool enabled);
 
+/// Same toggle for compiled (plan-then-execute) *training*: the
+/// trainer records one forward+backward tape per batch-shape bucket
+/// and replays it with static grad-liveness arena offsets. Lazily
+/// initialized from OODGNN_COMPILED_TRAIN; SetCompiledTrainEnabled
+/// overrides (the --compiled-train flag). Independent of
+/// CompiledEnabled — either may be on without the other.
+bool CompiledTrainEnabled();
+void SetCompiledTrainEnabled(bool enabled);
+
 }  // namespace oodgnn
 
 #endif  // OODGNN_TENSOR_ARENA_H_

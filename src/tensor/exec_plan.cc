@@ -254,6 +254,42 @@ void PlanReplayScope::OnKernel(int kernel_id) {
   ++kernel_cursor_;
 }
 
+void PlanReplayScope::OnOp() {
+  if (stats_.diverged) return;
+  // Op shapes scale with the batch, so only the count is structural: a
+  // pass building more ops than the recording took a branch the plan
+  // has not seen.
+  if (op_cursor_ >= plan_->ops.size()) {
+    stats_.diverged = true;
+    return;
+  }
+  ++op_cursor_;
+}
+
+// ---------------------------------------------------------------------------
+// ScopedPlanSuspend / ScopedDynamicArena
+// ---------------------------------------------------------------------------
+
+ScopedPlanSuspend::ScopedPlanSuspend()
+    : saved_record_(tls_record_scope), saved_replay_(tls_replay_scope) {
+  tls_record_scope = nullptr;
+  tls_replay_scope = nullptr;
+}
+
+ScopedPlanSuspend::~ScopedPlanSuspend() {
+  tls_record_scope = saved_record_;
+  tls_replay_scope = saved_replay_;
+}
+
+Arena* ScopedDynamicArena::ThreadArena() {
+  static thread_local std::unique_ptr<Arena> arena;
+  if (arena == nullptr) arena = std::make_unique<Arena>();
+  return arena.get();
+}
+
+ScopedDynamicArena::ScopedDynamicArena(bool use_arena)
+    : suspend_(), install_(use_arena ? ThreadArena() : nullptr) {}
+
 // ---------------------------------------------------------------------------
 // Hooks
 // ---------------------------------------------------------------------------

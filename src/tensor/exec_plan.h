@@ -11,19 +11,26 @@
 namespace oodgnn {
 
 // ---------------------------------------------------------------------------
-// Plan-then-execute inference (DESIGN.md §13).
+// Plan-then-execute inference (DESIGN.md §13) and training
+// (DESIGN.md §17).
 //
-// A no-grad forward is traced once at a reference (envelope) batch
-// shape into a static ComputePlan: the topologically ordered op/kernel
+// A no-grad forward — or, in grad mode, a whole forward+backward
+// training tape — is traced once at a reference (envelope) batch shape
+// into a static ComputePlan: the topologically ordered op/kernel
 // stream plus, for every intermediate tensor, a static offset into a
 // single preallocated arena. Offsets come from last-use liveness — a
 // block's extent is returned to a first-fit hole list the moment its
 // last owner dies during recording, so later intermediates reuse it.
-// Replaying the plan serves every intermediate of a same-structured
-// forward from the arena with zero heap allocation; any structural
-// divergence (an op sequence the plan has not seen, or a block larger
-// than its recorded envelope slot) degrades transparently to heap
-// allocation for the rest of that forward.
+// In grad mode the gradient buffers ride the same simulation: their
+// lifetimes are the reverse-topological mirror of the forward's (a
+// node's grad is born when the backward sweep first touches it and
+// dies the moment the node's own backward closure has run), so one
+// recording covers tape values and gradients with a single offset
+// assignment. Replaying the plan serves every intermediate of a
+// same-structured pass from the arena with zero heap allocation; any
+// structural divergence (an op sequence the plan has not seen, or a
+// block larger than its recorded envelope slot) degrades transparently
+// to heap allocation for the rest of that pass.
 // ---------------------------------------------------------------------------
 
 /// Weight representation a plan was recorded against. A plan traced
@@ -57,9 +64,9 @@ struct PlanKernelNode {
   std::int64_t elems = 0;   ///< Output elements at the reference shape.
 };
 
-/// One autograd-op node recorded from Variable::MakeOp (no-grad mode):
-/// the op-level view of the same stream, with output shapes at the
-/// reference batch.
+/// One autograd-op node recorded from Variable::MakeOp (grad and
+/// no-grad mode alike): the op-level view of the same stream, with
+/// output shapes at the reference batch.
 struct PlanOpNode {
   int rows = 0;
   int cols = 0;
@@ -190,8 +197,9 @@ class PlanReplayScope : public TensorAllocSink {
 
   const PlanReplayStats& stats() const { return stats_; }
 
-  /// Hook entry point (via ExecPlanOnKernel).
+  /// Hook entry points (via ExecPlanOnKernel / ExecPlanOnOp).
   void OnKernel(int kernel_id);
+  void OnOp();
 
  private:
   std::shared_ptr<const ComputePlan> plan_;
@@ -199,7 +207,53 @@ class PlanReplayScope : public TensorAllocSink {
   std::int64_t buffer_capacity_ = 0;
   std::size_t alloc_cursor_ = 0;
   std::int64_t kernel_cursor_ = 0;
+  std::size_t op_cursor_ = 0;
   PlanReplayStats stats_;
+  ScopedAllocSink install_;
+};
+
+/// RAII suspension of the calling thread's active record/replay scope:
+/// kernels dispatched and ops built inside are neither recorded nor
+/// verified. The allocation sink is NOT touched — pair with a
+/// ScopedAllocSink (or use ScopedDynamicArena below) so allocations
+/// stop flowing into the suspended plan too.
+class ScopedPlanSuspend {
+ public:
+  ScopedPlanSuspend();
+  ~ScopedPlanSuspend();
+  ScopedPlanSuspend(const ScopedPlanSuspend&) = delete;
+  ScopedPlanSuspend& operator=(const ScopedPlanSuspend&) = delete;
+
+ private:
+  PlanRecordScope* saved_record_;
+  PlanReplayScope* saved_replay_;
+};
+
+/// The single entry point for an eager region that must not feed the
+/// compiled-plan machinery: suspends any active record/replay scope on
+/// the calling thread and, with `use_arena`, installs the thread's
+/// shared dynamic first-fit Arena as the allocation sink (otherwise a
+/// null sink forcing plain heap blocks). Used by the trainer's eval
+/// batches, compiled-train batch construction, and the OOD-GNN
+/// reweighter's inner optimization — regions whose allocation pattern
+/// is data-dependent (so they cannot be planned) or whose results
+/// persist across steps (so they must not live at replayed static
+/// offsets). The dynamic arena still gives them zero steady-state heap
+/// allocations: persistent blocks simply keep their extents, transient
+/// ones return to the hole list.
+class ScopedDynamicArena {
+ public:
+  explicit ScopedDynamicArena(bool use_arena);
+  ~ScopedDynamicArena() = default;
+  ScopedDynamicArena(const ScopedDynamicArena&) = delete;
+  ScopedDynamicArena& operator=(const ScopedDynamicArena&) = delete;
+
+  /// The calling thread's shared dynamic arena (created on first use).
+  /// Exposed so tests can inspect slab growth.
+  static Arena* ThreadArena();
+
+ private:
+  ScopedPlanSuspend suspend_;
   ScopedAllocSink install_;
 };
 
@@ -210,8 +264,9 @@ class PlanReplayScope : public TensorAllocSink {
 /// A single thread-local load when neither is active.
 void ExecPlanOnKernel(int kernel_id, const char* name, std::int64_t out_elems);
 
-/// Variable::MakeOp in no-grad mode: appends an op node while
-/// recording.
+/// Variable::MakeOp (grad and no-grad mode alike): appends an op node
+/// while recording, advances the op cursor (count-verified) while
+/// replaying.
 void ExecPlanOnOp(int rows, int cols);
 
 }  // namespace oodgnn

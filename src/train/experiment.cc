@@ -4,6 +4,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <thread>
+
+#include <unistd.h>
 
 #include "src/obs/exporter.h"
 #include "src/obs/journal.h"
@@ -39,6 +42,20 @@ void RegisterProfileReportAtExit() {
 }
 
 }  // namespace
+
+int BenchOptions::HardwareConcurrency() {
+  static const int cores = [] {
+    unsigned probed = std::thread::hardware_concurrency();
+    if (probed == 0) {
+      // The standard allows a 0 "not computable" answer; fall back to
+      // the online-processor count before giving up.
+      const long online = ::sysconf(_SC_NPROCESSORS_ONLN);
+      probed = online > 0 ? static_cast<unsigned>(online) : 1;
+    }
+    return static_cast<int>(probed);
+  }();
+  return cores;
+}
 
 MethodScores RunSeeds(Method method, const GraphDataset& dataset,
                       const TrainConfig& base_config, int num_seeds) {
@@ -146,6 +163,18 @@ BenchOptions BenchOptions::FromFlags(const Flags& flags) {
   // batches and the serving engine (also reachable via
   // OODGNN_COMPILED).
   SetCompiledEnabled(flags.GetCompiled(CompiledEnabled()));
+  // Shared --compiled-train handling: plan-then-execute training with
+  // batch-shape bucketing (also reachable via OODGNN_COMPILED_TRAIN;
+  // see src/train/train_plan.h).
+  SetCompiledTrainEnabled(flags.GetCompiledTrain(CompiledTrainEnabled()));
+  options.train.plan_bucket_nodes =
+      flags.GetTrainBucketNodes(options.train.plan_bucket_nodes);
+  options.train.plan_bucket_edges =
+      flags.GetTrainBucketEdges(options.train.plan_bucket_edges);
+  // Captured once so every bench JSON emitter records the same, real
+  // value instead of re-probing (and so a probe returning 0 cannot
+  // leak into committed benchmark artifacts).
+  options.hardware_concurrency = HardwareConcurrency();
   // Shared observability handling: --profile turns on the tracer and
   // the per-kernel counters (also reachable via OODGNN_PROFILE) and
   // schedules the final profile tables; --trace-json=<path> opens the

@@ -52,9 +52,22 @@ struct BenchOptions {
   bool full = false;
   TrainConfig train;
 
+  /// Host logical-CPU count, captured once at flag-parse time and
+  /// reused by every bench JSON emitter (std::thread's probe can
+  /// legally return 0 — normalized to 1 here so the recorded value is
+  /// always meaningful).
+  int hardware_concurrency = 1;
+
   /// Parses flags, applying `--full` defaults first and explicit
   /// overrides second.
   static BenchOptions FromFlags(const Flags& flags);
+
+  /// The process-wide logical-CPU count backing the field above:
+  /// probed exactly once (std::thread::hardware_concurrency, falling
+  /// back to sysconf when the probe legally returns 0, floored at 1).
+  /// Bench binaries that bypass FromFlags call this directly so every
+  /// committed BENCH_*.json records the same real value.
+  static int HardwareConcurrency();
 };
 
 /// Applies a benchmark binary's own fast-mode defaults: each value is

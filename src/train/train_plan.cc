@@ -1,0 +1,163 @@
+#include "src/train/train_plan.h"
+
+#include <algorithm>
+
+#include "src/obs/metrics.h"
+#include "src/util/check.h"
+#include "src/util/logging.h"
+
+namespace oodgnn {
+namespace {
+
+/// A bucket that keeps outgrowing its recorded envelope stops
+/// retracing after this many recordings; oversized blocks then fall
+/// back to the heap individually (prefix-safe), which bounds the cost
+/// of profile ping-pong between non-dominating shapes.
+constexpr int kMaxRecordsPerBucket = 4;
+
+int PadUp(int value, int quantum) {
+  if (quantum <= 1) return value;
+  return ((value + quantum - 1) / quantum) * quantum;
+}
+
+}  // namespace
+
+TrainStepPlanner::TrainStepPlanner(int bucket_nodes, int bucket_edges)
+    : bucket_nodes_(std::max(1, bucket_nodes)),
+      bucket_edges_(std::max(1, bucket_edges)) {}
+
+void TrainStepPlanner::PublishGauges() {
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetGauge("train/plan/replays")
+      .Set(static_cast<double>(stats_.replays));
+  registry.GetGauge("train/plan/retraces")
+      .Set(static_cast<double>(stats_.retraces));
+  registry.GetGauge("train/plan/fallbacks")
+      .Set(static_cast<double>(stats_.fallbacks));
+  registry.GetGauge("train/plan/arena_bytes")
+      .Set(static_cast<double>(stats_.arena_bytes));
+}
+
+std::vector<TrainStepPlanner::BucketReport> TrainStepPlanner::BucketReports()
+    const {
+  std::vector<BucketReport> reports;
+  reports.reserve(buckets_.size());
+  for (const auto& [key, bucket] : buckets_) {
+    BucketReport report;
+    report.graphs = std::get<0>(key);
+    report.nodes = std::get<1>(key);
+    report.edges = std::get<2>(key);
+    report.steps = bucket.steps;
+    report.replays = bucket.replays;
+    report.retraces = std::max(0, bucket.records - 1);
+    report.fallbacks = bucket.fallbacks;
+    switch (bucket.phase) {
+      case Phase::kWarmup: report.phase = "warmup"; break;
+      case Phase::kRecord: report.phase = "record"; break;
+      case Phase::kReady: report.phase = "ready"; break;
+      case Phase::kEager: report.phase = "eager"; break;
+    }
+    report.plan_arena_bytes =
+        bucket.plan != nullptr ? bucket.plan->capacity_bytes() : 0;
+    reports.push_back(report);
+  }
+  return reports;
+}
+
+void TrainStepPlanner::RunStep(int num_graphs, int num_nodes, int num_edges,
+                               const std::function<void()>& body) {
+  const Key key{num_graphs, PadUp(num_nodes, bucket_nodes_),
+                PadUp(num_edges, bucket_edges_)};
+  Bucket& bucket = buckets_[key];
+  ++bucket.steps;
+
+  switch (bucket.phase) {
+    case Phase::kWarmup: {
+      // One eager step so every lazily-created cross-step tensor (leaf
+      // gradient buffers above all) exists before recording — the
+      // recorded allocation sequence then matches every later step's.
+      body();
+      ++stats_.warmups;
+      bucket.phase = Phase::kRecord;
+      break;
+    }
+    case Phase::kRecord: {
+      PlanRecordScope scope;
+      body();
+      ComputePlan plan = scope.Finish();
+      plan.max_graphs = num_graphs;
+      plan.max_nodes = num_nodes;
+      plan.max_edges = num_edges;
+      if (plan.capacity_floats > arena_capacity_floats_) {
+        // Shared arena only grows; between steps no plan-served block
+        // is outstanding, so resizing cannot invalidate live tensors.
+        arena_capacity_floats_ = plan.capacity_floats;
+        arena_.Resize(arena_capacity_floats_);
+        stats_.arena_bytes = arena_.capacity_floats() *
+                             static_cast<std::int64_t>(sizeof(float));
+      }
+      ++stats_.records;
+      ++bucket.records;
+      if (bucket.records > 1) ++stats_.retraces;
+      bucket.plan = std::make_shared<const ComputePlan>(std::move(plan));
+      bucket.phase = Phase::kReady;
+      OODGNN_LOG(Debug) << "train plan bucket (" << std::get<0>(key) << "g,"
+                        << std::get<1>(key) << "n," << std::get<2>(key)
+                        << "e): " << bucket.plan->Summary();
+      break;
+    }
+    case Phase::kReady: {
+      if ((num_nodes > bucket.plan->max_nodes ||
+           num_edges > bucket.plan->max_edges ||
+           num_graphs > bucket.plan->max_graphs) &&
+          bucket.records < kMaxRecordsPerBucket) {
+        // Envelope exceeded: retrace at the larger profile so the
+        // bucket ratchets up to its ceiling instead of paying
+        // per-block heap fallbacks forever.
+        bucket.phase = Phase::kRecord;
+        --bucket.steps;  // The recursive call re-counts this step.
+        RunStep(num_graphs, num_nodes, num_edges, body);
+        return;
+      }
+      PlanReplayStats replay_stats;
+      {
+        PlanReplayScope scope(bucket.plan, &arena_);
+        body();
+        replay_stats = scope.stats();
+      }
+      if (replay_stats.diverged) {
+        ++stats_.fallbacks;
+        ++bucket.fallbacks;
+        ++bucket.strikes;
+        // One strike: the structure changed (e.g. the reweighter
+        // switched on) — retrace. Two consecutive: the method's op
+        // stream is data-dependent — stop planning this bucket.
+        bucket.phase =
+            bucket.strikes >= 2 ? Phase::kEager : Phase::kRecord;
+        if (bucket.phase == Phase::kEager) {
+          OODGNN_LOG(Info)
+              << "train plan bucket (" << std::get<0>(key) << "g,"
+              << std::get<1>(key) << "n," << std::get<2>(key)
+              << "e) demoted to eager after repeated divergence";
+        }
+      } else {
+        ++stats_.replays;
+        ++bucket.replays;
+        if (replay_stats.heap_allocs > 0) {
+          ++stats_.fallbacks;
+          ++bucket.fallbacks;
+        }
+        bucket.strikes = 0;
+      }
+      break;
+    }
+    case Phase::kEager: {
+      body();
+      ++stats_.eager_steps;
+      break;
+    }
+  }
+  PublishGauges();
+}
+
+}  // namespace oodgnn

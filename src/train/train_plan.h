@@ -1,0 +1,113 @@
+#ifndef OODGNN_TRAIN_TRAIN_PLAN_H_
+#define OODGNN_TRAIN_TRAIN_PLAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "src/tensor/exec_plan.h"
+
+namespace oodgnn {
+
+/// Counters a TrainStepPlanner accumulates over a run. Also exported
+/// live through the global metrics registry as the train/plan/*
+/// gauges after every step.
+struct TrainPlanStats {
+  std::int64_t warmups = 0;   ///< Eager steps that materialize lazy state.
+  std::int64_t records = 0;   ///< Steps traced into a plan (incl. retraces).
+  std::int64_t retraces = 0;  ///< Re-recordings after the bucket's first.
+  std::int64_t replays = 0;   ///< Steps fully served by a plan.
+  std::int64_t fallbacks = 0; ///< Replays that diverged or touched the heap.
+  std::int64_t eager_steps = 0;  ///< Steps in buckets demoted to eager.
+  std::int64_t arena_bytes = 0;  ///< Current shared PlanArena capacity.
+};
+
+/// Plan-then-execute for the training loop (DESIGN.md §17): buckets
+/// mini-batches by their padded shape profile, records one eager
+/// forward+backward per bucket into a ComputePlan (gradient buffers
+/// included — their lifetimes mirror forward liveness, so one
+/// recording covers both phases), and replays it for every later
+/// same-bucket step with zero steady-state heap tensor allocation.
+///
+/// Per-bucket lifecycle:
+///   warmup  — first step runs eager, materializing lazy cross-step
+///             state (leaf gradient buffers) so the recorded
+///             allocation sequence matches every later step's;
+///   record  — second step runs under a PlanRecordScope; the traced
+///             plan's envelope is the step's actual batch profile;
+///   ready   — later steps replay. A batch exceeding the recorded
+///             envelope triggers a retrace (bounded per bucket; after
+///             the bound, oversized blocks fall back to the heap
+///             individually, prefix-safe). A structural divergence
+///             (op/kernel stream mismatch — e.g. a method with
+///             data-dependent graph structure) counts a strike:
+///             one strike retraces, two consecutive demote the bucket
+///             to eager for the rest of the run. A clean replay
+///             clears strikes.
+///
+/// Replay is bitwise-identical to eager by construction: the same
+/// kernels run in the same order on the same values; only the buffer
+/// addresses differ. Single-threaded use (the trainer's loop thread);
+/// backend workers never allocate tensors.
+class TrainStepPlanner {
+ public:
+  /// Shapes are padded up to these quanta to form the bucket key
+  /// (graph count stays exact: targets/labels rows depend on it).
+  TrainStepPlanner(int bucket_nodes, int bucket_edges);
+
+  /// Runs one training step (`body` = forward + backward + optimizer)
+  /// under this bucket's current lifecycle phase. The batch must be
+  /// built *before* this call (the profile is the bucket key) and
+  /// outside any plan scope — see ScopedDynamicArena.
+  void RunStep(int num_graphs, int num_nodes, int num_edges,
+               const std::function<void()>& body);
+
+  const TrainPlanStats& stats() const { return stats_; }
+  std::size_t num_buckets() const { return buckets_.size(); }
+
+  /// Per-bucket accounting for benchmark reports ("retrace/fallback
+  /// counts per bucket" in BENCH_training.json).
+  struct BucketReport {
+    int graphs = 0;
+    int nodes = 0;   ///< Padded (bucket-key) node count.
+    int edges = 0;   ///< Padded (bucket-key) edge count.
+    std::int64_t steps = 0;
+    std::int64_t replays = 0;
+    std::int64_t retraces = 0;
+    std::int64_t fallbacks = 0;
+    const char* phase = "";
+    std::int64_t plan_arena_bytes = 0;  ///< This bucket's plan capacity.
+  };
+  std::vector<BucketReport> BucketReports() const;
+
+ private:
+  enum class Phase { kWarmup, kRecord, kReady, kEager };
+
+  struct Bucket {
+    Phase phase = Phase::kWarmup;
+    std::shared_ptr<const ComputePlan> plan;
+    int strikes = 0;
+    int records = 0;
+    std::int64_t steps = 0;
+    std::int64_t replays = 0;
+    std::int64_t fallbacks = 0;
+  };
+
+  using Key = std::tuple<int, int, int>;  // (graphs, nodes^, edges^)
+
+  void PublishGauges();
+
+  int bucket_nodes_;
+  int bucket_edges_;
+  std::map<Key, Bucket> buckets_;
+  PlanArena arena_;
+  std::int64_t arena_capacity_floats_ = 0;
+  TrainPlanStats stats_;
+};
+
+}  // namespace oodgnn
+
+#endif  // OODGNN_TRAIN_TRAIN_PLAN_H_

@@ -8,17 +8,23 @@
 #include <future>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "src/core/ood_gnn.h"
 #include "src/data/triangles.h"
 #include "src/gnn/model_zoo.h"
 #include "src/graph/batch.h"
+#include "src/nn/loss.h"
+#include "src/nn/optimizer.h"
 #include "src/serve/inference.h"
 #include "src/tensor/arena.h"
+#include "src/tensor/ops.h"
 #include "src/tensor/quant.h"
 #include "src/tensor/tensor.h"
 #include "src/tensor/variable.h"
+#include "src/train/train_plan.h"
 #include "src/util/rng.h"
 
 namespace oodgnn {
@@ -637,6 +643,311 @@ TEST(ExecPlanEngineTest, QuantizeFlipAcrossSyncFromRetracesAndNeverDiverges) {
   EXPECT_EQ(pair.engine->stats().diverged_batches, 0);
   SetQuantizeEnabled(saved_toggle);
 }
+
+// ---------------------------------------------------------------------------
+// Compiled training (DESIGN.md §17): grad-mode record/replay.
+// ---------------------------------------------------------------------------
+
+TEST(BackwardReleaseTest, ReleasesInteriorNodesKeepsLeavesAndRoot) {
+  Rng rng(5);
+  Tensor xv(4, 3);
+  Tensor wv(3, 2);
+  for (int i = 0; i < xv.size(); ++i) xv[i] = static_cast<float>(rng.Normal());
+  for (int i = 0; i < wv.size(); ++i) wv[i] = static_cast<float>(rng.Normal());
+
+  // Two identical graphs: one runs the plain backward, one the
+  // tape-releasing backward. Leaf gradients and the root loss must be
+  // bitwise-identical; only interior buffers may differ in lifetime.
+  Variable x1 = Variable::Param(xv);
+  Variable w1 = Variable::Param(wv);
+  Variable h1 = Relu(MatMul(x1, w1));
+  Variable loss1 = MeanAll(Square(h1));
+  loss1.Backward();
+
+  Variable x2 = Variable::Param(xv);
+  Variable w2 = Variable::Param(wv);
+  Variable h2 = Relu(MatMul(x2, w2));
+  Variable loss2 = MeanAll(Square(h2));
+  loss2.BackwardAndReleaseTape();
+
+  EXPECT_TRUE(BitwiseEqual(loss1.value(), loss2.value()));
+  EXPECT_TRUE(BitwiseEqual(x1.grad(), x2.grad()));
+  EXPECT_TRUE(BitwiseEqual(w1.grad(), w2.grad()));
+  // The interior node's value and gradient were released the moment
+  // its backward closure ran (its readers — children's closures and
+  // its own — had all executed by then).
+  EXPECT_TRUE(h2.value().empty());
+  EXPECT_TRUE(h2.grad().empty());
+  // The plain backward retains both for post-hoc inspection.
+  EXPECT_FALSE(h1.value().empty());
+  EXPECT_FALSE(h1.grad().empty());
+  // Leaves are untouched by the release: params and grads live on.
+  EXPECT_FALSE(x2.value().empty());
+  EXPECT_FALSE(x2.grad().empty());
+}
+
+struct TrainRunResult {
+  std::vector<Tensor> params;      ///< Final parameter values.
+  std::vector<Tensor> grads;       ///< Final leaf gradients.
+  std::vector<Tensor> adam_slots;  ///< Final Adam moment tensors.
+  std::vector<float> losses;       ///< Per-step loss values.
+  TrainPlanStats plan;             ///< Zeros in eager mode.
+  std::size_t num_buckets = 0;
+  /// Heap tensor allocations during the schedule's last step (batch
+  /// construction included). -1 if the schedule was empty.
+  std::int64_t final_step_allocs = -1;
+};
+
+/// Runs a deterministic mini-batch schedule with the trainer's step
+/// structure (ScopedDynamicArena batch build, Encode → optional
+/// reweighting → Classify → weighted loss → backward → Adam),
+/// optionally routed through a TrainStepPlanner exactly as
+/// Trainer::Fit routes it when compiled training is on.
+TrainRunResult RunSchedule(
+    Method method, bool compiled, const GraphDataset& dataset,
+    const std::vector<std::pair<size_t, size_t>>& schedule,
+    size_t reweight_from_step, int bucket_nodes, int bucket_edges) {
+  // The process toggle routes plan-suspended regions (the reweighter's
+  // inner loop) to the dynamic arena; the trainer sets it the same way.
+  const bool saved_compiled_train = CompiledTrainEnabled();
+  SetCompiledTrainEnabled(compiled);
+  Rng rng(21);
+  GraphPredictionModel model(method, TinyEncoder(dataset.feature_dim),
+                             dataset.OutputDim(), &rng);
+  Adam optimizer(model.Parameters(), 1e-3f);
+  std::unique_ptr<OodGnnReweighter> reweighter;
+  if (method == Method::kOodGnn) {
+    OodGnnConfig ood;
+    reweighter = std::make_unique<OodGnnReweighter>(
+        model.representation_dim(), /*batch_size=*/8, ood, &rng);
+  }
+  std::unique_ptr<TrainStepPlanner> planner;
+  if (compiled) {
+    planner = std::make_unique<TrainStepPlanner>(bucket_nodes, bucket_edges);
+  }
+
+  TrainRunResult result;
+  for (size_t step = 0; step < schedule.size(); ++step) {
+    const auto [begin, end] = schedule[step];
+    const std::int64_t allocs_before = TensorHeapAllocsThisThread();
+
+    GraphBatch batch = [&] {
+      // Batch construction happens before (and outside) the plan: its
+      // tensors are shape-variable, so they live in the dynamic arena.
+      ScopedDynamicArena batch_arena(compiled);
+      return MakeBatch(dataset.graphs, dataset.train_idx, begin, end);
+    }();
+
+    const auto step_body = [&] {
+      Variable z = model.Encode(batch, /*training=*/true, &rng);
+      std::vector<float> weights;
+      if (reweighter != nullptr && step >= reweight_from_step) {
+        weights = reweighter->ComputeWeights(z.value());
+      }
+      Variable logits = model.Classify(z, /*training=*/true);
+      Variable loss = SoftmaxCrossEntropy(logits, batch.class_labels, weights);
+      optimizer.ZeroGrad();
+      if (compiled) {
+        loss.BackwardAndReleaseTape();
+      } else {
+        loss.Backward();
+      }
+      optimizer.Step();
+      result.losses.push_back(loss.value()[0]);
+    };
+    if (planner != nullptr) {
+      planner->RunStep(batch.num_graphs, batch.num_nodes,
+                       static_cast<int>(batch.edge_src.size()), step_body);
+    } else {
+      step_body();
+    }
+    result.final_step_allocs = TensorHeapAllocsThisThread() - allocs_before;
+  }
+
+  for (const Variable& param : model.Parameters()) {
+    result.params.push_back(param.value());
+    result.grads.push_back(param.grad());
+  }
+  result.adam_slots = optimizer.GetState().slots;
+  if (planner != nullptr) {
+    result.plan = planner->stats();
+    result.num_buckets = planner->num_buckets();
+  }
+  SetCompiledTrainEnabled(saved_compiled_train);
+  return result;
+}
+
+std::vector<std::pair<size_t, size_t>> FixedSchedule(size_t train_size,
+                                                     size_t batch_size,
+                                                     int epochs) {
+  std::vector<std::pair<size_t, size_t>> schedule;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    for (size_t begin = 0; begin < train_size; begin += batch_size) {
+      schedule.emplace_back(begin, std::min(train_size, begin + batch_size));
+    }
+  }
+  return schedule;
+}
+
+void ExpectRunsBitwiseEqual(const TrainRunResult& eager,
+                            const TrainRunResult& compiled) {
+  ASSERT_EQ(eager.losses.size(), compiled.losses.size());
+  for (size_t i = 0; i < eager.losses.size(); ++i) {
+    // Exact equality, not tolerance: replay runs the same kernels in
+    // the same order on the same values; only addresses differ.
+    EXPECT_EQ(eager.losses[i], compiled.losses[i]) << "loss at step " << i;
+  }
+  ASSERT_EQ(eager.params.size(), compiled.params.size());
+  for (size_t i = 0; i < eager.params.size(); ++i) {
+    EXPECT_TRUE(BitwiseEqual(eager.params[i], compiled.params[i]))
+        << "param " << i;
+    EXPECT_TRUE(BitwiseEqual(eager.grads[i], compiled.grads[i]))
+        << "grad " << i;
+  }
+  ASSERT_EQ(eager.adam_slots.size(), compiled.adam_slots.size());
+  for (size_t i = 0; i < eager.adam_slots.size(); ++i) {
+    EXPECT_TRUE(BitwiseEqual(eager.adam_slots[i], compiled.adam_slots[i]))
+        << "Adam slot " << i;
+  }
+}
+
+TEST(TrainStepPlannerTest, DivergenceStrikesRetraceThenDemoteToEager) {
+  TrainStepPlanner planner(8, 32);
+  int num_ops = 1;
+  const auto body = [&] {
+    Tensor t(4, 4);
+    t.Fill(1.f);
+    Variable x = Variable::Constant(std::move(t));
+    Variable y = Relu(x);
+    for (int i = 1; i < num_ops; ++i) y = Relu(y);
+  };
+  const auto run = [&] { planner.RunStep(1, 8, 32, body); };
+
+  run();  // warmup (eager)
+  run();  // record
+  run();  // clean replay
+  EXPECT_EQ(planner.stats().replays, 1);
+  EXPECT_EQ(planner.stats().records, 1);
+
+  // One structure change: strike one — fall back prefix-safe, retrace.
+  num_ops = 2;
+  run();  // diverged replay
+  EXPECT_EQ(planner.stats().fallbacks, 1);
+  run();  // retrace at the new structure
+  EXPECT_EQ(planner.stats().records, 2);
+  EXPECT_EQ(planner.stats().retraces, 1);
+  run();  // clean replay again — strikes reset
+  EXPECT_EQ(planner.stats().replays, 2);
+
+  // Structure changing on every replay: two consecutive strikes demote
+  // the bucket to eager for the rest of the run.
+  num_ops = 3;
+  run();  // strike one → retrace phase
+  num_ops = 4;
+  run();  // re-record (with 4 ops)
+  num_ops = 5;
+  run();  // strike two → demoted
+  EXPECT_EQ(planner.stats().fallbacks, 3);
+  run();
+  EXPECT_EQ(planner.stats().eager_steps, 1);
+  EXPECT_EQ(planner.num_buckets(), 1u);
+}
+
+TEST(TrainStepPlannerTest, EnvelopeExceedRetracesWithinBucket) {
+  TrainStepPlanner planner(8, 32);
+  int rows = 4;
+  const auto body = [&] {
+    Tensor t(rows, 4);
+    t.Fill(1.f);
+    Variable x = Variable::Constant(std::move(t));
+    (void)Relu(x);
+  };
+  planner.RunStep(1, 4, 8, body);  // warmup
+  planner.RunStep(1, 4, 8, body);  // record; envelope = 4 nodes
+  planner.RunStep(1, 4, 8, body);  // replay
+  EXPECT_EQ(planner.stats().replays, 1);
+
+  // Six nodes pads to the same bucket key (quantum 8) but exceeds the
+  // recorded envelope: the bucket must ratchet up via a retrace, then
+  // serve the larger profile from the plan.
+  rows = 6;
+  planner.RunStep(1, 6, 8, body);
+  EXPECT_EQ(planner.stats().records, 2);
+  EXPECT_EQ(planner.stats().retraces, 1);
+  planner.RunStep(1, 6, 8, body);
+  EXPECT_EQ(planner.stats().replays, 2);
+  EXPECT_EQ(planner.stats().fallbacks, 0);
+  EXPECT_EQ(planner.num_buckets(), 1u);
+}
+
+class CompiledTrainTest : public ::testing::TestWithParam<Method> {};
+
+TEST_P(CompiledTrainTest, TrainStepsBitwiseIdenticalToEager) {
+  GraphDataset dataset = TinyDataset();
+  const auto schedule = FixedSchedule(dataset.train_idx.size(), 8, 4);
+  // OOD-GNN's reweighter switches on midway through the run, under
+  // plans recorded without it. Because its inner loop is
+  // plan-suspended and the weighted loss keeps the op stream's shape,
+  // the switch must neither diverge the plans nor perturb a single
+  // bit of the values, gradients, or Adam moments.
+  const size_t reweight_from = schedule.size() / 2;
+  TrainRunResult eager = RunSchedule(GetParam(), /*compiled=*/false, dataset,
+                                     schedule, reweight_from, 64, 256);
+  TrainRunResult compiled = RunSchedule(GetParam(), /*compiled=*/true, dataset,
+                                        schedule, reweight_from, 64, 256);
+  ExpectRunsBitwiseEqual(eager, compiled);
+  EXPECT_GT(compiled.plan.replays, 0);
+  EXPECT_GT(compiled.num_buckets, 0u);
+  EXPECT_EQ(compiled.plan.fallbacks, 0);
+  EXPECT_EQ(eager.plan.replays, 0);  // Eager mode never planned.
+}
+
+TEST_P(CompiledTrainTest, SteadyStateCompiledStepIsHeapFree) {
+  GraphDataset dataset = TinyDataset();
+  const auto schedule = FixedSchedule(dataset.train_idx.size(), 8, 4);
+  // Reweighting on from the first step: by the last step every bucket
+  // is warm, so the whole step — batch build, forward, reweighter's
+  // inner optimization, backward, Adam — must touch the heap zero
+  // times (plan arena for the tape, dynamic arena for the rest).
+  TrainRunResult compiled = RunSchedule(GetParam(), /*compiled=*/true, dataset,
+                                        schedule, /*reweight_from_step=*/0,
+                                        64, 256);
+  EXPECT_GT(compiled.plan.replays, 0);
+  EXPECT_EQ(compiled.final_step_allocs, 0);
+}
+
+TEST_P(CompiledTrainTest, BucketedShapeFuzzStaysBitwise) {
+  GraphDataset dataset = TinyDataset();
+  // Random batch sizes (1..10 graphs) over tight bucket quanta (8
+  // nodes / 32 edges) drive many bucket keys, envelope-exceed
+  // retraces within a bucket, the bounded-records per-block heap
+  // fallback, and single-graph batches (the reweighter's rows<2 early
+  // return). Whatever path each step takes, it must match eager.
+  Rng shapes(2024);
+  std::vector<std::pair<size_t, size_t>> schedule;
+  const size_t train_size = dataset.train_idx.size();
+  size_t cursor = 0;
+  for (int step = 0; step < 40; ++step) {
+    const size_t batch_size = static_cast<size_t>(shapes.UniformInt(1, 10));
+    if (cursor >= train_size) cursor = 0;
+    const size_t end = std::min(train_size, cursor + batch_size);
+    schedule.emplace_back(cursor, end);
+    cursor = end;
+  }
+  const size_t reweight_from = schedule.size() / 2;
+  TrainRunResult eager = RunSchedule(GetParam(), /*compiled=*/false, dataset,
+                                     schedule, reweight_from, 8, 32);
+  TrainRunResult compiled = RunSchedule(GetParam(), /*compiled=*/true, dataset,
+                                        schedule, reweight_from, 8, 32);
+  ExpectRunsBitwiseEqual(eager, compiled);
+  EXPECT_GT(compiled.num_buckets, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, CompiledTrainTest,
+                         ::testing::Values(Method::kGin, Method::kOodGnn),
+                         [](const auto& info) {
+                           return ParamName(info.param);
+                         });
 
 }  // namespace
 }  // namespace oodgnn
